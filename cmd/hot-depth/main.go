@@ -1,0 +1,68 @@
+// hot-depth regenerates Figure 11: the depth distribution of leaf values
+// in HOT versus the "pure trie" baselines — ART and a binary Patricia trie
+// — for every data set. Paper scale is -n 50000000.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+
+	"github.com/hotindex/hot/internal/art"
+	"github.com/hotindex/hot/internal/bench"
+	"github.com/hotindex/hot/internal/core"
+	"github.com/hotindex/hot/internal/dataset"
+	"github.com/hotindex/hot/internal/patricia"
+)
+
+func main() {
+	var (
+		n    = flag.Int("n", 1_000_000, "keys to load")
+		seed = flag.Int64("seed", 2018, "data seed")
+		hist = flag.Bool("hist", false, "print full depth histograms")
+	)
+	flag.Parse()
+
+	fmt.Printf("leaf depth distribution over %d keys\n", *n)
+	fmt.Printf("%-9s %-9s %8s %8s %8s\n", "dataset", "index", "min", "mean", "max")
+
+	for _, kind := range dataset.Kinds() {
+		data := bench.Load(kind, *n, 0, *seed)
+
+		hotTrie := core.New(data.Store.Key)
+		artTree := art.New(data.Store.Key)
+		binTrie := patricia.New(data.Store.Key)
+		for i, k := range data.Keys {
+			hotTrie.Insert(k, data.TIDs[i])
+			artTree.Insert(k, data.TIDs[i])
+			binTrie.Insert(k, data.TIDs[i])
+		}
+
+		report(kind.String(), "hot", *hist, histStats{hotTrie.Depths().Min, hotTrie.Depths().Mean, hotTrie.Depths().Max, hotTrie.Depths().Hist})
+		report(kind.String(), "art", *hist, histStats{artTree.Depths().Min, artTree.Depths().Mean, artTree.Depths().Max, artTree.Depths().Hist})
+		report(kind.String(), "bin", *hist, histStats{binTrie.Depths().Min, binTrie.Depths().Mean, binTrie.Depths().Max, binTrie.Depths().Hist})
+		fmt.Println()
+	}
+}
+
+type histStats struct {
+	min  int
+	mean float64
+	max  int
+	hist map[int]int
+}
+
+func report(ds, index string, printHist bool, st histStats) {
+	fmt.Printf("%-9s %-9s %8d %8.2f %8d\n", ds, index, st.min, st.mean, st.max)
+	if !printHist {
+		return
+	}
+	depths := make([]int, 0, len(st.hist))
+	for d := range st.hist {
+		depths = append(depths, d)
+	}
+	sort.Ints(depths)
+	for _, d := range depths {
+		fmt.Printf("    depth %3d: %d\n", d, st.hist[d])
+	}
+}

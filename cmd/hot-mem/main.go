@@ -1,0 +1,50 @@
+// hot-mem regenerates Figure 9: memory consumption of each index structure
+// after the load phase, per data set, together with the paper's baselines
+// (the raw 8-byte tuple identifiers and, for the textual data sets, the
+// raw key bytes). Paper scale is -n 50000000.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/hotindex/hot/internal/bench"
+	"github.com/hotindex/hot/internal/dataset"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 1_000_000, "keys to load")
+		indexes = flag.String("indexes", "hot,art,btree,masstree", "comma list of index structures")
+		seed    = flag.Int64("seed", 2018, "data seed")
+	)
+	flag.Parse()
+
+	fmt.Printf("memory after loading %d keys (paper-layout bytes)\n", *n)
+	fmt.Printf("%-9s %-9s %12s %10s %12s\n", "dataset", "index", "total MB", "bytes/key", "vs raw keys")
+
+	for _, kind := range dataset.Kinds() {
+		data := bench.Load(kind, *n, 0, *seed)
+		raw := dataset.RawBytes(data.Keys)
+		fmt.Printf("%-9s %-9s %12.1f %10.2f %11s\n",
+			kind, "tid-8B", float64(8**n)/1e6, 8.0, "-")
+		fmt.Printf("%-9s %-9s %12.1f %10.2f %11s   (raw keys)\n",
+			kind, "rawkey", float64(raw)/1e6, float64(raw)/float64(*n), "1.00x")
+		for _, iname := range strings.Split(*indexes, ",") {
+			inst, err := bench.New(strings.TrimSpace(iname), data.Store)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hot-mem:", err)
+				os.Exit(1)
+			}
+			for i := 0; i < *n; i++ {
+				inst.Idx.Insert(data.Keys[i], data.TIDs[i])
+			}
+			b := inst.PaperBytes()
+			fmt.Printf("%-9s %-9s %12.1f %10.2f %10.2fx\n",
+				kind, inst.Name, float64(b)/1e6, float64(b)/float64(*n), float64(b)/float64(raw))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,151 @@
+// hot-scale regenerates Figure 10: multi-threaded insert and lookup
+// throughput on the url data set for the synchronized index variants —
+// HOT with its ROWEX protocol, and ART/Masstree behind the striped
+// synchronization substitution (see DESIGN.md). The paper inserts 50M keys
+// and runs 100M lookups per thread count, taking the median of 7 runs;
+// defaults here are laptop-sized.
+//
+// Note: meaningful speedups require multiple CPU cores (the paper's server
+// has 10); on a single-core host the harness still runs but reports flat
+// scaling.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/hotindex/hot/internal/art"
+	"github.com/hotindex/hot/internal/bench"
+	"github.com/hotindex/hot/internal/core"
+	"github.com/hotindex/hot/internal/dataset"
+	"github.com/hotindex/hot/internal/masstree"
+	"github.com/hotindex/hot/internal/striped"
+)
+
+// concIndex is the minimal concurrent interface the experiment needs.
+type concIndex interface {
+	Insert(k []byte, tid uint64) bool
+	Lookup(k []byte) (uint64, bool)
+	Len() int
+}
+
+func main() {
+	var (
+		n       = flag.Int("n", 500_000, "keys to insert per run")
+		lookups = flag.Int("lookups", 1_000_000, "random lookups per run")
+		ds      = flag.String("dataset", "url", "data set")
+		maxThr  = flag.Int("threads", runtime.GOMAXPROCS(0), "maximum thread count")
+		runs    = flag.Int("runs", 3, "runs per configuration (median reported)")
+		seed    = flag.Int64("seed", 2018, "data seed")
+		indexes = flag.String("indexes", "hot,art,masstree", "comma list (hot|art|masstree|btree)")
+	)
+	flag.Parse()
+
+	kind, err := dataset.ParseKind(*ds)
+	die(err)
+	data := bench.Load(kind, *n, 0, *seed)
+
+	builders := map[string]func() concIndex{
+		"hot": func() concIndex { return core.NewConcurrent(data.Store.Key) },
+		"art": func() concIndex {
+			return striped.New(64, func() striped.Index { return artAdapter{art.New(data.Store.Key)} })
+		},
+		"masstree": func() concIndex {
+			return striped.New(64, func() striped.Index { return masstree.New() })
+		},
+		// The STX B-tree is omitted, like in the paper ("due to lack of
+		// synchronization, we omit the STX B-Tree").
+	}
+
+	fmt.Printf("dataset %s: %d inserts + %d lookups per run, median of %d runs\n",
+		kind, *n, *lookups, *runs)
+	fmt.Printf("%-9s %8s %14s %14s\n", "index", "threads", "insert mops", "lookup mops")
+
+	for _, name := range split(*indexes) {
+		mk, ok := builders[name]
+		if !ok {
+			die(fmt.Errorf("unknown index %q", name))
+		}
+		for threads := 1; threads <= *maxThr; threads++ {
+			var ins, look []float64
+			for run := 0; run < *runs; run++ {
+				i, l := oneRun(mk(), data, threads, *lookups, *seed+int64(run))
+				ins = append(ins, i)
+				look = append(look, l)
+			}
+			fmt.Printf("%-9s %8d %14.3f %14.3f\n", name, threads, median(ins), median(look))
+		}
+	}
+}
+
+func oneRun(idx concIndex, data *bench.Data, threads, lookups int, seed int64) (insertMops, lookupMops float64) {
+	n := len(data.Keys)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += threads {
+				idx.Insert(data.Keys[i], data.TIDs[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+	insertMops = float64(n) / time.Since(start).Seconds() / 1e6
+	if idx.Len() != n {
+		die(fmt.Errorf("index lost keys: %d of %d", idx.Len(), n))
+	}
+
+	start = time.Now()
+	per := lookups / threads
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)))
+			for i := 0; i < per; i++ {
+				k := data.Keys[rng.Intn(n)]
+				if _, ok := idx.Lookup(k); !ok {
+					panic("lookup missed a loaded key")
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	lookupMops = float64(per*threads) / time.Since(start).Seconds() / 1e6
+	return insertMops, lookupMops
+}
+
+// artAdapter narrows art.Tree to the striped.Index interface (identical
+// methods; declared for documentation symmetry).
+type artAdapter struct{ *art.Tree }
+
+func median(xs []float64) float64 {
+	sort.Float64s(xs)
+	return xs[len(xs)/2]
+}
+
+func split(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hot-scale:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,105 @@
+// hot-ycsb regenerates the paper's throughput experiments: Figure 8
+// (workloads C, E and the insert-only load phase) and Appendix A (all six
+// YCSB core workloads × uniform/zipfian request distributions), across the
+// four data sets and four index structures.
+//
+// Paper scale is -n 50000000 -ops 100000000; the defaults are laptop-sized
+// (1M/2M). Examples:
+//
+//	hot-ycsb                                # Figure 8 at default scale
+//	hot-ycsb -all                           # all 48 Appendix A configs
+//	hot-ycsb -workloads C -datasets url -indexes hot,art
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/hotindex/hot/internal/bench"
+	"github.com/hotindex/hot/internal/dataset"
+	"github.com/hotindex/hot/internal/ycsb"
+)
+
+func main() {
+	var (
+		n         = flag.Int("n", 1_000_000, "keys inserted in the load phase")
+		ops       = flag.Int("ops", 2_000_000, "transaction-phase operations")
+		workloads = flag.String("workloads", "C,E,load", "comma list of A..F and/or 'load'")
+		datasets  = flag.String("datasets", "url,email,yago,integer", "comma list of data sets")
+		dists     = flag.String("dists", "uniform", "comma list of request distributions (uniform|zipf|latest)")
+		indexes   = flag.String("indexes", "hot,art,btree,masstree", "comma list of index structures")
+		all       = flag.Bool("all", false, "run all 6 workloads × {uniform, zipf} (Appendix A)")
+		latency   = flag.Bool("latency", false, "capture and print per-operation latency percentiles")
+		seed      = flag.Int64("seed", 2018, "data/workload seed")
+	)
+	flag.Parse()
+
+	wNames := split(*workloads)
+	dNames := split(*dists)
+	if *all {
+		wNames = []string{"A", "B", "C", "D", "E", "F"}
+		dNames = []string{"uniform", "zipf"}
+	}
+
+	fmt.Printf("load %d keys, %d txn ops per configuration\n", *n, *ops)
+	fmt.Printf("%-9s %-26s %-8s %-9s %10s %9s\n", "dataset", "workload", "dist", "index", "mops", "misses")
+
+	for _, ds := range split(*datasets) {
+		kind, err := dataset.ParseKind(ds)
+		die(err)
+		for _, wname := range wNames {
+			w, err := ycsb.ByName(wname)
+			die(err)
+			reserve := 0
+			if w.Insert > 0 {
+				reserve = int(float64(*ops)*w.Insert) + 1024
+			}
+			data := bench.Load(kind, *n, reserve, *seed)
+			for _, dname := range dNames {
+				dist, err := ycsb.ParseDistribution(dname)
+				die(err)
+				if w.Name == "D" && !*all {
+					dist = ycsb.Latest // paper: D is latest-read
+				}
+				for _, iname := range split(*indexes) {
+					inst, err := bench.New(iname, data.Store)
+					die(err)
+					r := data.Runner(inst, *n, *seed)
+					r.CaptureLatency = *latency
+					var res ycsb.Result
+					if w.Name == "load" {
+						res = r.Load()
+					} else {
+						r.Load()
+						res = r.Run(w, dist, *ops)
+					}
+					fmt.Printf("%-9s %-26s %-8s %-9s %10.3f %9d",
+						ds, w.Name+" ("+w.Description+")", dist, iname, res.Mops(), res.NotFound)
+					if res.Latency != nil {
+						fmt.Printf("   %s", res.Latency)
+					}
+					fmt.Println()
+				}
+			}
+		}
+	}
+}
+
+func split(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hot-ycsb:", err)
+		os.Exit(1)
+	}
+}

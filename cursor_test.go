@@ -1,0 +1,72 @@
+package hot
+
+import (
+	"sort"
+	"testing"
+
+	"github.com/hotindex/hot/internal/tidstore"
+)
+
+func TestCursor(t *testing.T) {
+	s := &tidstore.Store{}
+	tr := New(s.Key)
+
+	// Empty tree.
+	if c := tr.Iter(nil); c.Valid() {
+		t.Fatal("cursor valid on empty tree")
+	}
+
+	// Single-entry tree (leaf root, no compound nodes).
+	tid := s.AddString("only")
+	tr.Insert([]byte("only"), tid)
+	c := tr.Iter(nil)
+	if !c.Valid() || c.TID() != tid {
+		t.Fatal("single-entry cursor broken")
+	}
+	c.Next()
+	if c.Valid() {
+		t.Fatal("single-entry cursor did not exhaust")
+	}
+	if c := tr.Iter([]byte("p")); c.Valid() {
+		t.Fatal("single-entry cursor ignored start bound")
+	}
+
+	// Multi-entry tree: full walk in order, and bounded walks.
+	words := []string{"kiwi", "fig", "plum", "date", "pear", "lime"}
+	for _, w := range words {
+		tr.Insert([]byte(w), s.AddString(w))
+	}
+	var got []string
+	for c := tr.Iter(nil); c.Valid(); c.Next() {
+		got = append(got, string(s.Key(c.TID(), nil)))
+	}
+	want := append([]string{"only"}, words...)
+	sort.Strings(want)
+	if len(got) != len(want) {
+		t.Fatalf("cursor walked %d entries, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("cursor[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	c = tr.Iter([]byte("m"))
+	if !c.Valid() || string(s.Key(c.TID(), nil)) != "only" {
+		t.Fatal("seek to 'm' should land on 'only'")
+	}
+}
+
+func TestConcurrentCursor(t *testing.T) {
+	s := &tidstore.Store{}
+	tr := NewConcurrent(s.Key)
+	for _, w := range []string{"a", "b", "c"} {
+		tr.Insert([]byte(w), s.AddString(w))
+	}
+	n := 0
+	for c := tr.Iter(nil); c.Valid(); c.Next() {
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("walked %d", n)
+	}
+}

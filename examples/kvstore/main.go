@@ -1,0 +1,68 @@
+// kvstore builds a small ordered key-value store on hot.Map: a write-ahead
+// style workload of puts, overwrites, deletes and range queries over URL
+// keys, demonstrating that Map accepts arbitrary byte keys (including
+// embedded zero bytes) while keeping them in lexicographic order.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	hot "github.com/hotindex/hot"
+)
+
+func main() {
+	store := hot.NewMap()
+	rng := rand.New(rand.NewSource(7))
+
+	sections := []string{"articles", "users", "products", "wiki"}
+	put := func(k string, v uint64) { store.Set([]byte(k), v) }
+
+	// Load a URL-shaped keyspace.
+	const n = 100000
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("/%s/%06d", sections[rng.Intn(len(sections))], rng.Intn(1000000))
+		put(k, uint64(i))
+	}
+	fmt.Printf("loaded %d keys in %v (size now %d)\n", n, time.Since(start).Round(time.Millisecond), store.Len())
+
+	// Binary keys with embedded zeros work too.
+	put("session\x00binary\x00key", 424242)
+	if v, ok := store.Get([]byte("session\x00binary\x00key")); ok {
+		fmt.Println("binary key roundtrip:", v)
+	}
+
+	// Overwrite and delete.
+	put("/users/000042", 1)
+	put("/users/000042", 2)
+	if v, _ := store.Get([]byte("/users/000042")); v != 2 {
+		panic("overwrite failed")
+	}
+	store.Delete([]byte("/users/000042"))
+
+	// Range query: first 5 entries of the /products/ section.
+	fmt.Println("first 5 products:")
+	store.Range([]byte("/products/"), 5, func(k []byte, v uint64) bool {
+		fmt.Printf("   %s = %d\n", k, v)
+		return true
+	})
+
+	// Count keys per section with bounded ranges.
+	for _, sec := range sections {
+		count := 0
+		store.Range([]byte("/"+sec+"/"), -1, func(k []byte, v uint64) bool {
+			if string(k[:len(sec)+2]) != "/"+sec+"/" {
+				return false // left the section
+			}
+			count++
+			return true
+		})
+		fmt.Printf("section %-9s %6d keys\n", sec, count)
+	}
+
+	fmt.Printf("trie height %d, avg fanout %.1f, %.1f bytes/key (index only)\n",
+		store.Height(), store.Memory().AvgFanout(),
+		store.Memory().BytesPerKey(store.Len()))
+}

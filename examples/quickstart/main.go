@@ -1,0 +1,65 @@
+// Quickstart: the three public entry points of the hot package in two
+// minutes — Map for arbitrary byte keys, Uint64Set for integer sets, and
+// the index-style Tree with an external tuple store.
+package main
+
+import (
+	"fmt"
+
+	hot "github.com/hotindex/hot"
+)
+
+func main() {
+	// Map: ordered map from arbitrary []byte keys to uint64 values.
+	m := hot.NewMap()
+	m.Set([]byte("banana"), 3)
+	m.Set([]byte("apple"), 1)
+	m.Set([]byte("cherry"), 7)
+	m.Set([]byte("apricot"), 2)
+
+	if v, ok := m.Get([]byte("cherry")); ok {
+		fmt.Println("cherry =", v)
+	}
+
+	fmt.Println("fruit in order:")
+	m.Range(nil, -1, func(k []byte, v uint64) bool {
+		fmt.Printf("  %-8s %d\n", k, v)
+		return true
+	})
+
+	fmt.Println("starting at 'apr', first 2:")
+	m.Range([]byte("apr"), 2, func(k []byte, v uint64) bool {
+		fmt.Printf("  %-8s %d\n", k, v)
+		return true
+	})
+
+	// Uint64Set: a sorted integer set with keys embedded in the TIDs.
+	s := hot.NewUint64Set()
+	for _, v := range []uint64{42, 7, 99, 7, 1000000} {
+		s.Insert(v) // duplicate 7 is rejected
+	}
+	fmt.Println("\nset size:", s.Len())
+	s.Ascend(10, -1, func(v uint64) bool {
+		fmt.Println("  >= 10:", v)
+		return true
+	})
+
+	// Tree: the paper's index abstraction — the index stores tuple
+	// identifiers and resolves keys through the base table.
+	type user struct {
+		name string
+		age  int
+	}
+	table := []user{{"ada", 36}, {"alan", 41}, {"grace", 85}, {"edsger", 72}}
+	idx := hot.New(func(tid hot.TID, _ []byte) []byte {
+		return append([]byte(table[tid].name), 0) // terminated key from the tuple
+	})
+	for tid := range table {
+		idx.Insert(append([]byte(table[tid].name), 0), hot.TID(tid))
+	}
+	if tid, ok := idx.Lookup(append([]byte("grace"), 0)); ok {
+		fmt.Printf("\ngrace -> tuple %d: %+v\n", tid, table[tid])
+	}
+	fmt.Printf("tree height %d, %.1f bytes/key\n",
+		idx.Height(), idx.Memory().BytesPerKey(idx.Len()))
+}

@@ -1,0 +1,135 @@
+package hot
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+)
+
+// Fuzz targets for the public API: `go test -fuzz FuzzMap` explores them;
+// plain `go test` replays the seed corpus below as regression tests.
+
+// FuzzMap drives a Map with an operation tape decoded from raw bytes and
+// checks it against a Go map plus sorted-slice oracle.
+func FuzzMap(f *testing.F) {
+	f.Add([]byte("\x00a\x01b\x02c"))
+	f.Add([]byte{0, 0, 0, 1, 2, 3, 0xFF, 0x00, 0x80})
+	f.Add([]byte("insert\x00delete\x01get\x02range"))
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		m := NewMap()
+		oracle := map[string]uint64{}
+		i := 0
+		next := func() ([]byte, bool) {
+			if i >= len(tape) {
+				return nil, false
+			}
+			n := int(tape[i]) % 9 // key length 0..8
+			i++
+			end := i + n
+			if end > len(tape) {
+				end = len(tape)
+			}
+			k := tape[i:end]
+			i = end
+			return k, true
+		}
+		step := 0
+		for {
+			k, ok := next()
+			if !ok {
+				break
+			}
+			step++
+			switch step % 4 {
+			case 0:
+				if got := m.Delete(k); got != mapHas(oracle, k) {
+					t.Fatalf("delete %x: %v", k, got)
+				}
+				delete(oracle, string(k))
+			case 1, 2:
+				isNew := m.Set(k, uint64(step))
+				if _, present := oracle[string(k)]; present == isNew {
+					t.Fatalf("set %x: new=%v present=%v", k, isNew, present)
+				}
+				oracle[string(k)] = uint64(step)
+			default:
+				v, got := m.Get(k)
+				want, present := oracle[string(k)]
+				if got != present || (got && v != want) {
+					t.Fatalf("get %x = (%d,%v), want (%d,%v)", k, v, got, want, present)
+				}
+			}
+		}
+		if m.Len() != len(oracle) {
+			t.Fatalf("len %d != %d", m.Len(), len(oracle))
+		}
+		// Full range must enumerate the oracle in sorted order.
+		var want []string
+		for k := range oracle {
+			want = append(want, k)
+		}
+		sort.Strings(want)
+		idx := 0
+		m.Range(nil, -1, func(k []byte, v uint64) bool {
+			if idx >= len(want) || !bytes.Equal(k, []byte(want[idx])) {
+				t.Fatalf("range[%d] = %x, want %x", idx, k, want[idx])
+			}
+			if v != oracle[want[idx]] {
+				t.Fatalf("range[%d] value %d", idx, v)
+			}
+			idx++
+			return true
+		})
+		if idx != len(want) {
+			t.Fatalf("range enumerated %d of %d", idx, len(want))
+		}
+	})
+}
+
+func mapHas(m map[string]uint64, k []byte) bool {
+	_, ok := m[string(k)]
+	return ok
+}
+
+// FuzzUint64Set exercises the integer set with a value stream.
+func FuzzUint64Set(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0, 1})
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		s := NewUint64Set()
+		oracle := map[uint64]bool{}
+		for i := 0; i+8 <= len(tape); i += 8 {
+			var v uint64
+			for j := 0; j < 8; j++ {
+				v = v<<8 | uint64(tape[i+j])
+			}
+			v >>= 1 // 63-bit
+			switch {
+			case !oracle[v]:
+				if !s.Insert(v) {
+					t.Fatalf("insert %d failed", v)
+				}
+				oracle[v] = true
+			default:
+				if s.Insert(v) {
+					t.Fatalf("duplicate insert %d succeeded", v)
+				}
+				if !s.Delete(v) {
+					t.Fatalf("delete %d failed", v)
+				}
+				delete(oracle, v)
+			}
+		}
+		if s.Len() != len(oracle) {
+			t.Fatalf("len %d != %d", s.Len(), len(oracle))
+		}
+		prev := int64(-1)
+		s.Ascend(0, -1, func(v uint64) bool {
+			if int64(v) <= prev || !oracle[v] {
+				t.Fatalf("ascend order/content broken at %d", v)
+			}
+			prev = int64(v)
+			return true
+		})
+	})
+}

@@ -1,0 +1,3 @@
+module github.com/hotindex/hot
+
+go 1.22

@@ -1,0 +1,189 @@
+// Package hot provides the Height Optimized Trie (HOT) of Binna, Zangerle,
+// Pichl, Specht and Leis (SIGMOD 2018): a fast, space-efficient,
+// order-preserving in-memory index for main-memory database systems.
+//
+// HOT bounds every compound node's fanout at k = 32 while adapting the
+// number of key bits each node consumes to the data distribution, which
+// keeps the fanout consistently high — and the tree consistently shallow —
+// for dense integers and sparse strings alike. Nodes linearize their
+// k-constrained binary Patricia tries into arrays of sparse partial keys
+// searched data-parallel.
+//
+// # Choosing a type
+//
+//   - Tree / ConcurrentTree expose the paper's index abstraction directly:
+//     they map prefix-free []byte keys to 63-bit tuple identifiers (TIDs)
+//     and resolve TIDs back to keys through a Loader, the way a database
+//     index references its base table. ConcurrentTree adds the paper's
+//     ROWEX synchronization: wait-free readers, lock-only-what-you-modify
+//     writers.
+//   - Map is the convenience layer for applications without a tuple store:
+//     it keeps its own key storage, accepts arbitrary byte keys (an
+//     order-preserving escape makes them prefix-free) and maps them to
+//     uint64 values.
+//   - Uint64Set stores 63-bit integers with the keys embedded directly in
+//     the TIDs (the paper's optimization for fixed-size keys ≤ 8 bytes).
+//
+// Keys are compared lexicographically; all range operations are in
+// ascending key order.
+package hot
+
+import (
+	"github.com/hotindex/hot/internal/core"
+)
+
+// TID is a tuple identifier: a value < 2^63 stored in the index, typically
+// referencing a tuple that contains the key.
+type TID = uint64
+
+// Loader resolves the key bytes stored under a TID. buf may be used as
+// scratch space; the returned slice may alias it and must remain valid and
+// immutable while the entry is in the index.
+type Loader = func(tid TID, buf []byte) []byte
+
+// Stats aliases for the documentation of Tree.Depths and Tree.Memory.
+type (
+	// DepthStats describes the leaf-depth distribution (tree balance).
+	DepthStats = core.DepthStats
+	// MemoryStats reports the index footprint and node-layout census.
+	MemoryStats = core.MemoryStats
+	// OpStats counts the insertion structure-adaptation cases.
+	OpStats = core.OpStats
+)
+
+const (
+	// MaxFanout is the paper's k: the maximum compound-node fanout.
+	MaxFanout = core.MaxFanout
+	// MaxKeyLen is the maximum key length in bytes.
+	MaxKeyLen = core.MaxKeyLen
+	// MaxTID is the largest storable tuple identifier (2^63 - 1).
+	MaxTID = core.MaxTID
+)
+
+// Tree is a single-threaded Height Optimized Trie mapping prefix-free
+// []byte keys to TIDs. It must not be used concurrently; see
+// ConcurrentTree.
+//
+// The key set must be prefix-free under zero-padding (fixed-length keys
+// are; terminate variable-length keys, or use Map which handles arbitrary
+// keys).
+type Tree struct {
+	t *core.Trie
+}
+
+// New returns an empty Tree resolving TIDs through loader.
+func New(loader Loader) *Tree {
+	return &Tree{t: core.New(core.Loader(loader))}
+}
+
+// NewWithFanout returns an empty Tree with a maximum node fanout of k
+// (2..MaxFanout). The paper's design point is k = 32; smaller values trade
+// tree height for cheaper intra-node operations and exist mainly for
+// experimentation (see the fanout ablation benchmark).
+func NewWithFanout(loader Loader, k int) *Tree {
+	return &Tree{t: core.NewWithFanout(core.Loader(loader), k)}
+}
+
+// Insert stores tid under key, reporting false (without modification) when
+// the key is already present. It panics if len(key) > MaxKeyLen or
+// tid > MaxTID.
+func (t *Tree) Insert(key []byte, tid TID) bool { return t.t.Insert(key, tid) }
+
+// Upsert stores tid under key, returning the previous TID when the key was
+// already present.
+func (t *Tree) Upsert(key []byte, tid TID) (old TID, replaced bool) {
+	return t.t.Upsert(key, tid)
+}
+
+// Lookup returns the TID stored under key.
+func (t *Tree) Lookup(key []byte) (TID, bool) { return t.t.Lookup(key) }
+
+// Delete removes key, reporting whether it was present.
+func (t *Tree) Delete(key []byte) bool { return t.t.Delete(key) }
+
+// Scan invokes fn for up to max entries in ascending key order starting at
+// the first key ≥ start (nil start scans from the smallest key). It
+// returns the number of entries visited; fn returning false stops early.
+// fn must not modify the tree (single-threaded trees recycle replaced
+// nodes immediately; use ConcurrentTree when scans and writes overlap).
+func (t *Tree) Scan(start []byte, max int, fn func(TID) bool) int {
+	return t.t.Scan(start, max, fn)
+}
+
+// Len returns the number of stored keys.
+func (t *Tree) Len() int { return t.t.Len() }
+
+// Height returns the overall tree height in compound nodes (0 for trees
+// with fewer than two keys). Like a B-tree, the height grows only when a
+// new root is created.
+func (t *Tree) Height() int { return t.t.Height() }
+
+// Depths computes the leaf-depth distribution, the paper's balance metric.
+func (t *Tree) Depths() DepthStats { return t.t.Depths() }
+
+// Memory computes the index's memory footprint and node-layout census.
+func (t *Tree) Memory() MemoryStats { return t.t.Memory() }
+
+// OpStats reports how often each of the paper's four insertion cases fired
+// (normal insert, leaf-node pushdown, parent pull up, intermediate node
+// creation) plus root creations — the only operation that grows the
+// overall tree height.
+func (t *Tree) OpStats() OpStats { return t.t.OpStats() }
+
+// ConcurrentTree is a Height Optimized Trie synchronized with the paper's
+// ROWEX protocol: reads and scans are wait-free (they never lock, block or
+// restart); writers lock only the nodes they modify and replace them
+// copy-on-write, retiring obsolete nodes through epoch-based reclamation.
+// All methods are safe for concurrent use; the loader must be too.
+type ConcurrentTree struct {
+	t *core.ConcurrentTrie
+}
+
+// NewConcurrent returns an empty ConcurrentTree resolving TIDs through
+// loader.
+func NewConcurrent(loader Loader) *ConcurrentTree {
+	return &ConcurrentTree{t: core.NewConcurrent(core.Loader(loader))}
+}
+
+// Insert stores tid under key, reporting false when the key already exists.
+func (t *ConcurrentTree) Insert(key []byte, tid TID) bool { return t.t.Insert(key, tid) }
+
+// Upsert stores tid under key, returning the replaced TID if one existed.
+func (t *ConcurrentTree) Upsert(key []byte, tid TID) (old TID, replaced bool) {
+	return t.t.Upsert(key, tid)
+}
+
+// Lookup returns the TID stored under key. It is wait-free.
+func (t *ConcurrentTree) Lookup(key []byte) (TID, bool) { return t.t.Lookup(key) }
+
+// Delete removes key, reporting whether it was present.
+func (t *ConcurrentTree) Delete(key []byte) bool { return t.t.Delete(key) }
+
+// Scan invokes fn for up to max entries in ascending key order starting at
+// the first key ≥ start. Concurrent writers may commit before or after any
+// step of the scan (the paper's wait-free reader semantics).
+func (t *ConcurrentTree) Scan(start []byte, max int, fn func(TID) bool) int {
+	return t.t.Scan(start, max, fn)
+}
+
+// Len returns the number of stored keys.
+func (t *ConcurrentTree) Len() int { return t.t.Len() }
+
+// Height returns the overall tree height in compound nodes.
+func (t *ConcurrentTree) Height() int { return t.t.Height() }
+
+// Depths computes the leaf-depth distribution. It walks the live tree and
+// should be called in quiescent states for stable numbers.
+func (t *ConcurrentTree) Depths() DepthStats { return t.t.Depths() }
+
+// Memory computes the memory footprint and node-layout census.
+func (t *ConcurrentTree) Memory() MemoryStats { return t.t.Memory() }
+
+// ReclaimStats reports epoch reclamation counters: how many obsolete
+// copy-on-write nodes have been reclaimed and how many are pending.
+func (t *ConcurrentTree) ReclaimStats() (freed uint64, pending int64) {
+	return t.t.ReclaimStats()
+}
+
+// OpStats reports the insertion-case counters (see Tree.OpStats).
+func (t *ConcurrentTree) OpStats() OpStats { return t.t.OpStats() }

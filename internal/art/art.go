@@ -1,0 +1,369 @@
+// Package art implements the Adaptive Radix Tree of Leis et al. (ICDE
+// 2013), the paper's primary trie competitor: a 256-way (span 8) trie with
+// four adaptive node sizes (Node4/16/48/256), path compression and lazy
+// leaf expansion. Keys are resolved through a TID loader exactly as in the
+// C++ original (single-value leaves storing tuple identifiers).
+//
+// Tree is single-threaded, matching how the paper's throughput, memory and
+// tree-height experiments run ART; the scalability experiment wraps it in
+// the striped synchronization layer of internal/striped (a documented
+// substitution for ART's ROWEX variant — see DESIGN.md).
+package art
+
+import (
+	"github.com/hotindex/hot/internal/key"
+)
+
+// TID is a tuple identifier.
+type TID = uint64
+
+// Loader resolves the key bytes stored under a TID (see core.Loader).
+type Loader func(tid TID, buf []byte) []byte
+
+const maxStoredPrefix = 8
+
+// header is shared by all inner node kinds.
+type header struct {
+	prefixLen   int32 // total compressed prefix length (may exceed stored bytes)
+	numChildren uint16
+	prefix      [maxStoredPrefix]byte
+}
+
+// ref points at either a leaf (a TID) or an inner node. The zero ref is
+// empty.
+type ref struct {
+	n    node
+	tid  TID
+	leaf bool
+}
+
+func (r *ref) empty() bool { return !r.leaf && r.n == nil }
+
+func leafRef(tid TID) ref { return ref{tid: tid, leaf: true} }
+func nodeRef(n node) ref  { return ref{n: n} }
+
+// node is implemented by node4, node16, node48 and node256.
+type node interface {
+	hdr() *header
+	// findChild returns the child slot for byte b, or nil.
+	findChild(b byte) *ref
+	// addChild inserts a child; the caller must ensure capacity (full()).
+	addChild(b byte, r ref)
+	// removeChild removes the child for byte b (must exist).
+	removeChild(b byte)
+	full() bool
+	// grow returns the next-larger node kind with the same contents.
+	grow() node
+	// shrink returns a smaller representation when underfull, or nil.
+	shrink() node
+	// min returns the smallest child slot.
+	min() *ref
+	// walk visits children in ascending byte order until fn returns false.
+	walk(fn func(b byte, r *ref) bool) bool
+	// walkFrom is walk restricted to bytes ≥ from.
+	walkFrom(from byte, fn func(b byte, r *ref) bool) bool
+	kindSize() int // the ART paper's node size in bytes, for Figure 9
+}
+
+// Tree is a single-threaded adaptive radix tree.
+type Tree struct {
+	loader Loader
+	root   ref
+	size   int
+	buf    []byte
+}
+
+// New returns an empty ART resolving keys through loader.
+func New(loader Loader) *Tree {
+	return &Tree{loader: loader, buf: make([]byte, 0, 64)}
+}
+
+// Len returns the number of stored keys.
+func (t *Tree) Len() int { return t.size }
+
+func (t *Tree) load(tid TID) []byte { return t.loader(tid, t.buf[:0]) }
+
+// Lookup returns the TID stored under k.
+func (t *Tree) Lookup(k []byte) (TID, bool) {
+	r := t.root
+	depth := 0
+	for {
+		switch {
+		case r.empty():
+			return 0, false
+		case r.leaf:
+			// Lazy expansion / path compression can yield false positives;
+			// verify against the stored key (as the C++ ART does).
+			if _, differ := key.MismatchBit(t.load(r.tid), k); differ {
+				return 0, false
+			}
+			return r.tid, true
+		}
+		h := r.n.hdr()
+		// Optimistic prefix skip: compare the stored bytes only; the final
+		// leaf comparison catches mismatches beyond them.
+		stored := storedPrefix(h)
+		for i := 0; i < stored; i++ {
+			if key.Byte(k, depth+i) != h.prefix[i] {
+				return 0, false
+			}
+		}
+		depth += int(h.prefixLen)
+		c := r.n.findChild(key.Byte(k, depth))
+		if c == nil {
+			return 0, false
+		}
+		r = *c
+		depth++
+	}
+}
+
+func storedPrefix(h *header) int {
+	if int(h.prefixLen) < maxStoredPrefix {
+		return int(h.prefixLen)
+	}
+	return maxStoredPrefix
+}
+
+// minLeaf returns the smallest leaf TID under r (used to recover prefix
+// bytes beyond the stored window, as in the C++ implementation).
+func minLeaf(r ref) TID {
+	for !r.leaf {
+		r = *r.n.min()
+	}
+	return r.tid
+}
+
+// prefixMismatch compares k (from depth) with r.n's full compressed prefix,
+// returning the first differing position (== prefixLen when equal). Bytes
+// beyond the stored window are recovered from the subtree's minimum leaf.
+func (t *Tree) prefixMismatch(r ref, k []byte, depth int) int {
+	h := r.n.hdr()
+	stored := storedPrefix(h)
+	for i := 0; i < stored; i++ {
+		if key.Byte(k, depth+i) != h.prefix[i] {
+			return i
+		}
+	}
+	if int(h.prefixLen) <= maxStoredPrefix {
+		return int(h.prefixLen)
+	}
+	full := t.loader(minLeaf(r), nil)
+	for i := maxStoredPrefix; i < int(h.prefixLen); i++ {
+		if key.Byte(k, depth+i) != key.Byte(full, depth+i) {
+			return i
+		}
+	}
+	return int(h.prefixLen)
+}
+
+// Insert stores tid under k, reporting false if the key already exists.
+func (t *Tree) Insert(k []byte, tid TID) bool {
+	inserted, _, _ := t.insert(&t.root, k, 0, tid, false)
+	if inserted {
+		t.size++
+	}
+	return inserted
+}
+
+// Upsert stores tid under k, returning a replaced TID if one existed.
+func (t *Tree) Upsert(k []byte, tid TID) (TID, bool) {
+	inserted, old, replaced := t.insert(&t.root, k, 0, tid, true)
+	if inserted {
+		t.size++
+	}
+	return old, replaced
+}
+
+func (t *Tree) insert(r *ref, k []byte, depth int, tid TID, upsert bool) (inserted bool, old TID, replaced bool) {
+	if r.empty() {
+		*r = leafRef(tid)
+		return true, 0, false
+	}
+	if r.leaf {
+		ek := t.load(r.tid)
+		mb, differ := key.MismatchBit(ek, k)
+		if !differ {
+			if upsert {
+				old = r.tid
+				*r = leafRef(tid)
+				return false, old, true
+			}
+			return false, 0, false
+		}
+		// Lazy expansion: split at the first differing byte.
+		byteDepth := mb / 8
+		n4 := newNode4()
+		h := n4.hdr()
+		h.prefixLen = int32(byteDepth - depth)
+		for i := 0; i < storedPrefix(h); i++ {
+			h.prefix[i] = key.Byte(k, depth+i)
+		}
+		existing := *r
+		kb, eb := key.Byte(k, byteDepth), key.Byte(ek, byteDepth)
+		n4.addChild(kb, leafRef(tid))
+		n4.addChild(eb, existing)
+		*r = nodeRef(n4)
+		return true, 0, false
+	}
+
+	h := r.n.hdr()
+	if h.prefixLen > 0 {
+		p := t.prefixMismatch(*r, k, depth)
+		if p < int(h.prefixLen) {
+			// Split the compressed prefix at p.
+			n4 := newNode4()
+			nh := n4.hdr()
+			nh.prefixLen = int32(p)
+			copy(nh.prefix[:], h.prefix[:min(p, maxStoredPrefix)])
+			// Old node keeps the tail of the prefix after the split byte.
+			splitByte := t.prefixByte(*r, depth, p)
+			tail := int(h.prefixLen) - p - 1
+			t.trimPrefix(*r, depth, p+1, tail)
+			n4.addChild(splitByte, *r)
+			n4.addChild(key.Byte(k, depth+p), leafRef(tid))
+			*r = nodeRef(n4)
+			return true, 0, false
+		}
+		depth += int(h.prefixLen)
+	}
+	b := key.Byte(k, depth)
+	if c := r.n.findChild(b); c != nil {
+		return t.insert(c, k, depth+1, tid, upsert)
+	}
+	if r.n.full() {
+		*r = nodeRef(r.n.grow())
+	}
+	r.n.addChild(b, leafRef(tid))
+	return true, 0, false
+}
+
+// prefixByte returns byte i of r.n's compressed prefix (which starts at
+// depth), loading a leaf when it lies beyond the stored window.
+func (t *Tree) prefixByte(r ref, depth, i int) byte {
+	h := r.n.hdr()
+	if i < maxStoredPrefix {
+		return h.prefix[i]
+	}
+	full := t.loader(minLeaf(r), nil)
+	return key.Byte(full, depth+i)
+}
+
+// trimPrefix shortens r.n's prefix to the tail of length n starting at
+// offset off (relative to the old prefix start at depth).
+func (t *Tree) trimPrefix(r ref, depth, off, n int) {
+	h := r.n.hdr()
+	var full []byte
+	if off+min(n, maxStoredPrefix) > maxStoredPrefix {
+		full = t.loader(minLeaf(r), nil)
+	}
+	for i := 0; i < min(n, maxStoredPrefix); i++ {
+		if off+i < maxStoredPrefix {
+			h.prefix[i] = h.prefix[off+i]
+		} else {
+			h.prefix[i] = key.Byte(full, depth+off+i)
+		}
+	}
+	h.prefixLen = int32(n)
+}
+
+// Delete removes k, reporting whether it was present.
+func (t *Tree) Delete(k []byte) bool {
+	if t.root.empty() {
+		return false
+	}
+	if t.root.leaf {
+		if _, differ := key.MismatchBit(t.load(t.root.tid), k); differ {
+			return false
+		}
+		t.root = ref{}
+		t.size--
+		return true
+	}
+	if t.deleteRec(&t.root, k, 0) {
+		t.size--
+		return true
+	}
+	return false
+}
+
+func (t *Tree) deleteRec(r *ref, k []byte, depth int) bool {
+	h := r.n.hdr()
+	stored := storedPrefix(h)
+	for i := 0; i < stored; i++ {
+		if key.Byte(k, depth+i) != h.prefix[i] {
+			return false
+		}
+	}
+	depth += int(h.prefixLen)
+	b := key.Byte(k, depth)
+	c := r.n.findChild(b)
+	if c == nil {
+		return false
+	}
+	if c.leaf {
+		if _, differ := key.MismatchBit(t.load(c.tid), k); differ {
+			return false
+		}
+		r.n.removeChild(b)
+		t.compact(r, depth)
+		return true
+	}
+	if !t.deleteRec(c, k, depth+1) {
+		return false
+	}
+	return true
+}
+
+// compact restores ART's shape invariants after a removal: shrink
+// over-provisioned nodes and merge single-child nodes into their child
+// (path compression).
+func (t *Tree) compact(r *ref, depth int) {
+	h := r.n.hdr()
+	if h.numChildren == 1 {
+		var lastB byte
+		var lastC ref
+		r.n.walk(func(b byte, c *ref) bool {
+			lastB, lastC = b, *c
+			return false
+		})
+		if lastC.leaf {
+			*r = lastC
+			return
+		}
+		// Merge: child's prefix becomes parent-prefix + byte + child-prefix.
+		ch := lastC.n.hdr()
+		newLen := int(h.prefixLen) + 1 + int(ch.prefixLen)
+		var full []byte
+		if newLen > maxStoredPrefix {
+			full = t.loader(minLeaf(lastC), nil)
+		}
+		var np [maxStoredPrefix]byte
+		for i := 0; i < min(newLen, maxStoredPrefix); i++ {
+			switch {
+			case i < int(h.prefixLen) && i < maxStoredPrefix:
+				np[i] = h.prefix[i]
+			case i == int(h.prefixLen):
+				np[i] = lastB
+			case full != nil:
+				np[i] = key.Byte(full, depth-int(h.prefixLen)+i)
+			default:
+				np[i] = ch.prefix[i-int(h.prefixLen)-1]
+			}
+		}
+		ch.prefix = np
+		ch.prefixLen = int32(newLen)
+		*r = lastC
+		return
+	}
+	if s := r.n.shrink(); s != nil {
+		*r = nodeRef(s)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,269 @@
+package art
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/hotindex/hot/internal/tidstore"
+)
+
+func newTestTree() (*Tree, *tidstore.Store) {
+	s := &tidstore.Store{}
+	return New(s.Key), s
+}
+
+func TestEmpty(t *testing.T) {
+	tr, _ := newTestTree()
+	if _, ok := tr.Lookup([]byte("x")); ok {
+		t.Error("lookup in empty tree")
+	}
+	if tr.Delete([]byte("x")) {
+		t.Error("delete in empty tree")
+	}
+}
+
+func TestBasicOps(t *testing.T) {
+	tr, s := newTestTree()
+	words := []string{"romane", "romanus", "romulus", "rubens", "ruber", "rubicon", "rubicundus", "a", "ab"}
+	for i, w := range words {
+		k := append([]byte(w), 0) // terminated: prefix-free
+		if tid := s.Add(k); !tr.Insert(k, tid) {
+			t.Fatalf("insert %q failed", w)
+		}
+		if tr.Len() != i+1 {
+			t.Fatalf("len = %d", tr.Len())
+		}
+	}
+	for i, w := range words {
+		k := append([]byte(w), 0)
+		if tid, ok := tr.Lookup(k); !ok || tid != TID(i) {
+			t.Fatalf("lookup %q = (%d,%v)", w, tid, ok)
+		}
+	}
+	for _, miss := range []string{"", "r", "roman", "romanesque", "z"} {
+		if _, ok := tr.Lookup(append([]byte(miss), 0)); ok {
+			t.Errorf("phantom %q", miss)
+		}
+	}
+	if tr.Insert(append([]byte("romane"), 0), 99) {
+		t.Error("duplicate insert succeeded")
+	}
+}
+
+func TestNodeGrowthAllKinds(t *testing.T) {
+	// 256 children under one byte position exercises 4→16→48→256.
+	tr, s := newTestTree()
+	for i := 0; i < 256; i++ {
+		k := []byte{byte(i), 'x'}
+		tr.Insert(k, s.Add(k))
+	}
+	m := tr.Memory()
+	if m.Node256 != 1 || m.Nodes() != 1 {
+		t.Errorf("memory = %+v, want exactly one node256", m)
+	}
+	for i := 0; i < 256; i++ {
+		k := []byte{byte(i), 'x'}
+		if tid, ok := tr.Lookup(k); !ok || tid != TID(i) {
+			t.Fatalf("lookup %d failed", i)
+		}
+	}
+	// Deleting most children shrinks back down.
+	for i := 0; i < 250; i++ {
+		if !tr.Delete([]byte{byte(i), 'x'}) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	m = tr.Memory()
+	if m.Node256 != 0 {
+		t.Errorf("node256 not shrunk: %+v", m)
+	}
+	for i := 250; i < 256; i++ {
+		if _, ok := tr.Lookup([]byte{byte(i), 'x'}); !ok {
+			t.Fatalf("survivor %d lost", i)
+		}
+	}
+}
+
+func TestLongCommonPrefix(t *testing.T) {
+	// Prefix longer than the 8 stored bytes exercises the optimistic path
+	// and min-leaf recovery on splits.
+	tr, s := newTestTree()
+	base := "this/is/a/very/long/shared/prefix/beyond/eight/bytes/"
+	var keys []string
+	for i := 0; i < 100; i++ {
+		keys = append(keys, fmt.Sprintf("%s%03d", base, i))
+	}
+	for i, k := range keys {
+		if !tr.Insert([]byte(k), s.AddString(k)) {
+			t.Fatalf("insert %d", i)
+		}
+	}
+	for i, k := range keys {
+		if tid, ok := tr.Lookup([]byte(k)); !ok || tid != TID(i) {
+			t.Fatalf("lookup %q = (%d,%v)", k, tid, ok)
+		}
+	}
+	// A key diverging inside the long prefix splits it beyond byte 8.
+	div := base[:20] + "XXX"
+	if !tr.Insert([]byte(div), s.AddString(div)) {
+		t.Fatal("diverging insert failed")
+	}
+	if tid, ok := tr.Lookup([]byte(div)); !ok || tid != TID(len(keys)) {
+		t.Fatalf("diverging lookup = (%d,%v)", tid, ok)
+	}
+	for i, k := range keys {
+		if tid, ok := tr.Lookup([]byte(k)); !ok || tid != TID(i) {
+			t.Fatalf("post-split lookup %q failed", k)
+		}
+	}
+}
+
+func TestRandomAgainstOracle(t *testing.T) {
+	tr, s := newTestTree()
+	rng := rand.New(rand.NewSource(8))
+	oracle := map[string]TID{}
+	var keys []string
+	for step := 0; step < 30000; step++ {
+		switch {
+		case rng.Intn(3) != 0 || len(oracle) == 0:
+			k := make([]byte, 8)
+			binary.BigEndian.PutUint64(k, rng.Uint64()>>1)
+			if _, dup := oracle[string(k)]; dup {
+				continue
+			}
+			tid := s.Add(k)
+			if !tr.Insert(k, tid) {
+				t.Fatalf("insert failed at %d", step)
+			}
+			oracle[string(k)] = tid
+			keys = append(keys, string(k))
+		default:
+			k := keys[rng.Intn(len(keys))]
+			_, present := oracle[k]
+			if got := tr.Delete([]byte(k)); got != present {
+				t.Fatalf("delete = %v, want %v", got, present)
+			}
+			delete(oracle, k)
+		}
+		if tr.Len() != len(oracle) {
+			t.Fatalf("len %d != %d", tr.Len(), len(oracle))
+		}
+	}
+	for k, tid := range oracle {
+		if got, ok := tr.Lookup([]byte(k)); !ok || got != tid {
+			t.Fatalf("lookup %x = (%d,%v)", k, got, ok)
+		}
+	}
+}
+
+func TestUpsert(t *testing.T) {
+	tr, s := newTestTree()
+	k := []byte("key")
+	t1 := s.Add(k)
+	if old, rep := tr.Upsert(k, t1); rep {
+		t.Fatalf("fresh upsert replaced %d", old)
+	}
+	t2 := s.Add(k)
+	if old, rep := tr.Upsert(k, t2); !rep || old != t1 {
+		t.Fatalf("upsert = (%d,%v)", old, rep)
+	}
+	if got, _ := tr.Lookup(k); got != t2 {
+		t.Fatal("not updated")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+}
+
+func TestScan(t *testing.T) {
+	tr, s := newTestTree()
+	rng := rand.New(rand.NewSource(14))
+	seen := map[string]bool{}
+	var keys []string
+	for len(keys) < 2000 {
+		k := make([]byte, 8)
+		binary.BigEndian.PutUint64(k, rng.Uint64()>>1)
+		if !seen[string(k)] {
+			seen[string(k)] = true
+			keys = append(keys, string(k))
+		}
+	}
+	for _, k := range keys {
+		tr.Insert([]byte(k), s.AddString(k))
+	}
+	sorted := append([]string(nil), keys...)
+	sort.Strings(sorted)
+
+	var got []string
+	tr.Scan(nil, len(keys)+1, func(tid TID) bool {
+		got = append(got, string(s.Key(tid, nil)))
+		return true
+	})
+	if len(got) != len(sorted) {
+		t.Fatalf("full scan %d keys, want %d", len(got), len(sorted))
+	}
+	for i := range got {
+		if got[i] != sorted[i] {
+			t.Fatalf("scan[%d] mismatch", i)
+		}
+	}
+
+	for trial := 0; trial < 200; trial++ {
+		start := make([]byte, 8)
+		if trial%2 == 0 {
+			copy(start, sorted[rng.Intn(len(sorted))])
+		} else {
+			binary.BigEndian.PutUint64(start, rng.Uint64()>>1)
+		}
+		max := 1 + rng.Intn(150)
+		got = got[:0]
+		tr.Scan(start, max, func(tid TID) bool {
+			got = append(got, string(s.Key(tid, nil)))
+			return true
+		})
+		lb := sort.SearchStrings(sorted, string(start))
+		want := sorted[lb:]
+		if len(want) > max {
+			want = want[:max]
+		}
+		if len(got) != len(want) {
+			t.Fatalf("scan(%x,%d) = %d results, want %d", start, max, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("scan(%x)[%d] = %x, want %x", start, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestDepths(t *testing.T) {
+	tr, s := newTestTree()
+	// One node, two leaves → both at depth 1.
+	tr.Insert([]byte{0, 1}, s.Add([]byte{0, 1}))
+	tr.Insert([]byte{0, 2}, s.Add([]byte{0, 2}))
+	st := tr.Depths()
+	if st.Leaves != 2 || st.Max != 1 || st.Mean != 1 {
+		t.Errorf("depths = %+v", st)
+	}
+}
+
+func TestDenseIntegersUseBigNodes(t *testing.T) {
+	tr, s := newTestTree()
+	buf := make([]byte, 8)
+	for i := 0; i < 100000; i++ {
+		binary.BigEndian.PutUint64(buf, uint64(i))
+		tr.Insert(buf, s.Add(buf))
+	}
+	m := tr.Memory()
+	if m.Node256 == 0 {
+		t.Errorf("dense integers built no node256: %+v", m)
+	}
+	st := tr.Depths()
+	if st.Mean > 4.1 {
+		t.Errorf("dense integer mean depth %.2f too large", st.Mean)
+	}
+}

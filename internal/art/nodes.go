@@ -1,0 +1,347 @@
+package art
+
+// The four adaptive node kinds of the ART paper (Section III). Node4 and
+// Node16 keep their key bytes sorted so ordered iteration is natural (the
+// C++ version keeps Node16 sorted as well and searches it with SIMD; the
+// equivalent here is a short linear scan).
+
+// Paper node sizes (bytes) for the memory experiment: 16-byte header plus
+// the kind-specific arrays, as given in the ART paper's Table.
+const (
+	sizeNode4   = 16 + 4 + 4*8
+	sizeNode16  = 16 + 16 + 16*8
+	sizeNode48  = 16 + 256 + 48*8
+	sizeNode256 = 16 + 256*8
+)
+
+type node4 struct {
+	header
+	keys     [4]byte
+	children [4]ref
+}
+
+type node16 struct {
+	header
+	keys     [16]byte
+	children [16]ref
+}
+
+type node48 struct {
+	header
+	index    [256]byte // 0 = empty, otherwise slot+1
+	children [48]ref
+}
+
+type node256 struct {
+	header
+	children [256]ref
+}
+
+func newNode4() *node4 { return &node4{} }
+
+// ---- node4 ----
+
+func (n *node4) hdr() *header  { return &n.header }
+func (n *node4) full() bool    { return n.numChildren == 4 }
+func (n *node4) kindSize() int { return sizeNode4 }
+
+func (n *node4) findChild(b byte) *ref {
+	for i := 0; i < int(n.numChildren); i++ {
+		if n.keys[i] == b {
+			return &n.children[i]
+		}
+	}
+	return nil
+}
+
+func (n *node4) addChild(b byte, r ref) {
+	i := int(n.numChildren)
+	for i > 0 && n.keys[i-1] > b {
+		n.keys[i] = n.keys[i-1]
+		n.children[i] = n.children[i-1]
+		i--
+	}
+	n.keys[i] = b
+	n.children[i] = r
+	n.numChildren++
+}
+
+func (n *node4) removeChild(b byte) {
+	for i := 0; i < int(n.numChildren); i++ {
+		if n.keys[i] == b {
+			copy(n.keys[i:], n.keys[i+1:int(n.numChildren)])
+			copy(n.children[i:], n.children[i+1:int(n.numChildren)])
+			n.children[n.numChildren-1] = ref{}
+			n.numChildren--
+			return
+		}
+	}
+}
+
+func (n *node4) grow() node {
+	g := &node16{header: n.header}
+	copy(g.keys[:], n.keys[:n.numChildren])
+	copy(g.children[:], n.children[:n.numChildren])
+	return g
+}
+
+func (n *node4) shrink() node { return nil }
+
+func (n *node4) min() *ref { return &n.children[0] }
+
+func (n *node4) walk(fn func(byte, *ref) bool) bool {
+	for i := 0; i < int(n.numChildren); i++ {
+		if !fn(n.keys[i], &n.children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (n *node4) walkFrom(from byte, fn func(byte, *ref) bool) bool {
+	for i := 0; i < int(n.numChildren); i++ {
+		if n.keys[i] >= from && !fn(n.keys[i], &n.children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- node16 ----
+
+func (n *node16) hdr() *header  { return &n.header }
+func (n *node16) full() bool    { return n.numChildren == 16 }
+func (n *node16) kindSize() int { return sizeNode16 }
+
+func (n *node16) findChild(b byte) *ref {
+	for i := 0; i < int(n.numChildren); i++ {
+		if n.keys[i] == b {
+			return &n.children[i]
+		}
+	}
+	return nil
+}
+
+func (n *node16) addChild(b byte, r ref) {
+	i := int(n.numChildren)
+	for i > 0 && n.keys[i-1] > b {
+		n.keys[i] = n.keys[i-1]
+		n.children[i] = n.children[i-1]
+		i--
+	}
+	n.keys[i] = b
+	n.children[i] = r
+	n.numChildren++
+}
+
+func (n *node16) removeChild(b byte) {
+	for i := 0; i < int(n.numChildren); i++ {
+		if n.keys[i] == b {
+			copy(n.keys[i:], n.keys[i+1:int(n.numChildren)])
+			copy(n.children[i:], n.children[i+1:int(n.numChildren)])
+			n.children[n.numChildren-1] = ref{}
+			n.numChildren--
+			return
+		}
+	}
+}
+
+func (n *node16) grow() node {
+	g := &node48{header: n.header}
+	for i := 0; i < int(n.numChildren); i++ {
+		g.index[n.keys[i]] = byte(i + 1)
+		g.children[i] = n.children[i]
+	}
+	return g
+}
+
+func (n *node16) shrink() node {
+	if n.numChildren > 4 {
+		return nil
+	}
+	s := &node4{header: n.header}
+	copy(s.keys[:], n.keys[:n.numChildren])
+	copy(s.children[:], n.children[:n.numChildren])
+	return s
+}
+
+func (n *node16) min() *ref { return &n.children[0] }
+
+func (n *node16) walk(fn func(byte, *ref) bool) bool {
+	for i := 0; i < int(n.numChildren); i++ {
+		if !fn(n.keys[i], &n.children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (n *node16) walkFrom(from byte, fn func(byte, *ref) bool) bool {
+	for i := 0; i < int(n.numChildren); i++ {
+		if n.keys[i] >= from && !fn(n.keys[i], &n.children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- node48 ----
+
+func (n *node48) hdr() *header  { return &n.header }
+func (n *node48) full() bool    { return n.numChildren == 48 }
+func (n *node48) kindSize() int { return sizeNode48 }
+
+func (n *node48) findChild(b byte) *ref {
+	if i := n.index[b]; i != 0 {
+		return &n.children[i-1]
+	}
+	return nil
+}
+
+func (n *node48) addChild(b byte, r ref) {
+	slot := 0
+	for !n.children[slot].empty() {
+		slot++
+	}
+	n.index[b] = byte(slot + 1)
+	n.children[slot] = r
+	n.numChildren++
+}
+
+func (n *node48) removeChild(b byte) {
+	slot := int(n.index[b]) - 1
+	n.index[b] = 0
+	n.children[slot] = ref{}
+	n.numChildren--
+}
+
+func (n *node48) grow() node {
+	g := &node256{header: n.header}
+	for b := 0; b < 256; b++ {
+		if i := n.index[b]; i != 0 {
+			g.children[b] = n.children[i-1]
+		}
+	}
+	return g
+}
+
+func (n *node48) shrink() node {
+	if n.numChildren > 12 {
+		return nil
+	}
+	s := &node16{header: n.header}
+	j := 0
+	for b := 0; b < 256; b++ {
+		if i := n.index[b]; i != 0 {
+			s.keys[j] = byte(b)
+			s.children[j] = n.children[i-1]
+			j++
+		}
+	}
+	s.numChildren = uint16(j)
+	return s
+}
+
+func (n *node48) min() *ref {
+	for b := 0; b < 256; b++ {
+		if i := n.index[b]; i != 0 {
+			return &n.children[i-1]
+		}
+	}
+	return nil
+}
+
+func (n *node48) walk(fn func(byte, *ref) bool) bool {
+	for b := 0; b < 256; b++ {
+		if i := n.index[b]; i != 0 {
+			if !fn(byte(b), &n.children[i-1]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (n *node48) walkFrom(from byte, fn func(byte, *ref) bool) bool {
+	for b := int(from); b < 256; b++ {
+		if i := n.index[b]; i != 0 {
+			if !fn(byte(b), &n.children[i-1]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ---- node256 ----
+
+func (n *node256) hdr() *header  { return &n.header }
+func (n *node256) full() bool    { return false }
+func (n *node256) kindSize() int { return sizeNode256 }
+
+func (n *node256) findChild(b byte) *ref {
+	if n.children[b].empty() {
+		return nil
+	}
+	return &n.children[b]
+}
+
+func (n *node256) addChild(b byte, r ref) {
+	n.children[b] = r
+	n.numChildren++
+}
+
+func (n *node256) removeChild(b byte) {
+	n.children[b] = ref{}
+	n.numChildren--
+}
+
+func (n *node256) grow() node { panic("art: node256 cannot grow") }
+
+func (n *node256) shrink() node {
+	if n.numChildren > 40 {
+		return nil
+	}
+	s := &node48{header: n.header}
+	j := 0
+	for b := 0; b < 256; b++ {
+		if !n.children[b].empty() {
+			s.index[b] = byte(j + 1)
+			s.children[j] = n.children[b]
+			j++
+		}
+	}
+	s.numChildren = uint16(j)
+	return s
+}
+
+func (n *node256) min() *ref {
+	for b := 0; b < 256; b++ {
+		if !n.children[b].empty() {
+			return &n.children[b]
+		}
+	}
+	return nil
+}
+
+func (n *node256) walk(fn func(byte, *ref) bool) bool {
+	for b := 0; b < 256; b++ {
+		if !n.children[b].empty() {
+			if !fn(byte(b), &n.children[b]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (n *node256) walkFrom(from byte, fn func(byte, *ref) bool) bool {
+	for b := int(from); b < 256; b++ {
+		if !n.children[b].empty() {
+			if !fn(byte(b), &n.children[b]) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,170 @@
+package art
+
+import "github.com/hotindex/hot/internal/key"
+
+// Scan invokes fn for up to max entries in ascending key order starting at
+// the first key ≥ start (nil start scans from the smallest key), returning
+// the number visited; fn returning false stops early.
+func (t *Tree) Scan(start []byte, max int, fn func(TID) bool) int {
+	if max <= 0 || t.root.empty() {
+		return 0
+	}
+	count := 0
+	emit := func(tid TID) bool {
+		count++
+		if !fn(tid) {
+			return false
+		}
+		return count < max
+	}
+	t.scanRec(t.root, start, 0, len(start) > 0 || start != nil, emit)
+	return count
+}
+
+// scanRec walks r in order. When tight, the path so far matches start's
+// prefix exactly and subtrees before start must be pruned; once a byte
+// greater than start's is taken the walk is unconstrained.
+func (t *Tree) scanRec(r ref, start []byte, depth int, tight bool, emit func(TID) bool) bool {
+	if r.leaf {
+		if tight && key.Compare(t.loader(r.tid, nil), start) < 0 {
+			return true
+		}
+		return emit(r.tid)
+	}
+	h := r.n.hdr()
+	if tight && h.prefixLen > 0 {
+		// Compare the compressed prefix with start at this depth.
+		c := t.comparePrefix(r, start, depth)
+		if c < 0 {
+			return true // whole subtree before start
+		}
+		if c > 0 {
+			tight = false // whole subtree after start
+		}
+	}
+	depth += int(h.prefixLen)
+	if !tight {
+		return r.n.walk(func(_ byte, c *ref) bool {
+			return t.scanRec(*c, start, depth+1, false, emit)
+		})
+	}
+	sb := key.Byte(start, depth)
+	return r.n.walkFrom(sb, func(b byte, c *ref) bool {
+		return t.scanRec(*c, start, depth+1, b == sb, emit)
+	})
+}
+
+// comparePrefix compares r.n's compressed prefix with start[depth:...],
+// returning -1/0/+1. Bytes beyond the stored window come from a leaf.
+func (t *Tree) comparePrefix(r ref, start []byte, depth int) int {
+	h := r.n.hdr()
+	stored := storedPrefix(h)
+	for i := 0; i < stored; i++ {
+		sb := key.Byte(start, depth+i)
+		if h.prefix[i] != sb {
+			if h.prefix[i] < sb {
+				return -1
+			}
+			return 1
+		}
+	}
+	if int(h.prefixLen) <= maxStoredPrefix {
+		return 0
+	}
+	full := t.loader(minLeaf(r), nil)
+	for i := maxStoredPrefix; i < int(h.prefixLen); i++ {
+		pb, sb := key.Byte(full, depth+i), key.Byte(start, depth+i)
+		if pb != sb {
+			if pb < sb {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// DepthStats mirrors core.DepthStats for the tree-height experiment.
+type DepthStats struct {
+	Leaves int
+	Min    int
+	Max    int
+	Mean   float64
+	Hist   map[int]int
+}
+
+// Depths computes the leaf-depth distribution (a leaf directly under the
+// root node has depth 1; a single-leaf tree has one leaf at depth 1).
+func (t *Tree) Depths() DepthStats {
+	st := DepthStats{Hist: map[int]int{}}
+	if t.root.empty() {
+		return st
+	}
+	var walk func(r ref, d int)
+	walk = func(r ref, d int) {
+		if r.leaf {
+			st.Leaves++
+			st.Hist[d]++
+			if st.Min == 0 || d < st.Min {
+				st.Min = d
+			}
+			if d > st.Max {
+				st.Max = d
+			}
+			st.Mean += float64(d)
+			return
+		}
+		r.n.walk(func(_ byte, c *ref) bool {
+			walk(*c, d+1)
+			return true
+		})
+	}
+	walk(t.root, 0) // a root leaf counts as depth... see below
+	// Normalize: a pure-leaf root sits at depth 1 by convention.
+	if st.Leaves == 1 && st.Max == 0 {
+		st.Min, st.Max, st.Mean = 1, 1, 1
+		st.Hist[1] = st.Hist[0]
+		delete(st.Hist, 0)
+	}
+	if st.Leaves > 0 && st.Max > 0 {
+		st.Mean /= float64(st.Leaves)
+	}
+	return st
+}
+
+// MemoryStats reports node counts and the paper-layout byte footprint.
+type MemoryStats struct {
+	Node4, Node16, Node48, Node256 int
+	PaperBytes                     int
+}
+
+// Nodes returns the total inner node count.
+func (m MemoryStats) Nodes() int { return m.Node4 + m.Node16 + m.Node48 + m.Node256 }
+
+// Memory computes the memory statistics by walking the tree.
+func (t *Tree) Memory() MemoryStats {
+	var m MemoryStats
+	var walk func(r ref)
+	walk = func(r ref) {
+		if r.leaf || r.empty() {
+			return
+		}
+		switch r.n.(type) {
+		case *node4:
+			m.Node4++
+		case *node16:
+			m.Node16++
+		case *node48:
+			m.Node48++
+		case *node256:
+			m.Node256++
+		}
+		m.PaperBytes += r.n.kindSize()
+		r.n.walk(func(_ byte, c *ref) bool {
+			walk(*c)
+			return true
+		})
+	}
+	walk(t.root)
+	return m
+}

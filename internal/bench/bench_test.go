@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"testing"
+
+	"github.com/hotindex/hot/internal/dataset"
+	"github.com/hotindex/hot/internal/ycsb"
+)
+
+func TestAllIndexesRunAllWorkloads(t *testing.T) {
+	data := Load(dataset.Email, 2000, 500, 7)
+	if len(data.Keys) != 2500 || data.Store.Len() != 2500 {
+		t.Fatalf("data sizing wrong: %d keys", len(data.Keys))
+	}
+	for _, name := range Names() {
+		inst, err := New(name, data.Store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := data.Runner(inst, 2000, 7)
+		if res := r.Load(); res.Ops != 2000 {
+			t.Fatalf("%s: load %d ops", name, res.Ops)
+		}
+		for _, wn := range []string{"A", "C", "E"} {
+			w, _ := ycsb.ByName(wn)
+			res := r.Run(w, ycsb.Uniform, 3000)
+			if res.NotFound != 0 {
+				t.Errorf("%s/%s: %d missed reads", name, wn, res.NotFound)
+			}
+		}
+		if inst.PaperBytes() <= 0 {
+			t.Errorf("%s: no memory accounted", name)
+		}
+	}
+}
+
+func TestUnknownIndex(t *testing.T) {
+	if _, err := New("rope", nil); err == nil {
+		t.Error("no error for unknown index")
+	}
+}

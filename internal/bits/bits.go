@@ -1,0 +1,216 @@
+// Package bits provides the low-level data-parallel primitives HOT's node
+// implementation is built on: software replacements for the BMI2 PEXT/PDEP
+// instructions and SWAR (SIMD-within-a-register) comparison kernels that
+// stand in for the paper's AVX2 partial-key search.
+//
+// Partial-key arrays are byte-packed little-endian lanes (8, 16 or 32 bits
+// wide) padded to a multiple of 8 bytes, so every kernel runs on whole
+// 64-bit words loaded with a single instruction.
+//
+// All functions are allocation-free and have scalar reference
+// implementations (see reference.go) used by the property tests.
+package bits
+
+import (
+	"encoding/binary"
+	mathbits "math/bits"
+)
+
+// pextTab[m][v] packs the bits of byte v selected by mask m into the low
+// bits (LSB-first), the byte-wise building block of the software PEXT.
+var pextTab [256][256]uint8
+
+// pdepTab[m][v] scatters the low bits of v into the positions selected by
+// mask m, the byte-wise building block of the software PDEP.
+var pdepTab [256][256]uint8
+
+func init() {
+	for m := 0; m < 256; m++ {
+		for v := 0; v < 256; v++ {
+			var e, d uint8
+			out := 0
+			for bit := 0; bit < 8; bit++ {
+				if m&(1<<bit) != 0 {
+					if v&(1<<bit) != 0 {
+						e |= 1 << out
+					}
+					if v&(1<<out) != 0 {
+						d |= 1 << bit
+					}
+					out++
+				}
+			}
+			pextTab[m][v] = e
+			pdepTab[m][v] = d
+		}
+	}
+}
+
+// Pext64 extracts the bits of v selected by mask and packs them into the
+// low bits of the result, lowest mask bit first — the semantics of the x86
+// BMI2 PEXT instruction, implemented byte-wise with lookup tables.
+func Pext64(v, mask uint64) uint64 {
+	var res uint64
+	out := 0
+	for mask != 0 {
+		if mb := uint8(mask); mb != 0 {
+			res |= uint64(pextTab[mb][uint8(v)]) << out
+			out += mathbits.OnesCount8(mb)
+		}
+		mask >>= 8
+		v >>= 8
+	}
+	return res
+}
+
+// Pdep64 deposits the low bits of v into the positions selected by mask,
+// lowest mask bit first — the semantics of the x86 BMI2 PDEP instruction.
+func Pdep64(v, mask uint64) uint64 {
+	var res uint64
+	sh := 0
+	for m, in := mask, 0; m != 0; m >>= 8 {
+		if mb := uint8(m); mb != 0 {
+			res |= uint64(pdepTab[mb][uint8(v>>in)]) << sh
+			in += mathbits.OnesCount8(mb)
+		}
+		sh += 8
+	}
+	return res
+}
+
+// Pext32 is Pext64 restricted to 32-bit operands.
+func Pext32(v, mask uint32) uint32 {
+	return uint32(Pext64(uint64(v), uint64(mask)))
+}
+
+// Pdep32 is Pdep64 restricted to 32-bit operands.
+func Pdep32(v, mask uint32) uint32 {
+	return uint32(Pdep64(uint64(v), uint64(mask)))
+}
+
+const (
+	lo8  = 0x0101010101010101
+	hi8  = 0x8080808080808080
+	lo16 = 0x0001000100010001
+	hi16 = 0x8000800080008000
+	lo32 = 0x0000000100000001
+	hi32 = 0x8000000080000000
+)
+
+// zeroBytes8 returns a word with 0x80 set in every byte lane of x that is
+// exactly zero. The (x|hi)-lo form keeps every lane's subtraction local
+// (each lane is ≥ 0x80 before subtracting 1, so no borrow crosses lanes),
+// making the per-lane markers exact — unlike the shorter (x-lo)&^x&hi
+// trick, which is only reliable up to the first zero lane.
+func zeroBytes8(x uint64) uint64 {
+	return hi8 & ^(x | ((x | hi8) - lo8))
+}
+
+func zeroLanes16(x uint64) uint64 {
+	return hi16 & ^(x | ((x | hi16) - lo16))
+}
+
+func zeroLanes32(x uint64) uint64 {
+	return hi32 & ^(x | ((x | hi32) - lo32))
+}
+
+// movemask8 gathers the per-lane 0x80 markers of z into one bit per lane
+// (lane 0 → bit 0), the SWAR analogue of _mm256_movemask_epi8. The magic
+// multiplier places lane j's marker at bit 56+j; all cross terms land at
+// pairwise-distinct lower positions, so no carries reach the result window.
+func movemask8(z uint64) uint32 {
+	return uint32(((z >> 7) * 0x0102040810204080) >> 56)
+}
+
+// movemask16 gathers the four per-lane 0x8000 markers (lane 0 → bit 0).
+func movemask16(z uint64) uint32 {
+	return uint32(((z>>15)*0x0001000200040008)>>48) & 0xF
+}
+
+// movemask32 gathers the two per-lane 0x80000000 markers (lane 0 → bit 0).
+func movemask32(z uint64) uint32 {
+	return uint32(z>>31)&1 | uint32(z>>62)&2
+}
+
+// Comply8 computes the HOT "comply" mask over n 8-bit sparse partial keys
+// packed in pks (padded to a multiple of 8 bytes): bit i of the result is
+// set iff pks[i]&probe == pks[i]. This is the SWAR stand-in for the
+// paper's searchPartialKeys8 (AVX2 compare + movemask).
+func Comply8(pks []byte, n int, probe uint8) uint32 {
+	probeW := uint64(probe) * lo8
+	var mask uint32
+	for i := 0; i < n; i += 8 {
+		w := binary.LittleEndian.Uint64(pks[i:])
+		mask |= movemask8(zeroBytes8((w&probeW)^w)) << i
+	}
+	return mask & lowMask(n)
+}
+
+// Comply16 is Comply8 for 16-bit partial keys (lane i at pks[2i:2i+2],
+// little-endian).
+func Comply16(pks []byte, n int, probe uint16) uint32 {
+	probeW := uint64(probe) * lo16
+	var mask uint32
+	for i := 0; i < n; i += 4 {
+		w := binary.LittleEndian.Uint64(pks[2*i:])
+		mask |= movemask16(zeroLanes16((w&probeW)^w)) << i
+	}
+	return mask & lowMask(n)
+}
+
+// Comply32 is Comply8 for 32-bit partial keys.
+func Comply32(pks []byte, n int, probe uint32) uint32 {
+	probeW := uint64(probe) * lo32
+	var mask uint32
+	for i := 0; i < n; i += 2 {
+		w := binary.LittleEndian.Uint64(pks[4*i:])
+		mask |= movemask32(zeroLanes32((w&probeW)^w)) << i
+	}
+	return mask & lowMask(n)
+}
+
+// PrefixMatch8 returns the mask of entries whose 8-bit partial key,
+// restricted to prefixMask, equals prefix — used to find the affected
+// entries of an insert (the subtree below the mismatching BiNode).
+func PrefixMatch8(pks []byte, n int, prefix, prefixMask uint8) uint32 {
+	maskW := uint64(prefixMask) * lo8
+	prefW := uint64(prefix) * lo8
+	var mask uint32
+	for i := 0; i < n; i += 8 {
+		w := binary.LittleEndian.Uint64(pks[i:])
+		mask |= movemask8(zeroBytes8((w&maskW)^prefW)) << i
+	}
+	return mask & lowMask(n)
+}
+
+// PrefixMatch16 is PrefixMatch8 for 16-bit partial keys.
+func PrefixMatch16(pks []byte, n int, prefix, prefixMask uint16) uint32 {
+	maskW := uint64(prefixMask) * lo16
+	prefW := uint64(prefix) * lo16
+	var mask uint32
+	for i := 0; i < n; i += 4 {
+		w := binary.LittleEndian.Uint64(pks[2*i:])
+		mask |= movemask16(zeroLanes16((w&maskW)^prefW)) << i
+	}
+	return mask & lowMask(n)
+}
+
+// PrefixMatch32 is PrefixMatch8 for 32-bit partial keys.
+func PrefixMatch32(pks []byte, n int, prefix, prefixMask uint32) uint32 {
+	maskW := uint64(prefixMask) * lo32
+	prefW := uint64(prefix) * lo32
+	var mask uint32
+	for i := 0; i < n; i += 2 {
+		w := binary.LittleEndian.Uint64(pks[4*i:])
+		mask |= movemask32(zeroLanes32((w&maskW)^prefW)) << i
+	}
+	return mask & lowMask(n)
+}
+
+// lowMask returns a mask with the low n bits set (n ≤ 32).
+func lowMask(n int) uint32 {
+	if n >= 32 {
+		return ^uint32(0)
+	}
+	return 1<<uint(n) - 1
+}

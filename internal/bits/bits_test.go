@@ -1,0 +1,283 @@
+package bits
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPextBasic(t *testing.T) {
+	cases := []struct {
+		v, mask, want uint64
+	}{
+		{0, 0, 0},
+		{0xFFFFFFFFFFFFFFFF, 0, 0},
+		{0xFFFFFFFFFFFFFFFF, 0xFFFFFFFFFFFFFFFF, 0xFFFFFFFFFFFFFFFF},
+		{0b10110010, 0b11110000, 0b1011},
+		{0b10110010, 0b00001111, 0b0010},
+		{0x8000000000000001, 0x8000000000000001, 0b11},
+		{0x8000000000000000, 0x8000000000000001, 0b10},
+	}
+	for _, c := range cases {
+		if got := Pext64(c.v, c.mask); got != c.want {
+			t.Errorf("Pext64(%#x, %#x) = %#x, want %#x", c.v, c.mask, got, c.want)
+		}
+	}
+}
+
+func TestPdepBasic(t *testing.T) {
+	cases := []struct {
+		v, mask, want uint64
+	}{
+		{0, 0, 0},
+		{0b1011, 0b11110000, 0b10110000},
+		{0b11, 0x8000000000000001, 0x8000000000000001},
+		{0b10, 0x8000000000000001, 0x8000000000000000},
+	}
+	for _, c := range cases {
+		if got := Pdep64(c.v, c.mask); got != c.want {
+			t.Errorf("Pdep64(%#x, %#x) = %#x, want %#x", c.v, c.mask, got, c.want)
+		}
+	}
+}
+
+func TestPextMatchesReference(t *testing.T) {
+	f := func(v, mask uint64) bool { return Pext64(v, mask) == Pext64Reference(v, mask) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPdepMatchesReference(t *testing.T) {
+	f := func(v, mask uint64) bool { return Pdep64(v, mask) == Pdep64Reference(v, mask) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPextPdepRoundTrip(t *testing.T) {
+	// pdep(pext(v, m), m) recovers exactly the masked bits of v.
+	f := func(v, mask uint64) bool { return Pdep64(Pext64(v, mask), mask) == v&mask }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// pext(pdep(v, m), m) recovers the low popcount(m) bits of v.
+	g := func(v, mask uint64) bool {
+		n := 0
+		for m := mask; m != 0; m &= m - 1 {
+			n++
+		}
+		var low uint64
+		if n >= 64 {
+			low = ^uint64(0)
+		} else {
+			low = 1<<uint(n) - 1
+		}
+		return Pext64(Pdep64(v, mask), mask) == v&low
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// pack builds a padded lane array from values.
+func pack8(vals []uint8) []byte {
+	pks := make([]byte, (len(vals)+7)/8*8)
+	copy(pks, vals)
+	return pks
+}
+
+func pack16(vals []uint16) []byte {
+	pks := make([]byte, (2*len(vals)+7)/8*8)
+	for i, v := range vals {
+		binary.LittleEndian.PutUint16(pks[2*i:], v)
+	}
+	return pks
+}
+
+func pack32(vals []uint32) []byte {
+	pks := make([]byte, (4*len(vals)+7)/8*8)
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(pks[4*i:], v)
+	}
+	return pks
+}
+
+func TestComply8Basic(t *testing.T) {
+	pks := pack8([]uint8{0b0000, 0b0100, 0b0110, 0b1000})
+	// probe 0b1100: complies with 0000, 0100, 1000 (not 0110).
+	if got, want := Comply8(pks, 4, 0b1100), uint32(0b1011); got != want {
+		t.Errorf("Comply8 = %#b, want %#b", got, want)
+	}
+	// Entry with pk 0 always complies.
+	if got := Comply8(pks, 4, 0); got&1 == 0 {
+		t.Errorf("pk=0 must always comply, mask %#b", got)
+	}
+}
+
+func TestComplyLengths(t *testing.T) {
+	// Every length 0..32 must be handled (padding lanes must not leak in).
+	for n := 0; n <= 32; n++ {
+		vals := make([]uint8, n)
+		for i := range vals {
+			vals[i] = 0xFF
+		}
+		pks := pack8(vals)
+		if got, want := Comply8(pks, n, 0xFF), lowMask(n); got != want {
+			t.Errorf("n=%d: got %#x want %#x", n, got, want)
+		}
+		if got := Comply8(pks, n, 0x00); got != 0 {
+			t.Errorf("n=%d: non-complying lanes leaked: %#x", n, got)
+		}
+	}
+}
+
+func TestComply8MatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 2000; iter++ {
+		n := rng.Intn(33)
+		vals := make([]uint8, n)
+		for i := range vals {
+			vals[i] = uint8(rng.Uint32())
+		}
+		pks := pack8(vals)
+		probe := uint8(rng.Uint32())
+		if got, want := Comply8(pks, n, probe), Comply8Scalar(pks, n, probe); got != want {
+			t.Fatalf("n=%d pks=%v probe=%#x: got %#x want %#x", n, vals, probe, got, want)
+		}
+	}
+}
+
+func TestComply16MatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for iter := 0; iter < 2000; iter++ {
+		n := rng.Intn(33)
+		vals := make([]uint16, n)
+		for i := range vals {
+			vals[i] = uint16(rng.Uint32())
+		}
+		pks := pack16(vals)
+		probe := uint16(rng.Uint32())
+		if got, want := Comply16(pks, n, probe), Comply16Scalar(pks, n, probe); got != want {
+			t.Fatalf("n=%d pks=%v probe=%#x: got %#x want %#x", n, vals, probe, got, want)
+		}
+	}
+}
+
+func TestComply32MatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 2000; iter++ {
+		n := rng.Intn(33)
+		vals := make([]uint32, n)
+		for i := range vals {
+			vals[i] = rng.Uint32()
+		}
+		pks := pack32(vals)
+		probe := rng.Uint32()
+		if got, want := Comply32(pks, n, probe), Comply32Scalar(pks, n, probe); got != want {
+			t.Fatalf("n=%d probe=%#x: got %#x want %#x", n, probe, got, want)
+		}
+	}
+}
+
+func TestPrefixMatchMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for iter := 0; iter < 2000; iter++ {
+		n := rng.Intn(33)
+		vals8 := make([]uint8, n)
+		vals16 := make([]uint16, n)
+		vals32 := make([]uint32, n)
+		for i := range vals8 {
+			vals8[i] = uint8(rng.Uint32())
+			vals16[i] = uint16(rng.Uint32())
+			vals32[i] = rng.Uint32()
+		}
+		pm8 := uint8(rng.Uint32())
+		p8 := uint8(rng.Uint32()) & pm8
+		if got, want := PrefixMatch8(pack8(vals8), n, p8, pm8), PrefixMatch8Scalar(pack8(vals8), n, p8, pm8); got != want {
+			t.Fatalf("8-bit n=%d: got %#x want %#x", n, got, want)
+		}
+		pm16 := uint16(rng.Uint32())
+		p16 := uint16(rng.Uint32()) & pm16
+		if got, want := PrefixMatch16(pack16(vals16), n, p16, pm16), PrefixMatch16Scalar(pack16(vals16), n, p16, pm16); got != want {
+			t.Fatalf("16-bit n=%d: got %#x want %#x", n, got, want)
+		}
+		pm32 := rng.Uint32()
+		p32 := rng.Uint32() & pm32
+		if got, want := PrefixMatch32(pack32(vals32), n, p32, pm32), PrefixMatch32Scalar(pack32(vals32), n, p32, pm32); got != want {
+			t.Fatalf("32-bit n=%d: got %#x want %#x", n, got, want)
+		}
+	}
+}
+
+func TestMovemasks(t *testing.T) {
+	for lane := 0; lane < 8; lane++ {
+		if got := movemask8(uint64(0x80) << (8 * lane)); got != 1<<lane {
+			t.Errorf("movemask8 lane %d: got %#x", lane, got)
+		}
+	}
+	for lane := 0; lane < 4; lane++ {
+		if got := movemask16(uint64(0x8000) << (16 * lane)); got != 1<<lane {
+			t.Errorf("movemask16 lane %d: got %#x", lane, got)
+		}
+	}
+	for lane := 0; lane < 2; lane++ {
+		if got := movemask32(uint64(0x80000000) << (32 * lane)); got != 1<<lane {
+			t.Errorf("movemask32 lane %d: got %#x", lane, got)
+		}
+	}
+	if movemask8(hi8) != 0xFF || movemask16(hi16) != 0xF || movemask32(hi32) != 0x3 {
+		t.Error("all-lanes movemask wrong")
+	}
+}
+
+func BenchmarkComply8SWAR(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	vals := make([]uint8, 32)
+	for i := range vals {
+		vals[i] = uint8(rng.Uint32())
+	}
+	pks := pack8(vals)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Comply8(pks, 32, uint8(i))
+	}
+}
+
+func BenchmarkComply8Scalar(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	vals := make([]uint8, 32)
+	for i := range vals {
+		vals[i] = uint8(rng.Uint32())
+	}
+	pks := pack8(vals)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Comply8Scalar(pks, 32, uint8(i))
+	}
+}
+
+func BenchmarkComply16SWAR(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	vals := make([]uint16, 32)
+	for i := range vals {
+		vals[i] = uint16(rng.Uint32())
+	}
+	pks := pack16(vals)
+	for i := 0; i < b.N; i++ {
+		_ = Comply16(pks, 32, uint16(i))
+	}
+}
+
+func BenchmarkPext64(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = Pext64(uint64(i)*0x9E3779B97F4A7C15, 0x00FF00FF00FF00FF)
+	}
+}
+
+func BenchmarkPext64Reference(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = Pext64Reference(uint64(i)*0x9E3779B97F4A7C15, 0x00FF00FF00FF00FF)
+	}
+}

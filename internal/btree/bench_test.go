@@ -1,0 +1,46 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/hotindex/hot/internal/dataset"
+	"github.com/hotindex/hot/internal/tidstore"
+)
+
+func BenchmarkLookup(b *testing.B) {
+	for _, kind := range []dataset.Kind{dataset.Integer, dataset.URL} {
+		b.Run(kind.String(), func(b *testing.B) {
+			keys := dataset.Generate(kind, 200000, 1)
+			s := &tidstore.Store{}
+			tr := New(s.Key)
+			for _, k := range keys {
+				tr.Insert(k, s.Add(k))
+			}
+			rng := rand.New(rand.NewSource(2))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.Lookup(keys[rng.Intn(len(keys))])
+			}
+		})
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	keys := dataset.Generate(dataset.Integer, 200000, 1)
+	s := &tidstore.Store{}
+	tids := make([]TID, len(keys))
+	for i, k := range keys {
+		tids[i] = s.Add(k)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var tr *Tree
+	for i := 0; i < b.N; i++ {
+		j := i % len(keys)
+		if j == 0 {
+			tr = New(s.Key)
+		}
+		tr.Insert(keys[j], tids[j])
+	}
+}

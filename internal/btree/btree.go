@@ -1,0 +1,404 @@
+// Package btree implements a cache-optimized main-memory B+-tree modeled
+// after the STX B+-tree the paper uses as its comparison-based baseline:
+// 256-byte nodes holding 16 slots of 8 bytes each (fanout 16), values in
+// leaves, leaves chained for range scans.
+//
+// Following the paper's setup, slots hold 8-byte tuple identifiers; keys
+// longer than 8 bytes are resolved through the TID (which is why the
+// paper's B-tree needs the same memory for every data set), while fixed
+// size keys up to 8 bytes are embedded in the TID directly by using an
+// order-preserving encoding. Both cases are handled uniformly by comparing
+// through the loader.
+//
+// Deletion removes slots without rebalancing (empty nodes are unlinked);
+// like PostgreSQL's lazy B-tree deletion this keeps the structure correct
+// at a small space cost, and none of the paper's workloads delete.
+package btree
+
+import (
+	"github.com/hotindex/hot/internal/key"
+)
+
+// TID is a tuple identifier.
+type TID = uint64
+
+// Loader resolves the key bytes stored under a TID (see core.Loader).
+type Loader func(tid TID, buf []byte) []byte
+
+// fanout is the paper's node fanout: 256-byte nodes / 16 bytes per slot.
+const fanout = 16
+
+// nodeBytes is the paper's node size for memory accounting.
+const nodeBytes = 256
+
+type bnode interface{ isNode() }
+
+type inner struct {
+	n        int // number of children (keys used: n-1)
+	keys     [fanout - 1]TID
+	children [fanout]bnode
+}
+
+type leaf struct {
+	n    int
+	tids [fanout]TID
+	next *leaf
+}
+
+func (*inner) isNode() {}
+func (*leaf) isNode()  {}
+
+// Tree is a single-threaded B+-tree.
+type Tree struct {
+	loader Loader
+	root   bnode
+	first  *leaf // head of the leaf chain
+	size   int
+	buf    []byte
+	buf2   []byte
+}
+
+// New returns an empty B+-tree resolving keys through loader.
+func New(loader Loader) *Tree {
+	return &Tree{loader: loader, buf: make([]byte, 0, 64), buf2: make([]byte, 0, 64)}
+}
+
+// Len returns the number of stored keys.
+func (t *Tree) Len() int { return t.size }
+
+// cmpKeyTID compares search key k with the key stored under tid.
+func (t *Tree) cmpKeyTID(k []byte, tid TID) int {
+	return key.Compare(k, t.loader(tid, t.buf[:0]))
+}
+
+// cmpTIDs compares the keys stored under two TIDs.
+func (t *Tree) cmpTIDs(a, b TID) int {
+	return key.Compare(t.loader(a, t.buf[:0]), t.loader(b, t.buf2[:0]))
+}
+
+// lowerBoundLeaf returns the index of the first slot in l whose key is ≥ k.
+func (t *Tree) lowerBoundLeaf(l *leaf, k []byte) int {
+	lo, hi := 0, l.n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.cmpKeyTID(k, l.tids[mid]) > 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// childIndex returns which child of in to descend into for k.
+func (t *Tree) childIndex(in *inner, k []byte) int {
+	lo, hi := 0, in.n-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.cmpKeyTID(k, in.keys[mid]) >= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// findLeaf descends to the leaf that would contain k.
+func (t *Tree) findLeaf(k []byte) *leaf {
+	n := t.root
+	for {
+		switch v := n.(type) {
+		case *inner:
+			n = v.children[t.childIndex(v, k)]
+		case *leaf:
+			return v
+		}
+	}
+}
+
+// Lookup returns the TID stored under k.
+func (t *Tree) Lookup(k []byte) (TID, bool) {
+	if t.root == nil {
+		return 0, false
+	}
+	l := t.findLeaf(k)
+	i := t.lowerBoundLeaf(l, k)
+	if i < l.n && t.cmpKeyTID(k, l.tids[i]) == 0 {
+		return l.tids[i], true
+	}
+	return 0, false
+}
+
+// Insert stores tid under k, reporting false if the key already exists.
+func (t *Tree) Insert(k []byte, tid TID) bool {
+	inserted, _, _ := t.write(k, tid, false)
+	return inserted
+}
+
+// Upsert stores tid under k, returning a replaced TID if one existed.
+func (t *Tree) Upsert(k []byte, tid TID) (TID, bool) {
+	_, old, replaced := t.write(k, tid, true)
+	return old, replaced
+}
+
+func (t *Tree) write(k []byte, tid TID, upsert bool) (inserted bool, old TID, replaced bool) {
+	if t.root == nil {
+		l := &leaf{n: 1}
+		l.tids[0] = tid
+		t.root = l
+		t.first = l
+		t.size = 1
+		return true, 0, false
+	}
+	split, sepKey, ins, old, replaced := t.insertRec(t.root, k, tid, upsert)
+	if split != nil {
+		r := &inner{n: 2}
+		r.keys[0] = sepKey
+		r.children[0] = t.root
+		r.children[1] = split
+		t.root = r
+	}
+	if ins {
+		t.size++
+	}
+	return ins, old, replaced
+}
+
+// insertRec inserts into n, returning a new right sibling and its separator
+// key when n split.
+func (t *Tree) insertRec(n bnode, k []byte, tid TID, upsert bool) (split bnode, sepKey TID, inserted bool, old TID, replaced bool) {
+	switch v := n.(type) {
+	case *leaf:
+		i := t.lowerBoundLeaf(v, k)
+		if i < v.n && t.cmpKeyTID(k, v.tids[i]) == 0 {
+			if upsert {
+				old = v.tids[i]
+				v.tids[i] = tid
+				return nil, 0, false, old, true
+			}
+			return nil, 0, false, 0, false
+		}
+		if v.n < fanout {
+			copy(v.tids[i+1:v.n+1], v.tids[i:v.n])
+			v.tids[i] = tid
+			v.n++
+			return nil, 0, true, 0, false
+		}
+		// Split the leaf in half, then insert into the proper half.
+		right := &leaf{n: fanout / 2, next: v.next}
+		copy(right.tids[:], v.tids[fanout/2:])
+		v.n = fanout / 2
+		v.next = right
+		if i <= v.n {
+			copy(v.tids[i+1:v.n+1], v.tids[i:v.n])
+			v.tids[i] = tid
+			v.n++
+		} else {
+			j := i - fanout/2
+			copy(right.tids[j+1:right.n+1], right.tids[j:right.n])
+			right.tids[j] = tid
+			right.n++
+		}
+		return right, right.tids[0], true, 0, false
+	case *inner:
+		ci := t.childIndex(v, k)
+		csplit, csep, ins, old, replaced := t.insertRec(v.children[ci], k, tid, upsert)
+		if csplit == nil {
+			return nil, 0, ins, old, replaced
+		}
+		if v.n < fanout {
+			copy(v.keys[ci+1:v.n], v.keys[ci:v.n-1])
+			copy(v.children[ci+2:v.n+1], v.children[ci+1:v.n])
+			v.keys[ci] = csep
+			v.children[ci+1] = csplit
+			v.n++
+			return nil, 0, ins, old, replaced
+		}
+		// Split the inner node: children [0,h) stay, [h, fanout) move right;
+		// keys[h-1] moves up as the separator.
+		const h = fanout / 2
+		right := &inner{n: fanout - h}
+		up := v.keys[h-1]
+		copy(right.keys[:], v.keys[h:])
+		copy(right.children[:], v.children[h:])
+		for j := h; j < fanout; j++ {
+			v.children[j] = nil
+		}
+		v.n = h
+		// Insert the new child into the correct half.
+		if ci < h {
+			copy(v.keys[ci+1:v.n], v.keys[ci:v.n-1])
+			copy(v.children[ci+2:v.n+1], v.children[ci+1:v.n])
+			v.keys[ci] = csep
+			v.children[ci+1] = csplit
+			v.n++
+		} else {
+			j := ci - h
+			copy(right.keys[j+1:right.n], right.keys[j:right.n-1])
+			copy(right.children[j+2:right.n+1], right.children[j+1:right.n])
+			right.keys[j] = csep
+			right.children[j+1] = csplit
+			right.n++
+		}
+		return right, up, ins, old, replaced
+	}
+	panic("btree: unknown node type")
+}
+
+// Delete removes k, reporting whether it was present. Underfull nodes are
+// not rebalanced; emptied nodes are unlinked.
+func (t *Tree) Delete(k []byte) bool {
+	if t.root == nil {
+		return false
+	}
+	deleted, _ := t.deleteRec(t.root, k)
+	if !deleted {
+		return false
+	}
+	t.size--
+	// Collapse an empty or single-child root.
+	for {
+		switch v := t.root.(type) {
+		case *inner:
+			if v.n == 1 {
+				t.root = v.children[0]
+				continue
+			}
+		case *leaf:
+			if v.n == 0 {
+				t.root = nil
+				t.first = nil
+			}
+		}
+		return true
+	}
+}
+
+func (t *Tree) deleteRec(n bnode, k []byte) (deleted, nowEmpty bool) {
+	switch v := n.(type) {
+	case *leaf:
+		i := t.lowerBoundLeaf(v, k)
+		if i >= v.n || t.cmpKeyTID(k, v.tids[i]) != 0 {
+			return false, false
+		}
+		copy(v.tids[i:v.n-1], v.tids[i+1:v.n])
+		v.n--
+		return true, v.n == 0
+	case *inner:
+		ci := t.childIndex(v, k)
+		deleted, empty := t.deleteRec(v.children[ci], k)
+		if !deleted {
+			return false, false
+		}
+		if empty {
+			t.unlinkChild(v, ci)
+		}
+		return true, v.n == 0
+	}
+	panic("btree: unknown node type")
+}
+
+// unlinkChild removes child ci from v, fixing the leaf chain when the child
+// is an emptied leaf.
+func (t *Tree) unlinkChild(v *inner, ci int) {
+	if l, ok := v.children[ci].(*leaf); ok {
+		if t.first == l {
+			t.first = l.next
+		} else {
+			p := t.first
+			for p != nil && p.next != l {
+				p = p.next
+			}
+			if p != nil {
+				p.next = l.next
+			}
+		}
+	}
+	if v.n == 1 {
+		v.children[0] = nil
+		v.n = 0
+		return
+	}
+	copy(v.children[ci:v.n-1], v.children[ci+1:v.n])
+	if ci == 0 {
+		copy(v.keys[0:v.n-2], v.keys[1:v.n-1])
+	} else {
+		copy(v.keys[ci-1:v.n-2], v.keys[ci:v.n-1])
+	}
+	v.children[v.n-1] = nil
+	v.n--
+}
+
+// Scan invokes fn for up to max entries in ascending key order starting at
+// the first key ≥ start, using the leaf chain.
+func (t *Tree) Scan(start []byte, max int, fn func(TID) bool) int {
+	if t.root == nil || max <= 0 {
+		return 0
+	}
+	var l *leaf
+	i := 0
+	if start == nil {
+		l = t.first
+	} else {
+		l = t.findLeaf(start)
+		i = t.lowerBoundLeaf(l, start)
+	}
+	count := 0
+	for l != nil {
+		for ; i < l.n; i++ {
+			count++
+			if !fn(l.tids[i]) || count >= max {
+				return count
+			}
+		}
+		l = l.next
+		i = 0
+	}
+	return count
+}
+
+// MemoryStats reports node counts and the paper-layout footprint (256-byte
+// nodes as in the STX B+-tree configuration the paper describes).
+type MemoryStats struct {
+	Inner, Leaves int
+	PaperBytes    int
+}
+
+// Memory computes memory statistics by walking the tree.
+func (t *Tree) Memory() MemoryStats {
+	var m MemoryStats
+	var walk func(n bnode)
+	walk = func(n bnode) {
+		switch v := n.(type) {
+		case *inner:
+			m.Inner++
+			m.PaperBytes += nodeBytes
+			for i := 0; i < v.n; i++ {
+				walk(v.children[i])
+			}
+		case *leaf:
+			m.Leaves++
+			m.PaperBytes += nodeBytes
+		}
+	}
+	if t.root != nil {
+		walk(t.root)
+	}
+	return m
+}
+
+// Height returns the number of levels (1 for a single leaf).
+func (t *Tree) Height() int {
+	h := 0
+	n := t.root
+	for n != nil {
+		h++
+		if v, ok := n.(*inner); ok {
+			n = v.children[0]
+			continue
+		}
+		break
+	}
+	return h
+}

@@ -1,0 +1,269 @@
+package btree
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/hotindex/hot/internal/tidstore"
+)
+
+func newTestTree() (*Tree, *tidstore.Store) {
+	s := &tidstore.Store{}
+	return New(s.Key), s
+}
+
+func TestEmpty(t *testing.T) {
+	tr, _ := newTestTree()
+	if _, ok := tr.Lookup([]byte("x")); ok || tr.Delete([]byte("x")) || tr.Len() != 0 {
+		t.Error("empty tree misbehaves")
+	}
+}
+
+func TestInsertLookupSplits(t *testing.T) {
+	tr, s := newTestTree()
+	// Enough sequential keys to force multiple levels of splits.
+	const n = 5000
+	buf := make([]byte, 8)
+	for i := 0; i < n; i++ {
+		binary.BigEndian.PutUint64(buf, uint64(i))
+		if !tr.Insert(buf, s.Add(buf)) {
+			t.Fatalf("insert %d failed", i)
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	if h := tr.Height(); h < 3 || h > 6 {
+		t.Errorf("height = %d for %d sequential keys (fanout 16)", h, n)
+	}
+	for i := 0; i < n; i++ {
+		binary.BigEndian.PutUint64(buf, uint64(i))
+		if tid, ok := tr.Lookup(buf); !ok || tid != TID(i) {
+			t.Fatalf("lookup %d = (%d,%v)", i, tid, ok)
+		}
+	}
+	binary.BigEndian.PutUint64(buf, uint64(n+7))
+	if _, ok := tr.Lookup(buf); ok {
+		t.Error("phantom key")
+	}
+}
+
+func TestReverseAndRandomOrders(t *testing.T) {
+	for _, order := range []string{"reverse", "random"} {
+		tr, s := newTestTree()
+		const n = 3000
+		perm := make([]int, n)
+		for i := range perm {
+			perm[i] = n - 1 - i
+		}
+		if order == "random" {
+			perm = rand.New(rand.NewSource(2)).Perm(n)
+		}
+		buf := make([]byte, 8)
+		tids := make([]TID, n)
+		for _, i := range perm {
+			binary.BigEndian.PutUint64(buf, uint64(i))
+			tids[i] = s.Add(buf)
+			if !tr.Insert(buf, tids[i]) {
+				t.Fatalf("%s: insert %d failed", order, i)
+			}
+		}
+		for i := 0; i < n; i++ {
+			binary.BigEndian.PutUint64(buf, uint64(i))
+			if tid, ok := tr.Lookup(buf); !ok || tid != tids[i] {
+				t.Fatalf("%s: lookup %d failed", order, i)
+			}
+		}
+	}
+}
+
+func TestDuplicateAndUpsert(t *testing.T) {
+	tr, s := newTestTree()
+	k := []byte("dup")
+	t1 := s.Add(k)
+	if !tr.Insert(k, t1) || tr.Insert(k, t1) {
+		t.Fatal("duplicate handling broken")
+	}
+	t2 := s.Add(k)
+	if old, rep := tr.Upsert(k, t2); !rep || old != t1 {
+		t.Fatalf("upsert = (%d,%v)", old, rep)
+	}
+	if got, _ := tr.Lookup(k); got != t2 {
+		t.Fatal("upsert did not update")
+	}
+}
+
+func TestStringKeysViaLoader(t *testing.T) {
+	// Keys longer than 8 bytes are only reachable through the loader,
+	// matching the paper's "resolve keys through tids" setup.
+	tr, s := newTestTree()
+	words := []string{"zebra", "aardvark", "yak", "bison", "capybara", "wolverine", "dingo"}
+	for i, w := range words {
+		if !tr.Insert([]byte(w), s.AddString(w)) {
+			t.Fatalf("insert %d", i)
+		}
+	}
+	for i, w := range words {
+		if tid, ok := tr.Lookup([]byte(w)); !ok || tid != TID(i) {
+			t.Fatalf("lookup %q", w)
+		}
+	}
+	var got []string
+	tr.Scan(nil, 100, func(tid TID) bool {
+		got = append(got, string(s.Key(tid, nil)))
+		return true
+	})
+	want := append([]string(nil), words...)
+	sort.Strings(want)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scan order: %v", got)
+		}
+	}
+}
+
+func TestScanBounds(t *testing.T) {
+	tr, s := newTestTree()
+	rng := rand.New(rand.NewSource(4))
+	seen := map[string]bool{}
+	var keys []string
+	for len(keys) < 2500 {
+		k := make([]byte, 8)
+		binary.BigEndian.PutUint64(k, rng.Uint64()>>1)
+		if !seen[string(k)] {
+			seen[string(k)] = true
+			keys = append(keys, string(k))
+		}
+	}
+	for _, k := range keys {
+		tr.Insert([]byte(k), s.AddString(k))
+	}
+	sorted := append([]string(nil), keys...)
+	sort.Strings(sorted)
+	for trial := 0; trial < 200; trial++ {
+		start := make([]byte, 8)
+		if trial%2 == 0 {
+			copy(start, sorted[rng.Intn(len(sorted))])
+		} else {
+			binary.BigEndian.PutUint64(start, rng.Uint64()>>1)
+		}
+		max := 1 + rng.Intn(120)
+		var got []string
+		tr.Scan(start, max, func(tid TID) bool {
+			got = append(got, string(s.Key(tid, nil)))
+			return true
+		})
+		lb := sort.SearchStrings(sorted, string(start))
+		want := sorted[lb:]
+		if len(want) > max {
+			want = want[:max]
+		}
+		if len(got) != len(want) {
+			t.Fatalf("scan lengths %d vs %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("scan[%d] mismatch", i)
+			}
+		}
+	}
+}
+
+func TestDeleteOracle(t *testing.T) {
+	tr, s := newTestTree()
+	rng := rand.New(rand.NewSource(6))
+	oracle := map[string]TID{}
+	var keys []string
+	for step := 0; step < 20000; step++ {
+		if rng.Intn(3) != 0 || len(oracle) == 0 {
+			k := make([]byte, 8)
+			binary.BigEndian.PutUint64(k, rng.Uint64()>>1)
+			if _, dup := oracle[string(k)]; dup {
+				continue
+			}
+			tid := s.Add(k)
+			tr.Insert(k, tid)
+			oracle[string(k)] = tid
+			keys = append(keys, string(k))
+		} else {
+			k := keys[rng.Intn(len(keys))]
+			_, present := oracle[k]
+			if got := tr.Delete([]byte(k)); got != present {
+				t.Fatalf("delete %x = %v want %v", k, got, present)
+			}
+			delete(oracle, k)
+		}
+		if tr.Len() != len(oracle) {
+			t.Fatalf("len %d != %d", tr.Len(), len(oracle))
+		}
+	}
+	for k, tid := range oracle {
+		if got, ok := tr.Lookup([]byte(k)); !ok || got != tid {
+			t.Fatalf("lookup %x failed", k)
+		}
+	}
+	// Scan after deletions must still be ordered and complete.
+	var got []string
+	tr.Scan(nil, len(oracle)+10, func(tid TID) bool {
+		got = append(got, string(s.Key(tid, nil)))
+		return true
+	})
+	if len(got) != len(oracle) {
+		t.Fatalf("scan %d entries, oracle %d", len(got), len(oracle))
+	}
+	if !sort.StringsAreSorted(got) {
+		t.Fatal("scan out of order after deletes")
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	tr, s := newTestTree()
+	const n = 2000
+	buf := make([]byte, 8)
+	for i := 0; i < n; i++ {
+		binary.BigEndian.PutUint64(buf, uint64(i))
+		tr.Insert(buf, s.Add(buf))
+	}
+	perm := rand.New(rand.NewSource(9)).Perm(n)
+	for _, i := range perm {
+		binary.BigEndian.PutUint64(buf, uint64(i))
+		if !tr.Delete(buf) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Len() != 0 || tr.root != nil {
+		t.Fatal("tree not empty after delete-all")
+	}
+}
+
+func TestMemoryConstantAcrossKeySizes(t *testing.T) {
+	// The paper's point: the B-tree's footprint is independent of key
+	// length because it only ever stores 8-byte TIDs.
+	shortTree, s1 := newTestTree()
+	longTree, s2 := newTestTree()
+	buf := make([]byte, 8)
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 10000; i++ {
+		binary.BigEndian.PutUint64(buf, rng.Uint64()>>1)
+		shortTree.Insert(buf, s1.Add(buf))
+	}
+	seen := map[string]bool{}
+	count := 0
+	for count < 10000 {
+		k := make([]byte, 40+rng.Intn(30))
+		rng.Read(k)
+		if seen[string(k)] {
+			continue
+		}
+		seen[string(k)] = true
+		longTree.Insert(k, s2.Add(k))
+		count++
+	}
+	ms, ml := shortTree.Memory(), longTree.Memory()
+	ratio := float64(ml.PaperBytes) / float64(ms.PaperBytes)
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("memory ratio long/short = %.2f, want ~1 (short %d, long %d)", ratio, ms.PaperBytes, ml.PaperBytes)
+	}
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/hotindex/hot/internal/dataset"
+	"github.com/hotindex/hot/internal/tidstore"
+)
+
+// Package-level microbenchmarks of the four fundamental operations, per
+// data set, plus the node-level ablations (single- vs multi-mask nodes).
+
+func benchTrie(b *testing.B, kind dataset.Kind, n int) (*Trie, *tidstore.Store, [][]byte) {
+	b.Helper()
+	keys := dataset.Generate(kind, n, 1)
+	s := &tidstore.Store{}
+	tr := New(s.Key)
+	for _, k := range keys {
+		tr.Insert(k, s.Add(k))
+	}
+	return tr, s, keys
+}
+
+func BenchmarkInsert(b *testing.B) {
+	for _, kind := range dataset.Kinds() {
+		b.Run(kind.String(), func(b *testing.B) {
+			keys := dataset.Generate(kind, 200000, 1)
+			s := &tidstore.Store{}
+			tids := make([]TID, len(keys))
+			for i, k := range keys {
+				tids[i] = s.Add(k)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var tr *Trie
+			for i := 0; i < b.N; i++ {
+				j := i % len(keys)
+				if j == 0 {
+					tr = New(s.Key)
+				}
+				tr.Insert(keys[j], tids[j])
+			}
+		})
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	for _, kind := range dataset.Kinds() {
+		b.Run(kind.String(), func(b *testing.B) {
+			tr, _, keys := benchTrie(b, kind, 200000)
+			rng := rand.New(rand.NewSource(2))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := tr.Lookup(keys[rng.Intn(len(keys))]); !ok {
+					b.Fatal("miss")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkScan100(b *testing.B) {
+	for _, kind := range dataset.Kinds() {
+		b.Run(kind.String(), func(b *testing.B) {
+			tr, _, keys := benchTrie(b, kind, 200000)
+			rng := rand.New(rand.NewSource(3))
+			sink := TID(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.Scan(keys[rng.Intn(len(keys))], 100, func(tid TID) bool {
+					sink += tid
+					return true
+				})
+			}
+			_ = sink
+		})
+	}
+}
+
+func BenchmarkDelete(b *testing.B) {
+	keys := dataset.Generate(dataset.Integer, 200000, 1)
+	s := &tidstore.Store{}
+	tids := make([]TID, len(keys))
+	for i, k := range keys {
+		tids[i] = s.Add(k)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var tr *Trie
+	for i := 0; i < b.N; i++ {
+		j := i % len(keys)
+		if j == 0 {
+			b.StopTimer()
+			tr = New(s.Key)
+			for x, k := range keys {
+				tr.Insert(k, tids[x])
+			}
+			b.StartTimer()
+		}
+		if !tr.Delete(keys[j]) {
+			b.Fatal("delete failed")
+		}
+	}
+}
+
+func BenchmarkConcurrentLookup(b *testing.B) {
+	keys := dataset.Generate(dataset.Integer, 200000, 1)
+	s := &tidstore.Store{}
+	tr := NewConcurrent(s.Key)
+	for _, k := range keys {
+		tr.Insert(k, s.Add(k))
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(4))
+		for pb.Next() {
+			tr.Lookup(keys[rng.Intn(len(keys))])
+		}
+	})
+}
+
+// BenchmarkExtract compares the three extraction paths in isolation (the
+// single- vs multi-mask ablation of Section 4.1).
+func BenchmarkExtract(b *testing.B) {
+	k := make([]byte, 64)
+	rand.New(rand.NewSource(5)).Read(k)
+	specs := map[string]extractSpec{
+		"single-contiguous": buildSpec([]uint16{8, 9, 10, 11, 12}),
+		"single-pext":       buildSpec([]uint16{3, 17, 31, 45, 59}),
+		"multi8":            buildSpec([]uint16{3, 100, 200, 300, 400}),
+		"multi16":           buildSpec([]uint16{0, 50, 100, 150, 200, 250, 300, 350, 400, 450}),
+	}
+	for name, spec := range specs {
+		spec := spec
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = spec.extract(k)
+			}
+		})
+	}
+}
+
+// BenchmarkNodeSearch measures intra-node candidate search on the largest
+// node of each partial-key width found in a trie over the url data set
+// (the width mix is the first adaptivity dimension of Section 4.1).
+func BenchmarkNodeSearch(b *testing.B) {
+	tr, s, _ := benchTrie(b, dataset.URL, 100000)
+	best := map[uint8]*node{}
+	var walk func(nd *node)
+	walk = func(nd *node) {
+		if cur := best[nd.width]; cur == nil || nd.n > cur.n {
+			best[nd.width] = nd
+		}
+		for i := range nd.slots {
+			if c := nd.slots[i].loadChild(); c != nil {
+				walk(c)
+			}
+		}
+	}
+	walk(tr.root.Load().n)
+	for _, width := range []uint8{8, 16, 32} {
+		nd := best[width]
+		name := map[uint8]string{8: "8bit", 16: "16bit", 32: "32bit"}[width]
+		b.Run(name, func(b *testing.B) {
+			if nd == nil {
+				b.Skip("no node of this width in the data set")
+			}
+			probe := s.Key(minLeafTID(nd), nil)
+			b.ReportMetric(float64(nd.n), "entries")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = nd.search(probe)
+			}
+		})
+	}
+}
+
+// minLeafTID returns the TID of the leftmost leaf under nd.
+func minLeafTID(nd *node) TID {
+	for {
+		s := &nd.slots[0]
+		if c := s.loadChild(); c != nil {
+			nd = c
+			continue
+		}
+		return s.tid
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	mathbits "math/bits"
+
+	"github.com/hotindex/hot/internal/bits"
+)
+
+// canonicalize recomputes the minimal discriminative-bit set and canonical
+// sparse partial keys for a sorted entry sequence, given possibly stale
+// partial keys over the column set d (e.g. after removing an entry, a
+// column may no longer discriminate anything, and surviving entries may
+// carry bits for BiNodes that no longer exist on their path).
+//
+// It reconstructs the conceptual binary Patricia trie purely from the
+// sorted sparse partial keys: for any entry range forming a subtree, the
+// first and the last entry diverge exactly at the subtree's root BiNode, so
+// the highest differing partial-key bit of (pks[lo] ^ pks[hi]) identifies
+// the root column; entries taking the 1-branch form a contiguous suffix.
+// No key loads are required.
+//
+// Results are written into outD and outPks (grown as needed; pass nil to
+// allocate, or zero-length slices over scratch buffers with sufficient
+// capacity to avoid allocation). len(pks) must be ≥ 2.
+func canonicalize(d []uint16, pks []uint32, outD []uint16, outPks []uint32) (newD []uint16, newPks []uint32) {
+	ncols := len(d)
+	out := outPks
+	for range pks {
+		out = append(out, 0)
+	}
+	var usedCols uint32 // bit c set → column with pk bit (ncols-1-c)... tracked in pk-bit space
+	var rec func(lo, hi int, prefix uint32)
+	rec = func(lo, hi int, prefix uint32) {
+		if lo == hi {
+			out[lo] = prefix
+			return
+		}
+		diff := pks[lo] ^ pks[hi]
+		rootBit := 31 - mathbits.LeadingZeros32(diff) // pk-bit of the subtree root column
+		usedCols |= 1 << rootBit
+		// Find the first entry taking the 1-branch.
+		split := lo + 1
+		for split <= hi && pks[split]&(1<<rootBit) == 0 {
+			split++
+		}
+		rec(lo, split-1, prefix)
+		rec(split, hi, prefix|1<<rootBit)
+	}
+	rec(0, len(pks)-1, 0)
+
+	if usedCols == lowMask32(ncols) {
+		// All columns still in use; out is already in the right bit space.
+		return append(outD, d...), out
+	}
+	// Drop unused columns: compact each partial key and the bit-position set.
+	newD = outD
+	for i := 0; i < ncols; i++ {
+		if usedCols&(1<<(ncols-1-i)) != 0 {
+			newD = append(newD, d[i])
+		}
+	}
+	for i, pk := range out {
+		out[i] = bits.Pext32(pk, usedCols)
+	}
+	return newD, out
+}
+
+func lowMask32(n int) uint32 {
+	if n >= 32 {
+		return ^uint32(0)
+	}
+	return 1<<uint(n) - 1
+}
+
+// insertColumn recodes pk to make room for a new column at index pos within
+// a column set that previously had ncols columns: columns with index ≥ pos
+// keep their (low) bit positions, columns before pos shift up by one. This
+// is the PDEP-style recoding of Section 4.4. s = ncols - pos is the number
+// of low bits preserved.
+func insertColumn(pk uint32, ncols, pos int) uint32 {
+	s := uint(ncols - pos)
+	return (pk>>s)<<(s+1) | pk&(1<<s-1)
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// These tests exercise each of the paper's four insertion cases
+// (Section 3.2) explicitly and verify the height discipline: like a
+// B-tree, the overall height may only grow when a new root is created.
+
+// key4 builds a fixed 4-byte key from an integer (bit patterns chosen per
+// test).
+func key4(v uint32) []byte {
+	k := make([]byte, 4)
+	binary.BigEndian.PutUint32(k, v)
+	return k
+}
+
+func TestCaseNormalInsert(t *testing.T) {
+	tr, s := newTestTrie()
+	// Keys differing in the low byte only: all fit one node, every insert
+	// after the second is a normal insert into that node.
+	for i := uint32(0); i < 20; i++ {
+		k := key4(i)
+		if !tr.Insert(k, s.Add(k)) {
+			t.Fatal("insert failed")
+		}
+	}
+	if tr.Height() != 1 || tr.Memory().Nodes != 1 {
+		t.Fatalf("height %d nodes %d, want a single node", tr.Height(), tr.Memory().Nodes)
+	}
+	checkInvariants(t, tr, true)
+}
+
+func TestCaseLeafPushdown(t *testing.T) {
+	tr, s := newTestTrie()
+	// Keys 0..32 overflow the first node; the split at the top bit leaves
+	// key 32 as a singleton entry hanging directly in the new root — a
+	// leaf entry of an inner node, the precondition of leaf-node pushdown.
+	for i := uint32(0); i <= 32; i++ {
+		k := key4(i)
+		if !tr.Insert(k, s.Add(k)) {
+			t.Fatal("insert failed")
+		}
+	}
+	if tr.Height() != 2 || tr.Memory().Nodes != 2 {
+		t.Fatalf("setup: height %d nodes %d, want 2/2 (root + left half, leaf 32 inline)",
+			tr.Height(), tr.Memory().Nodes)
+	}
+	// Key 33 diverges from leaf 32 below every path bit: the mismatching
+	// BiNode is that leaf, so a new two-entry node is pushed down without
+	// affecting the overall height.
+	k := key4(33)
+	if !tr.Insert(k, s.Add(k)) {
+		t.Fatal("pushdown insert failed")
+	}
+	if tr.Height() != 2 {
+		t.Fatalf("pushdown grew the tree: height %d", tr.Height())
+	}
+	if got := tr.Memory().Nodes; got != 3 {
+		t.Fatalf("nodes %d, want 3 (one pushdown node added)", got)
+	}
+	checkInvariants(t, tr, true)
+}
+
+func TestCaseParentPullUpAndNewRoot(t *testing.T) {
+	tr, s := newTestTrie()
+	// Sequential integers overflow nodes repeatedly; every overflow of a
+	// full child whose height is one less than its parent's pulls the
+	// split BiNode up. Heights must follow the B-tree-like law: root
+	// height grows only via new roots, and with 33^h entries height h+1
+	// suffices.
+	buf := make([]byte, 8)
+	heights := map[int]bool{}
+	for i := 0; i < 40000; i++ {
+		binary.BigEndian.PutUint64(buf, uint64(i))
+		tr.Insert(buf, s.Add(buf))
+		heights[tr.Height()] = true
+	}
+	// Height must have passed through 1, 2, 3 in order and never exceeded
+	// ceil(log32-ish) bounds.
+	if !heights[1] || !heights[2] || !heights[3] {
+		t.Fatalf("heights seen: %v", heights)
+	}
+	if tr.Height() > 4 {
+		t.Fatalf("height %d too large for 40k sequential keys", tr.Height())
+	}
+	checkInvariants(t, tr, true)
+}
+
+func TestCaseIntermediateNodeCreation(t *testing.T) {
+	tr, s := newTestTrie()
+	// Build a tall dense subtree under prefix 0x00... and a single shallow
+	// leaf cluster under 0x80... — then overflow the shallow cluster. Its
+	// parent (the root) is much taller, so resolving the overflow must
+	// create an intermediate node instead of growing the tree.
+	buf := make([]byte, 8)
+	for i := 0; i < 60000; i++ { // tall subtree (height ≥ 3)
+		binary.BigEndian.PutUint64(buf, uint64(i))
+		tr.Insert(buf, s.Add(buf))
+	}
+	tall := tr.Height()
+	if tall < 3 {
+		t.Fatalf("setup: tall side height %d", tall)
+	}
+	// Now a sparse far-away cluster; 33 keys sharing the 0x80 prefix whose
+	// dedicated node overflows at a point where the parent has lots of
+	// height room.
+	for i := 0; i < 40; i++ {
+		binary.BigEndian.PutUint64(buf, 0x8000000000000000|uint64(i)<<8)
+		tr.Insert(buf, s.Add(buf))
+		if tr.Height() != tall {
+			t.Fatalf("sparse cluster changed the height at i=%d: %d → %d", i, tall, tr.Height())
+		}
+	}
+	checkInvariants(t, tr, true)
+}
+
+func TestMixedKeyLengths(t *testing.T) {
+	tr, s := newTestTrie()
+	// Prefix-free mixed-length keys: fixed-length binary plus terminated
+	// strings (no key is a zero-padded prefix of another).
+	var keys [][]byte
+	rng := rand.New(rand.NewSource(55))
+	for i := 0; i < 2000; i++ {
+		switch i % 3 {
+		case 0:
+			k := make([]byte, 8)
+			binary.BigEndian.PutUint64(k, rng.Uint64()|1<<63) // high bit set
+			keys = append(keys, k)
+		case 1:
+			keys = append(keys, append([]byte(fmt.Sprintf("str:%06d", i)), 0))
+		default:
+			keys = append(keys, append([]byte(fmt.Sprintf("str:%06d/sub/%04d", i, i%7)), 0))
+		}
+	}
+	for i, k := range keys {
+		if !tr.Insert(k, s.Add(k)) {
+			t.Fatalf("insert %d (%q) failed", i, k)
+		}
+	}
+	checkInvariants(t, tr, true)
+	for i, k := range keys {
+		if tid, ok := tr.Lookup(k); !ok || tid != TID(i) {
+			t.Fatalf("lookup %q failed", k)
+		}
+	}
+}
+
+func TestScanEdgeCases(t *testing.T) {
+	tr, s := newTestTrie()
+	insertAll(t, tr, s, []string{"bb", "dd", "ff"})
+
+	collect := func(start []byte, max int) []string {
+		var got []string
+		tr.Scan(start, max, func(tid TID) bool {
+			got = append(got, string(s.Key(tid, nil)))
+			return true
+		})
+		return got
+	}
+	// Start beyond every key.
+	if got := collect([]byte("zz"), 10); len(got) != 0 {
+		t.Errorf("scan past end = %v", got)
+	}
+	// Start before every key.
+	if got := collect([]byte("aa"), 10); len(got) != 3 {
+		t.Errorf("scan from before = %v", got)
+	}
+	// Start between keys.
+	if got := collect([]byte("cc"), 10); fmt.Sprint(got) != fmt.Sprint([]string{"dd", "ff"}) {
+		t.Errorf("scan between = %v", got)
+	}
+	// max = 0 and negative.
+	if tr.Scan(nil, 0, func(TID) bool { return true }) != 0 {
+		t.Error("max=0 scanned")
+	}
+	// Start key equal to the largest.
+	if got := collect([]byte("ff"), 10); fmt.Sprint(got) != fmt.Sprint([]string{"ff"}) {
+		t.Errorf("scan at max key = %v", got)
+	}
+}
+
+func TestZipfHeavyUpserts(t *testing.T) {
+	// Skewed re-writes of the same keys stress the COW/update path and the
+	// node recycler.
+	tr, s := newTestTrie()
+	rng := rand.New(rand.NewSource(66))
+	var keys [][]byte
+	for i := 0; i < 500; i++ {
+		k := []byte(fmt.Sprintf("user%04d", i))
+		keys = append(keys, k)
+		tr.Insert(k, s.Add(k))
+	}
+	current := make([]TID, len(keys))
+	for i := range current {
+		current[i] = TID(i)
+	}
+	for step := 0; step < 20000; step++ {
+		i := int(float64(len(keys)) * rng.Float64() * rng.Float64()) // skewed
+		tid := s.Add(keys[i])
+		old, replaced := tr.Upsert(keys[i], tid)
+		if !replaced || old != current[i] {
+			t.Fatalf("upsert %d: (%d,%v), want (%d,true)", i, old, replaced, current[i])
+		}
+		current[i] = tid
+	}
+	for i, k := range keys {
+		if tid, ok := tr.Lookup(k); !ok || tid != current[i] {
+			t.Fatalf("final lookup %d failed", i)
+		}
+	}
+	checkInvariants(t, tr, true)
+}

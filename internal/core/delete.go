@@ -1,0 +1,75 @@
+package core
+
+// deleteCase classifies the removal work, mirroring the paper's deletion
+// cases (Section 3.2): a normal delete rebuilds the affected node; an
+// underflow (node left with one entry) eliminates the node, linking the
+// remaining entry directly into the parent.
+type deleteCase uint8
+
+const (
+	delNormal         deleteCase = iota
+	delUnderflowRoot             // 2-entry root node collapses into the root box
+	delUnderflowInner            // 2-entry inner node is eliminated via its parent
+)
+
+type deletePlan struct {
+	stack   []pathEntry
+	cand    TID
+	what    deleteCase
+	lockTop int
+	useRoot bool
+}
+
+// planDelete analyses the removal of the candidate leaf at the end of stack.
+func planDelete(stack []pathEntry, cand TID) deletePlan {
+	p := deletePlan{stack: stack, cand: cand}
+	last := len(stack) - 1
+	if stack[last].nd.n > 2 {
+		p.what = delNormal
+		p.lockTop = max(last-1, 0)
+		p.useRoot = last == 0
+		return p
+	}
+	if last == 0 {
+		p.what = delUnderflowRoot
+		p.lockTop = 0
+		p.useRoot = true
+		return p
+	}
+	p.what = delUnderflowInner
+	p.lockTop = max(last-2, 0)
+	p.useRoot = last-1 == 0
+	return p
+}
+
+// execDelete applies plan, appending the replaced nodes to replaced. The
+// caller must guarantee exclusive write access to stack levels
+// [plan.lockTop, last] and, when plan.useRoot, the root box.
+func (t *tree) execDelete(plan deletePlan, replaced []*node) []*node {
+	stack := plan.stack
+	last := len(stack) - 1
+	a := stack[last]
+	switch plan.what {
+	case delNormal:
+		nd2 := a.nd.withoutEntry(a.idx, t.pool)
+		t.replaceAt(stack, last, nd2)
+		t.size.Add(-1)
+		return append(replaced, a.nd)
+	case delUnderflowRoot:
+		other := a.nd.slots[1-a.idx]
+		if c := other.loadChild(); c != nil {
+			t.root.Store(&rootBox{n: c})
+		} else {
+			t.root.Store(&rootBox{tid: other.tid, leaf: true})
+		}
+		t.size.Add(-1)
+		return append(replaced, a.nd)
+	default: // delUnderflowInner
+		other := a.nd.slots[1-a.idx]
+		p := stack[last-1]
+		p2 := p.nd.withSlotReplaced(p.idx, other, t.pool)
+		t.replaceAt(stack, last-1, p2)
+		t.size.Add(-1)
+		return append(replaced, a.nd, p.nd)
+	}
+}

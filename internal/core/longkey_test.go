@@ -1,0 +1,76 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/hotindex/hot/internal/tidstore"
+)
+
+// Long-key boundary tests: keys up to MaxKeyLen exercise 16-bit byte
+// offsets in the multi-mask layouts and the deepest extraction paths.
+func TestMaxLengthKeys(t *testing.T) {
+	s := &tidstore.Store{}
+	tr := New(s.Key)
+	rng := rand.New(rand.NewSource(77))
+	var keys [][]byte
+	for i := 0; i < 64; i++ {
+		k := make([]byte, MaxKeyLen)
+		// Shared giant prefix with a few scattered distinguishing bytes,
+		// forcing discriminative bits near the 64-KiB bit-position ceiling.
+		k[100] = byte(i)
+		k[MaxKeyLen-1] = byte(i * 3)
+		k[MaxKeyLen/2] = byte(i * 7)
+		keys = append(keys, k)
+	}
+	// Also a batch of random max-length keys.
+	for i := 0; i < 64; i++ {
+		k := make([]byte, MaxKeyLen)
+		rng.Read(k)
+		keys = append(keys, k)
+	}
+	inserted := 0
+	for _, k := range keys {
+		if tr.Insert(k, s.Add(k)) {
+			inserted++
+		}
+	}
+	if inserted < len(keys)-2 { // random dups vanishingly unlikely
+		t.Fatalf("only %d of %d long keys inserted", inserted, len(keys))
+	}
+	checkInvariants(t, tr, true)
+	for i, k := range keys {
+		tid, ok := tr.Lookup(k)
+		if !ok {
+			t.Fatalf("long key %d lost", i)
+		}
+		if got := s.Key(tid, nil); &got[0] != &k[0] && string(got) != string(k) {
+			t.Fatalf("long key %d resolves wrong", i)
+		}
+	}
+	// Scans over giant keys.
+	n := tr.Scan(nil, len(keys)+1, func(TID) bool { return true })
+	if n != tr.Len() {
+		t.Fatalf("scan visited %d of %d", n, tr.Len())
+	}
+}
+
+func TestDiscriminativeBitAtCeiling(t *testing.T) {
+	// Two keys differing only in the very last bit addressable by the
+	// 16-bit position encoding.
+	s := &tidstore.Store{}
+	tr := New(s.Key)
+	a := make([]byte, MaxKeyLen)
+	b := make([]byte, MaxKeyLen)
+	b[MaxKeyLen-1] = 0x01 // differ at absolute bit 65527
+	tr.Insert(a, s.Add(a))
+	if !tr.Insert(b, s.Add(b)) {
+		t.Fatal("ceiling-bit insert failed")
+	}
+	if _, ok := tr.Lookup(a); !ok {
+		t.Fatal("a lost")
+	}
+	if tid, ok := tr.Lookup(b); !ok || tid != 1 {
+		t.Fatal("b lost")
+	}
+}

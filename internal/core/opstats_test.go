@@ -1,0 +1,51 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/hotindex/hot/internal/dataset"
+	"github.com/hotindex/hot/internal/tidstore"
+)
+
+// TestAllInsertCasesOccur verifies that realistic workloads exercise every
+// structure-adaptation case of Section 3.2 — the counters double as the
+// wiring check for the OpStats observability API.
+func TestAllInsertCasesOccur(t *testing.T) {
+	var total OpStats
+	for _, kind := range dataset.Kinds() {
+		keys := dataset.Generate(kind, 100000, 3)
+		s := &tidstore.Store{}
+		tr := New(s.Key)
+		for _, k := range keys {
+			tr.Insert(k, s.Add(k))
+		}
+		st := tr.OpStats()
+		// Normal inserts, pull ups and root creation happen on every data
+		// set; pushdown and intermediate creation need height imbalance and
+		// only fire on skewed distributions (they are checked in aggregate
+		// below).
+		if st.Normal == 0 {
+			t.Errorf("%v: no normal inserts", kind)
+		}
+		if st.PullUp == 0 {
+			t.Errorf("%v: no parent pull ups", kind)
+		}
+		// The height discipline in numbers: the root was created exactly
+		// height-1 times after the first compound node appeared.
+		if got, want := st.NewRoot, uint64(tr.Height()-1); got != want {
+			t.Errorf("%v: NewRoot=%d, want height-1=%d", kind, got, want)
+		}
+		total.Normal += st.Normal
+		total.Pushdown += st.Pushdown
+		total.PullUp += st.PullUp
+		total.Intermediate += st.Intermediate
+		total.NewRoot += st.NewRoot
+		t.Logf("%v: %+v height=%d", kind, st, tr.Height())
+	}
+	if total.Pushdown == 0 {
+		t.Error("no data set triggered leaf-node pushdown")
+	}
+	if total.Intermediate == 0 {
+		t.Error("no data set triggered intermediate node creation")
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/hotindex/hot/internal/patricia"
+	"github.com/hotindex/hot/internal/tidstore"
+)
+
+// Cross-validation against the binary Patricia trie: HOT linearizes
+// k-constrained Patricia tries, so the two structures must agree on every
+// operation's outcome and on full ordered enumeration, for any operation
+// sequence.
+
+func randomKey(rng *rand.Rand) []byte {
+	// Small alphabet, varied length, terminated → prefix-free.
+	n := rng.Intn(6)
+	k := make([]byte, n+1)
+	for i := 0; i < n; i++ {
+		k[i] = 'a' + byte(rng.Intn(3))
+	}
+	k[n] = 0xFF // terminator outside the alphabet
+	return k
+}
+
+func TestCrossOracleAgainstPatricia(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := &tidstore.Store{}
+		hotT := New(s.Key)
+		binT := patricia.New(s.Key)
+		for step := 0; step < 400; step++ {
+			k := randomKey(rng)
+			switch rng.Intn(5) {
+			case 0, 1, 2:
+				tid := s.Add(k)
+				h := hotT.Insert(k, tid)
+				p := binT.Insert(k, tid)
+				if h != p {
+					t.Logf("seed %d step %d: insert %x hot=%v bin=%v", seed, step, k, h, p)
+					return false
+				}
+			case 3:
+				h := hotT.Delete(k)
+				p := binT.Delete(k)
+				if h != p {
+					t.Logf("seed %d step %d: delete %x hot=%v bin=%v", seed, step, k, h, p)
+					return false
+				}
+			default:
+				ht, hok := hotT.Lookup(k)
+				pt, pok := binT.Lookup(k)
+				if hok != pok || (hok && ht != pt) {
+					t.Logf("seed %d step %d: lookup %x hot=(%d,%v) bin=(%d,%v)", seed, step, k, ht, hok, pt, pok)
+					return false
+				}
+			}
+		}
+		if hotT.Len() != binT.Len() {
+			t.Logf("seed %d: len hot=%d bin=%d", seed, hotT.Len(), binT.Len())
+			return false
+		}
+		// Ordered enumeration must agree exactly.
+		var hotSeq, binSeq []TID
+		hotT.Scan(nil, hotT.Len()+1, func(tid TID) bool {
+			hotSeq = append(hotSeq, tid)
+			return true
+		})
+		binT.Scan(nil, binT.Len()+1, func(tid TID) bool {
+			binSeq = append(binSeq, tid)
+			return true
+		})
+		if len(hotSeq) != len(binSeq) {
+			t.Logf("seed %d: scan lengths %d vs %d", seed, len(hotSeq), len(binSeq))
+			return false
+		}
+		for i := range hotSeq {
+			if hotSeq[i] != binSeq[i] {
+				t.Logf("seed %d: scan[%d] %d vs %d", seed, i, hotSeq[i], binSeq[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRandomKeySets(t *testing.T) {
+	// Property: for any set of distinct fixed-length keys, a HOT trie
+	// built from them (in the given order) contains exactly those keys,
+	// enumerates them in sorted order, and passes the structural
+	// invariants.
+	f := func(raw [][8]byte) bool {
+		s := &tidstore.Store{}
+		tr := New(s.Key)
+		seen := map[[8]byte]TID{}
+		for _, kb := range raw {
+			if _, dup := seen[kb]; dup {
+				continue
+			}
+			k := kb[:]
+			tid := s.Add(k)
+			if !tr.Insert(k, tid) {
+				return false
+			}
+			seen[kb] = tid
+		}
+		if tr.Len() != len(seen) {
+			return false
+		}
+		for kb, tid := range seen {
+			got, ok := tr.Lookup(kb[:])
+			if !ok || got != tid {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

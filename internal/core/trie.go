@@ -1,0 +1,352 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"github.com/hotindex/hot/internal/key"
+)
+
+// rootBox is the immutable root descriptor. A HOT trie with zero or one
+// entries has no compound node; the box distinguishes the three shapes.
+type rootBox struct {
+	n    *node // non-nil: root compound node
+	tid  TID   // valid when leaf
+	leaf bool  // single-entry tree
+}
+
+var emptyRoot = &rootBox{}
+
+// tree holds the state shared by the single-threaded Trie and the ROWEX
+// ConcurrentTrie: the root pointer, the entry count and the TID→key loader.
+type tree struct {
+	loader Loader
+	root   atomic.Pointer[rootBox]
+	size   atomic.Int64
+	// pool recycles retired nodes; non-nil only for the single-threaded
+	// trie (the concurrent trie leaves reclamation to the epoch manager
+	// and the garbage collector).
+	pool *nodePool
+	// k is the maximum node fanout (the paper's k, default MaxFanout).
+	// Smaller values trade tree height for cheaper node operations; the
+	// fanout ablation benchmark sweeps it.
+	k int
+	// ops counts the structure-adaptation cases taken by inserts.
+	ops opCounters
+}
+
+// opCounters tallies the paper's four insertion cases plus root creations
+// (Section 3.2). Counters are atomic so the concurrent trie can share them.
+type opCounters struct {
+	normal       atomic.Uint64
+	pushdown     atomic.Uint64
+	pullup       atomic.Uint64
+	intermediate atomic.Uint64
+	newRoot      atomic.Uint64
+}
+
+// OpStats reports how often each insertion case fired: normal inserts,
+// leaf-node pushdowns, parent pull ups, intermediate node creations and
+// root creations (the only case that grows the overall height).
+type OpStats struct {
+	Normal       uint64
+	Pushdown     uint64
+	PullUp       uint64
+	Intermediate uint64
+	NewRoot      uint64
+}
+
+// OpStats returns the insertion-case counters.
+func (t *tree) OpStats() OpStats {
+	return OpStats{
+		Normal:       t.ops.normal.Load(),
+		Pushdown:     t.ops.pushdown.Load(),
+		PullUp:       t.ops.pullup.Load(),
+		Intermediate: t.ops.intermediate.Load(),
+		NewRoot:      t.ops.newRoot.Load(),
+	}
+}
+
+func (t *tree) init(loader Loader, k int) {
+	if loader == nil {
+		panic("core: nil Loader")
+	}
+	if k < 2 || k > MaxFanout {
+		panic(fmt.Sprintf("core: max fanout %d out of range [2, %d]", k, MaxFanout))
+	}
+	t.loader = loader
+	t.k = k
+	t.root.Store(emptyRoot)
+}
+
+// Len returns the number of keys stored.
+func (t *tree) Len() int { return int(t.size.Load()) }
+
+// Height returns the overall tree height in compound nodes: 0 for an empty
+// or single-entry tree, otherwise the height of the root node.
+func (t *tree) Height() int {
+	rb := t.root.Load()
+	if rb.n == nil {
+		return 0
+	}
+	return int(rb.n.height)
+}
+
+func (t *tree) load(tid TID, buf []byte) []byte { return t.loader(tid, buf) }
+
+func checkKey(k []byte) {
+	if len(k) > MaxKeyLen {
+		panic(fmt.Sprintf("core: key length %d exceeds MaxKeyLen %d", len(k), MaxKeyLen))
+	}
+}
+
+func checkTID(tid TID) {
+	if tid > MaxTID {
+		panic(fmt.Sprintf("core: TID %#x exceeds MaxTID", tid))
+	}
+}
+
+// pathEntry records one traversal step: the node and the entry index taken.
+type pathEntry struct {
+	nd  *node
+	idx int
+}
+
+// descend walks from root to the result candidate leaf for k, appending the
+// path to stack and returning it together with the candidate TID.
+func descend(root *node, k []byte, stack []pathEntry) ([]pathEntry, TID) {
+	nd := root
+	for {
+		idx := nd.search(k)
+		stack = append(stack, pathEntry{nd, idx})
+		s := &nd.slots[idx]
+		if c := s.loadChild(); c != nil {
+			nd = c
+			continue
+		}
+		return stack, s.tid
+	}
+}
+
+// lookup returns the TID stored under k. buf is scratch space for the key
+// load of the final false-positive check (Listing 2, line 7).
+func (t *tree) lookup(k, buf []byte) (TID, bool) {
+	rb := t.root.Load()
+	switch {
+	case rb.n != nil:
+		nd := rb.n
+		for {
+			idx := nd.search(k)
+			s := &nd.slots[idx]
+			if c := s.loadChild(); c != nil {
+				nd = c
+				continue
+			}
+			tid := s.tid
+			if !key.Equal(t.load(tid, buf), k) {
+				return 0, false
+			}
+			return tid, true
+		}
+	case rb.leaf:
+		if !key.Equal(t.load(rb.tid, buf), k) {
+			return 0, false
+		}
+		return rb.tid, true
+	default:
+		return 0, false
+	}
+}
+
+// insertCase classifies what an insert has to do (Section 3.2).
+type insertCase uint8
+
+const (
+	caseNormal   insertCase = iota // splice into the affected node (may overflow)
+	casePushdown                   // new 2-entry node below a leaf slot
+)
+
+// insertPlan is the pure outcome of insertion analysis, shared by the
+// single-threaded and the ROWEX write paths.
+type insertPlan struct {
+	stack   []pathEntry
+	cand    TID // candidate leaf whose key determined the mismatch
+	mb      int // mismatching bit position
+	bitv    uint
+	ai      int // stack level of the affected node
+	what    insertCase
+	lockTop int  // shallowest stack level modified by the exec phase
+	useRoot bool // exec swaps the root box
+}
+
+// affectedLevel locates the compound node containing the mismatching
+// BiNode: following the conceptual binary Patricia traversal, that is the
+// first BiNode on the path whose bit position exceeds mb, i.e. the first
+// stack level whose taken path contains a bit > mb. When mb lies beyond
+// every path bit the mismatch is at the candidate leaf itself (pastPath).
+func affectedLevel(stack []pathEntry, mb int) (level int, pastPath bool) {
+	for i := range stack {
+		if mb < stack[i].nd.pathMaxBit(stack[i].idx) {
+			return i, false
+		}
+	}
+	return len(stack) - 1, true
+}
+
+// planInsert analyses where and how the new key diverges from the tree
+// along stack, for a trie with maximum fanout k. It performs no
+// modifications and only reads immutable node state.
+func planInsert(stack []pathEntry, cand TID, mb int, bitv uint, k int) insertPlan {
+	p := insertPlan{stack: stack, cand: cand, mb: mb, bitv: bitv}
+	ai, pastPath := affectedLevel(stack, mb)
+	p.ai = ai
+	a := stack[ai]
+
+	if pastPath && a.nd.height > 1 {
+		// The mismatching BiNode is a leaf entry of an inner node: replace
+		// the leaf with a new two-entry node one level down.
+		p.what = casePushdown
+		p.lockTop = ai
+		return p
+	}
+
+	p.what = caseNormal
+	// Determine how far an overflow would climb, mirroring exec.
+	cur := ai
+	if int(a.nd.n) < k {
+		p.lockTop = max(ai-1, 0)
+		p.useRoot = ai == 0
+		return p
+	}
+	oldH := stack[cur].nd.height
+	for {
+		if cur == 0 {
+			p.lockTop = 0
+			p.useRoot = true
+			return p
+		}
+		parent := stack[cur-1].nd
+		if int(oldH)+1 >= int(parent.height) {
+			// Parent pull up.
+			if int(parent.n) < k {
+				p.lockTop = max(cur-2, 0)
+				p.useRoot = cur-1 == 0
+				return p
+			}
+			oldH = parent.height
+			cur--
+		} else {
+			// Intermediate node creation: in-place store into parent.
+			p.lockTop = cur - 1
+			return p
+		}
+	}
+}
+
+// affectedRange computes, in nd's current partial-key space, the contiguous
+// entry range forming the subtree below the BiNode that bit position mb
+// splits on the path through entry idx.
+func affectedRange(nd *node, idx, mb int) (lo, hi int) {
+	pos, _ := nd.columnOf(uint16(mb))
+	ncols := len(nd.dbits)
+	// Columns strictly above mb (more significant discriminative bits).
+	prefixMask := lowMask32(ncols) &^ lowMask32(ncols-pos)
+	if prefixMask == 0 {
+		return 0, int(nd.n) - 1
+	}
+	return nd.complyRangeOf(nd.pk(idx)&prefixMask, prefixMask)
+}
+
+// execInsert applies plan, storing tid as the new leaf. It appends the
+// nodes that were replaced by copies (to be marked obsolete / retired) to
+// replaced and returns it. The caller must guarantee exclusive write
+// access to the nodes at stack levels [plan.lockTop, len(stack)-1] and,
+// when plan.useRoot, the root box.
+func (t *tree) execInsert(plan insertPlan, tid TID, replaced []*node) []*node {
+	stack := plan.stack
+	a := stack[plan.ai]
+
+	if plan.what == casePushdown {
+		existing := a.nd.slots[a.idx] // leaf slot, stable under the node lock
+		var c *node
+		if plan.bitv == 1 {
+			c = nodeFrom2(uint16(plan.mb), existing, leafSlot(tid), t.pool)
+		} else {
+			c = nodeFrom2(uint16(plan.mb), leafSlot(tid), existing, t.pool)
+		}
+		a.nd.slots[a.idx].storeChild(c)
+		t.size.Add(1)
+		t.ops.pushdown.Add(1)
+		return replaced
+	}
+	t.ops.normal.Add(1)
+
+	nd2, left, right, splitBit, overflow := a.nd.spliceAndBuild(spliceOp{
+		mb:      uint16(plan.mb),
+		newBit:  plan.bitv,
+		newSlot: leafSlot(tid),
+		refIdx:  a.idx,
+	}, t.pool, t.k)
+	replaced = append(replaced, a.nd)
+	cur := plan.ai
+	oldH := a.nd.height
+	for overflow {
+		if cur == 0 {
+			newRoot := nodeFrom2(splitBit, left, right, t.pool)
+			t.root.Store(&rootBox{n: newRoot})
+			t.size.Add(1)
+			t.ops.newRoot.Add(1)
+			return replaced
+		}
+		parent := stack[cur-1]
+		if int(oldH)+1 >= int(parent.nd.height) {
+			// Parent pull up: the split halves replace the link in the parent.
+			t.ops.pullup.Add(1)
+			nd2, left, right, splitBit, overflow = parent.nd.spliceAndBuild(spliceOp{
+				mb:         splitBit,
+				newBit:     1,
+				newSlot:    right,
+				refIdx:     parent.idx,
+				refReplace: &left,
+			}, t.pool, t.k)
+			if !overflow {
+				replaced = append(replaced, parent.nd)
+				t.replaceAt(stack, cur-1, nd2)
+				t.size.Add(1)
+				return replaced
+			}
+			replaced = append(replaced, parent.nd)
+			oldH = parent.nd.height
+			cur--
+			_ = nd2
+		} else {
+			// Intermediate node creation keeps the overall height unchanged.
+			t.ops.intermediate.Add(1)
+			m := nodeFrom2(splitBit, left, right, t.pool)
+			parent.nd.slots[parent.idx].storeChild(m)
+			t.size.Add(1)
+			return replaced
+		}
+	}
+	t.replaceAt(stack, plan.ai, nd2)
+	t.size.Add(1)
+	return replaced
+}
+
+// replaceAt publishes repl in place of the node at stack level: a child
+// store in the parent, or a root box swap at level 0.
+func (t *tree) replaceAt(stack []pathEntry, level int, repl *node) {
+	if level == 0 {
+		t.root.Store(&rootBox{n: repl})
+		return
+	}
+	p := stack[level-1]
+	p.nd.slots[p.idx].storeChild(repl)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,240 @@
+// Package dataset generates the four key data sets of the paper's
+// evaluation (Section 6.1). The paper's url and email sets come from
+// proprietary corpora and yago from the Yago2 knowledge base; this package
+// substitutes deterministic synthetic generators that preserve the
+// properties the experiments depend on (key length, shared-prefix
+// structure, sparsity, skew) — see DESIGN.md for the substitution table.
+//
+// All generators are seeded and collision-free: Generate(kind, n, seed)
+// always returns the same n distinct keys.
+package dataset
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Kind selects a data set.
+type Kind int
+
+const (
+	// Integer: uniformly distributed 63-bit random integers, 8-byte
+	// order-preserving big-endian keys (identical to the paper).
+	Integer Kind = iota
+	// Yago: 8-byte compound triple keys — subject bits 38–63, predicate
+	// bits 27–37, object bits 0–26, with skewed component distributions
+	// mimicking a knowledge base.
+	Yago
+	// Email: synthetic e-mail addresses averaging ≈ 23 bytes with
+	// zipf-popular domains.
+	Email
+	// URL: synthetic URLs averaging ≈ 55 bytes with hierarchical paths and
+	// heavy shared prefixes.
+	URL
+)
+
+var kindNames = map[Kind]string{Integer: "integer", Yago: "yago", Email: "email", URL: "url"}
+
+// String returns the data set's paper name.
+func (k Kind) String() string { return kindNames[k] }
+
+// ParseKind resolves a data set name.
+func ParseKind(s string) (Kind, error) {
+	for k, n := range kindNames {
+		if n == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("dataset: unknown kind %q (integer|yago|email|url)", s)
+}
+
+// Kinds lists all data sets in the paper's presentation order.
+func Kinds() []Kind { return []Kind{URL, Email, Yago, Integer} }
+
+// Generate returns n distinct keys of the given kind.
+func Generate(kind Kind, n int, seed int64) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	switch kind {
+	case Integer:
+		return genIntegers(rng, n)
+	case Yago:
+		return genYago(rng, n)
+	case Email:
+		return genEmails(rng, n)
+	case URL:
+		return genURLs(rng, n)
+	}
+	panic("dataset: invalid kind")
+}
+
+func genIntegers(rng *rand.Rand, n int) [][]byte {
+	seen := make(map[uint64]struct{}, n)
+	keys := make([][]byte, 0, n)
+	for len(keys) < n {
+		v := rng.Uint64() >> 1
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		k := make([]byte, 8)
+		binary.BigEndian.PutUint64(k, v)
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func genYago(rng *rand.Rand, n int) [][]byte {
+	// Subjects and objects cluster around popular entities, predicates are
+	// few: the result is a dense-but-skewed 63-bit compound key space.
+	seen := make(map[uint64]struct{}, n)
+	keys := make([][]byte, 0, n)
+	subjects := 1 << 21 // active subject pool (of the 26-bit space)
+	for len(keys) < n {
+		subj := uint64(skewedInt(rng, subjects))
+		pred := uint64(skewedInt(rng, 1500))
+		obj := uint64(rng.Intn(1 << 26))
+		v := subj<<38 | pred<<27 | obj
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		k := make([]byte, 8)
+		binary.BigEndian.PutUint64(k, v)
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// skewedInt draws from [0, n) with a power-law-ish skew (small values are
+// much more likely), approximating entity popularity distributions.
+func skewedInt(rng *rand.Rand, n int) int {
+	f := rng.Float64()
+	f = f * f * f
+	return int(f * float64(n))
+}
+
+var (
+	firstNames = []string{
+		"james", "mary", "john", "patricia", "robert", "jennifer", "michael",
+		"linda", "william", "elizabeth", "david", "barbara", "richard",
+		"susan", "joseph", "jessica", "thomas", "sarah", "charles", "karen",
+		"anna", "lukas", "sofia", "felix", "laura", "jonas", "emma", "paul",
+		"mia", "leon", "hannah", "louis", "clara", "noah", "lena", "elias",
+	}
+	lastNames = []string{
+		"smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+		"davis", "rodriguez", "martinez", "hernandez", "lopez", "gonzalez",
+		"wilson", "anderson", "thomas", "taylor", "moore", "jackson",
+		"martin", "lee", "perez", "thompson", "white", "harris", "sanchez",
+		"gruber", "huber", "bauer", "wagner", "mueller", "pichler", "steiner",
+		"moser", "mayer", "hofer", "leitner", "berger", "fuchs", "eder",
+	}
+	emailDomains = []string{
+		"gmail.com", "yahoo.com", "hotmail.com", "aol.com", "outlook.com",
+		"gmx.at", "web.de", "icloud.com", "mail.ru", "protonmail.com",
+		"uibk.ac.at", "in.tum.de", "example.org", "company.com", "corp.net",
+		"univie.ac.at", "mit.edu", "stanford.edu", "baidu.com", "qq.com",
+	}
+)
+
+func genEmails(rng *rand.Rand, n int) [][]byte {
+	seen := make(map[string]struct{}, n)
+	keys := make([][]byte, 0, n)
+	for len(keys) < n {
+		var local string
+		switch rng.Intn(4) {
+		case 0:
+			local = fmt.Sprintf("%s.%s", pick(rng, firstNames), pick(rng, lastNames))
+		case 1:
+			local = fmt.Sprintf("%s%d", pick(rng, firstNames), rng.Intn(10000))
+		case 2:
+			local = fmt.Sprintf("%c%s%d", firstNames[rng.Intn(len(firstNames))][0], pick(rng, lastNames), rng.Intn(100))
+		default:
+			// Paper: some addresses consist solely of digits.
+			local = fmt.Sprintf("%d", 1e6+rng.Int63n(9e8))
+		}
+		k := local + "@" + emailDomains[skewedInt(rng, len(emailDomains))]
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		keys = append(keys, terminated(k))
+	}
+	return keys
+}
+
+var (
+	urlHosts = []string{
+		"www.wikipedia.org", "www.youtube.com", "www.amazon.com",
+		"news.ycombinator.com", "www.reddit.com", "github.com",
+		"stackoverflow.com", "www.nytimes.com", "medium.com", "www.bbc.co.uk",
+		"docs.python.org", "go.dev", "www.uibk.ac.at", "www.tum.de",
+		"archive.org", "www.gutenberg.org", "blog.example.net", "shop.example.com",
+	}
+	urlSections = []string{
+		"articles", "news", "products", "users", "wiki", "blog", "category",
+		"images", "docs", "api", "research", "papers", "threads", "reviews",
+	}
+	urlTopics = []string{
+		"databases", "systems", "networks", "history", "science", "music",
+		"travel", "sports", "politics", "economy", "art", "technology",
+		"health", "education", "climate", "space",
+	}
+)
+
+func genURLs(rng *rand.Rand, n int) [][]byte {
+	seen := make(map[string]struct{}, n)
+	keys := make([][]byte, 0, n)
+	for len(keys) < n {
+		host := urlHosts[skewedInt(rng, len(urlHosts))]
+		k := fmt.Sprintf("http://%s/%s/%s/%07d/item-%05d",
+			host, pick(rng, urlSections), pick(rng, urlTopics),
+			rng.Intn(1e7), rng.Intn(1e5))
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		keys = append(keys, terminated(k))
+	}
+	return keys
+}
+
+func pick(rng *rand.Rand, xs []string) string { return xs[rng.Intn(len(xs))] }
+
+// terminated appends the 0x00 terminator that makes variable-length string
+// key sets prefix-free (Section 2's footnote: keys must be recoverable and
+// separable at the leaves).
+func terminated(s string) []byte {
+	k := make([]byte, len(s)+1)
+	copy(k, s)
+	return k
+}
+
+// AvgLen returns the average key length in bytes.
+func AvgLen(keys [][]byte) float64 {
+	total := 0
+	for _, k := range keys {
+		total += len(k)
+	}
+	return float64(total) / float64(len(keys))
+}
+
+// RawBytes returns the total raw size of the keys, the paper's dashed
+// "raw key" baseline in Figure 9.
+func RawBytes(keys [][]byte) int {
+	total := 0
+	for _, k := range keys {
+		total += len(k)
+	}
+	return total
+}
+
+// SortedCopy returns the keys in ascending order (several experiments need
+// an ordered oracle).
+func SortedCopy(keys [][]byte) [][]byte {
+	out := append([][]byte(nil), keys...)
+	sort.Slice(out, func(i, j int) bool { return string(out[i]) < string(out[j]) })
+	return out
+}

@@ -1,0 +1,96 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestDeterministicAndDistinct(t *testing.T) {
+	for _, kind := range Kinds() {
+		a := Generate(kind, 2000, 42)
+		b := Generate(kind, 2000, 42)
+		if len(a) != 2000 {
+			t.Fatalf("%v: %d keys", kind, len(a))
+		}
+		seen := map[string]bool{}
+		for i := range a {
+			if !bytes.Equal(a[i], b[i]) {
+				t.Fatalf("%v: not deterministic at %d", kind, i)
+			}
+			if seen[string(a[i])] {
+				t.Fatalf("%v: duplicate key %q", kind, a[i])
+			}
+			seen[string(a[i])] = true
+		}
+		c := Generate(kind, 100, 43)
+		if bytes.Equal(a[0], c[0]) && bytes.Equal(a[1], c[1]) && bytes.Equal(a[2], c[2]) {
+			t.Errorf("%v: different seeds produced same keys", kind)
+		}
+	}
+}
+
+func TestKeyShapes(t *testing.T) {
+	intKeys := Generate(Integer, 1000, 1)
+	for _, k := range intKeys {
+		if len(k) != 8 || k[0]&0x80 != 0 {
+			t.Fatalf("integer key %x not 63-bit/8-byte", k)
+		}
+	}
+	yago := Generate(Yago, 1000, 1)
+	for _, k := range yago {
+		if len(k) != 8 || k[0]&0x80 != 0 {
+			t.Fatalf("yago key %x not 63-bit/8-byte", k)
+		}
+	}
+	emails := Generate(Email, 2000, 1)
+	if avg := AvgLen(emails); avg < 16 || avg > 30 {
+		t.Errorf("email avg length %.1f, paper reports ≈ 23", avg)
+	}
+	for _, k := range emails {
+		if k[len(k)-1] != 0 || !bytes.ContainsRune(k[:len(k)-1], '@') {
+			t.Fatalf("malformed email key %q", k)
+		}
+	}
+	urls := Generate(URL, 2000, 1)
+	if avg := AvgLen(urls); avg < 45 || avg > 65 {
+		t.Errorf("url avg length %.1f, paper reports ≈ 55", avg)
+	}
+	for _, k := range urls {
+		if !bytes.HasPrefix(k, []byte("http://")) || k[len(k)-1] != 0 {
+			t.Fatalf("malformed url key %q", k)
+		}
+	}
+}
+
+func TestPrefixFree(t *testing.T) {
+	// Terminated string keys and fixed-length integer keys must be
+	// prefix-free under zero-padding semantics.
+	for _, kind := range Kinds() {
+		keys := SortedCopy(Generate(kind, 3000, 7))
+		for i := 1; i < len(keys); i++ {
+			a, b := keys[i-1], keys[i]
+			if len(a) <= len(b) && bytes.Equal(a, b[:len(a)]) {
+				t.Fatalf("%v: %q is a prefix of %q", kind, a, b)
+			}
+		}
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, kind := range Kinds() {
+		got, err := ParseKind(kind.String())
+		if err != nil || got != kind {
+			t.Errorf("ParseKind(%v) = %v, %v", kind, got, err)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Error("no error for bogus kind")
+	}
+}
+
+func TestRawBytes(t *testing.T) {
+	keys := [][]byte{[]byte("ab"), []byte("cde")}
+	if RawBytes(keys) != 5 {
+		t.Error("RawBytes wrong")
+	}
+}

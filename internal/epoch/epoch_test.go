@@ -1,0 +1,127 @@
+package epoch
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRetireReclaimAfterTwoAdvances(t *testing.T) {
+	var m Manager
+	var freed atomic.Int32
+	m.Retire(func() { freed.Add(1) })
+	if m.Pending() != 1 {
+		t.Fatalf("pending = %d", m.Pending())
+	}
+	// One advance must not reclaim (grace period is two epochs).
+	if !m.TryAdvance() {
+		t.Fatal("advance 1 failed")
+	}
+	if freed.Load() != 0 {
+		t.Fatal("reclaimed after a single advance")
+	}
+	if !m.TryAdvance() {
+		t.Fatal("advance 2 failed")
+	}
+	if freed.Load() != 1 || m.Freed() != 1 || m.Pending() != 0 {
+		t.Fatalf("freed=%d Freed=%d Pending=%d", freed.Load(), m.Freed(), m.Pending())
+	}
+}
+
+func TestPinBlocksAdvance(t *testing.T) {
+	var m Manager
+	g := m.Enter()
+	if !m.TryAdvance() {
+		t.Fatal("advance with same-epoch pin must succeed")
+	}
+	// g is now pinned at an old epoch: no further advance.
+	if m.TryAdvance() {
+		t.Fatal("advance succeeded despite old-epoch pin")
+	}
+	g.Exit()
+	if !m.TryAdvance() {
+		t.Fatal("advance after exit failed")
+	}
+}
+
+func TestGuardProtectsRetiredObject(t *testing.T) {
+	var m Manager
+	g := m.Enter() // reader enters before retirement
+	var freed atomic.Bool
+	m.Retire(func() { freed.Store(true) })
+	m.TryAdvance()
+	m.TryAdvance()
+	m.TryAdvance()
+	if freed.Load() {
+		t.Fatal("object reclaimed while a pre-existing guard was held")
+	}
+	g.Exit()
+	m.Flush()
+	if !freed.Load() {
+		t.Fatal("object not reclaimed after guard exit")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	var m Manager
+	n := 0
+	for i := 0; i < 10; i++ {
+		m.Retire(func() { n++ })
+	}
+	m.Flush()
+	if n != 10 {
+		t.Fatalf("flushed %d of 10", n)
+	}
+}
+
+func TestConcurrentGuards(t *testing.T) {
+	var m Manager
+	var wg sync.WaitGroup
+	var reclaimed atomic.Int64
+	const workers = 32
+	const opsPerWorker = 2000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < opsPerWorker; i++ {
+				g := m.Enter()
+				if i%7 == 0 {
+					m.Retire(func() { reclaimed.Add(1) })
+				}
+				g.Exit()
+				if i%64 == 0 {
+					m.TryAdvance()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	m.Flush()
+	m.Flush()
+	want := int64(workers * ((opsPerWorker + 6) / 7))
+	if got := reclaimed.Load(); got != want {
+		t.Fatalf("reclaimed %d, want %d (pending %d)", got, want, m.Pending())
+	}
+	if m.Pending() != 0 {
+		t.Fatalf("pending %d after flush", m.Pending())
+	}
+}
+
+func TestNilRetire(t *testing.T) {
+	var m Manager
+	m.Retire(nil)
+	m.Flush()
+	if m.Freed() != 1 {
+		t.Fatalf("Freed = %d", m.Freed())
+	}
+}
+
+func BenchmarkEnterExit(b *testing.B) {
+	var m Manager
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			m.Enter().Exit()
+		}
+	})
+}

@@ -1,0 +1,39 @@
+package masstree
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/hotindex/hot/internal/dataset"
+)
+
+func BenchmarkLookup(b *testing.B) {
+	for _, kind := range []dataset.Kind{dataset.Integer, dataset.URL} {
+		b.Run(kind.String(), func(b *testing.B) {
+			keys := dataset.Generate(kind, 200000, 1)
+			tr := New()
+			for i, k := range keys {
+				tr.Insert(k, TID(i))
+			}
+			rng := rand.New(rand.NewSource(2))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.Lookup(keys[rng.Intn(len(keys))])
+			}
+		})
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	keys := dataset.Generate(dataset.URL, 200000, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var tr *Tree
+	for i := 0; i < b.N; i++ {
+		j := i % len(keys)
+		if j == 0 {
+			tr = New()
+		}
+		tr.Insert(keys[j], TID(i))
+	}
+}

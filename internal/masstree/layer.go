@@ -1,0 +1,285 @@
+package masstree
+
+// layer is one B+-tree of the trie: 16-way interior nodes over 15-entry
+// border (leaf) nodes chained for ordered walks. Keys are layer-local
+// ikeys, compared directly (no loader indirection — Masstree keeps slices
+// inline, which is exactly its design trade-off).
+type layer struct {
+	root  mnode
+	first *border
+}
+
+type mnode interface{ isMNode() }
+
+type interior struct {
+	n        int // children in use (keys used: n-1)
+	keys     [interiorFanout - 1]ikey
+	children [interiorFanout]mnode
+}
+
+type border struct {
+	n    int
+	keys [borderFanout]ikey
+	vals [borderFanout]entry
+	next *border
+}
+
+func (*interior) isMNode() {}
+func (*border) isMNode()   {}
+
+func (in *interior) childIndex(ik ikey) int {
+	lo, hi := 0, in.n-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if !ikeyLess(ik, in.keys[mid]) { // ik >= keys[mid]
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func (b *border) lowerBound(ik ikey) int {
+	lo, hi := 0, b.n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ikeyLess(b.keys[mid], ik) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func (l *layer) findBorder(ik ikey) *border {
+	n := l.root
+	for {
+		switch v := n.(type) {
+		case *interior:
+			n = v.children[v.childIndex(ik)]
+		case *border:
+			return v
+		}
+	}
+}
+
+// find returns the entry stored under ik, or nil.
+func (l *layer) find(ik ikey) *entry {
+	if l.root == nil {
+		return nil
+	}
+	b := l.findBorder(ik)
+	i := b.lowerBound(ik)
+	if i < b.n && b.keys[i] == ik {
+		return &b.vals[i]
+	}
+	return nil
+}
+
+// insert stores e under ik, reporting false if ik already exists.
+func (l *layer) insert(ik ikey, e entry) bool {
+	if l.root == nil {
+		b := &border{n: 1}
+		b.keys[0] = ik
+		b.vals[0] = e
+		l.root = b
+		l.first = b
+		return true
+	}
+	split, sep, ok := l.insertRec(l.root, ik, e)
+	if split != nil {
+		r := &interior{n: 2}
+		r.keys[0] = sep
+		r.children[0] = l.root
+		r.children[1] = split
+		l.root = r
+	}
+	return ok
+}
+
+func (l *layer) insertRec(n mnode, ik ikey, e entry) (split mnode, sep ikey, ok bool) {
+	switch v := n.(type) {
+	case *border:
+		i := v.lowerBound(ik)
+		if i < v.n && v.keys[i] == ik {
+			return nil, ikey{}, false
+		}
+		if v.n < borderFanout {
+			copy(v.keys[i+1:v.n+1], v.keys[i:v.n])
+			copy(v.vals[i+1:v.n+1], v.vals[i:v.n])
+			v.keys[i] = ik
+			v.vals[i] = e
+			v.n++
+			return nil, ikey{}, true
+		}
+		const h = borderFanout / 2 // 7 left, 8 right
+		right := &border{n: borderFanout - h, next: v.next}
+		copy(right.keys[:], v.keys[h:])
+		copy(right.vals[:], v.vals[h:])
+		for j := h; j < borderFanout; j++ {
+			v.vals[j] = entry{}
+		}
+		v.n = h
+		v.next = right
+		if i <= h {
+			copy(v.keys[i+1:v.n+1], v.keys[i:v.n])
+			copy(v.vals[i+1:v.n+1], v.vals[i:v.n])
+			v.keys[i] = ik
+			v.vals[i] = e
+			v.n++
+		} else {
+			j := i - h
+			copy(right.keys[j+1:right.n+1], right.keys[j:right.n])
+			copy(right.vals[j+1:right.n+1], right.vals[j:right.n])
+			right.keys[j] = ik
+			right.vals[j] = e
+			right.n++
+		}
+		return right, right.keys[0], true
+	case *interior:
+		ci := v.childIndex(ik)
+		csplit, csep, ok := l.insertRec(v.children[ci], ik, e)
+		if csplit == nil {
+			return nil, ikey{}, ok
+		}
+		if v.n < interiorFanout {
+			copy(v.keys[ci+1:v.n], v.keys[ci:v.n-1])
+			copy(v.children[ci+2:v.n+1], v.children[ci+1:v.n])
+			v.keys[ci] = csep
+			v.children[ci+1] = csplit
+			v.n++
+			return nil, ikey{}, ok
+		}
+		const h = interiorFanout / 2
+		right := &interior{n: interiorFanout - h}
+		up := v.keys[h-1]
+		copy(right.keys[:], v.keys[h:])
+		copy(right.children[:], v.children[h:])
+		for j := h; j < interiorFanout; j++ {
+			v.children[j] = nil
+		}
+		v.n = h
+		if ci < h {
+			copy(v.keys[ci+1:v.n], v.keys[ci:v.n-1])
+			copy(v.children[ci+2:v.n+1], v.children[ci+1:v.n])
+			v.keys[ci] = csep
+			v.children[ci+1] = csplit
+			v.n++
+		} else {
+			j := ci - h
+			copy(right.keys[j+1:right.n], right.keys[j:right.n-1])
+			copy(right.children[j+2:right.n+1], right.children[j+1:right.n])
+			right.keys[j] = csep
+			right.children[j+1] = csplit
+			right.n++
+		}
+		return right, up, ok
+	}
+	panic("masstree: unknown node type")
+}
+
+// remove deletes ik, optionally returning the removed entry through out.
+// Emptied nodes are unlinked lazily, like the btree package.
+func (l *layer) remove(ik ikey, out *entry) bool {
+	if l.root == nil {
+		return false
+	}
+	removed, _ := l.removeRec(l.root, ik, out)
+	if !removed {
+		return false
+	}
+	for {
+		switch v := l.root.(type) {
+		case *interior:
+			if v.n == 1 {
+				l.root = v.children[0]
+				continue
+			}
+		case *border:
+			if v.n == 0 {
+				l.root = nil
+				l.first = nil
+			}
+		}
+		return true
+	}
+}
+
+func (l *layer) removeRec(n mnode, ik ikey, out *entry) (removed, empty bool) {
+	switch v := n.(type) {
+	case *border:
+		i := v.lowerBound(ik)
+		if i >= v.n || v.keys[i] != ik {
+			return false, false
+		}
+		if out != nil {
+			*out = v.vals[i]
+		}
+		copy(v.keys[i:v.n-1], v.keys[i+1:v.n])
+		copy(v.vals[i:v.n-1], v.vals[i+1:v.n])
+		v.vals[v.n-1] = entry{}
+		v.n--
+		return true, v.n == 0
+	case *interior:
+		ci := v.childIndex(ik)
+		removed, childEmpty := l.removeRec(v.children[ci], ik, out)
+		if !removed {
+			return false, false
+		}
+		if childEmpty {
+			l.unlinkChild(v, ci)
+		}
+		return true, v.n == 0
+	}
+	panic("masstree: unknown node type")
+}
+
+func (l *layer) unlinkChild(v *interior, ci int) {
+	if b, ok := v.children[ci].(*border); ok {
+		if l.first == b {
+			l.first = b.next
+		} else {
+			p := l.first
+			for p != nil && p.next != b {
+				p = p.next
+			}
+			if p != nil {
+				p.next = b.next
+			}
+		}
+	}
+	if v.n == 1 {
+		v.children[0] = nil
+		v.n = 0
+		return
+	}
+	copy(v.children[ci:v.n-1], v.children[ci+1:v.n])
+	if ci == 0 {
+		copy(v.keys[0:v.n-2], v.keys[1:v.n-1])
+	} else {
+		copy(v.keys[ci-1:v.n-2], v.keys[ci:v.n-1])
+	}
+	v.children[v.n-1] = nil
+	v.n--
+}
+
+// walkFrom visits entries with key ≥ from in ascending order until fn
+// returns false.
+func (l *layer) walkFrom(from ikey, fn func(ik ikey, e *entry) bool) {
+	if l.root == nil {
+		return
+	}
+	b := l.findBorder(from)
+	i := b.lowerBound(from)
+	for b != nil {
+		for ; i < b.n; i++ {
+			if !fn(b.keys[i], &b.vals[i]) {
+				return
+			}
+		}
+		b = b.next
+		i = 0
+	}
+}

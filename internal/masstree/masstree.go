@@ -1,0 +1,312 @@
+// Package masstree implements Masstree (Mao, Kohler, Morris — EuroSys
+// 2012), the paper's hybrid trie/B-tree competitor: a trie with a span of
+// 64 bits whose nodes are B+-trees. Each layer indexes one 8-byte slice of
+// the key; keys whose slices collide push the remainder into a deeper
+// layer, and keys extending beyond a unique slice keep their remainder as
+// an inline suffix in the border node (which is why Masstree's memory
+// footprint balloons for long string keys — the effect the paper's memory
+// experiment shows).
+//
+// This is a single-threaded structural reproduction: B+-tree layers with
+// 15-entry border nodes and 16-way interior nodes, inline key suffixes,
+// layer creation on slice collision. Masstree's OCC synchronization
+// protocol is out of scope (see DESIGN.md); the scalability experiment
+// wraps the tree in internal/striped.
+package masstree
+
+import (
+	"bytes"
+
+	"github.com/hotindex/hot/internal/key"
+)
+
+// TID is a tuple identifier.
+type TID = uint64
+
+const (
+	borderFanout   = 15 // entries per border (leaf) node, as in Masstree
+	interiorFanout = 16 // children per interior node
+	// layerLen marks an entry whose keys extend beyond the 8-byte slice
+	// (inline suffix or sublayer); it sorts after every terminal length.
+	layerLen = 9
+)
+
+// ikey is a layer-local key: the 8-byte big-endian slice plus the number of
+// meaningful bytes (0..8 terminal, layerLen for longer keys).
+type ikey struct {
+	slice uint64
+	l     uint8
+}
+
+func ikeyLess(a, b ikey) bool {
+	return a.slice < b.slice || (a.slice == b.slice && a.l < b.l)
+}
+
+// entry is a border-node value: a terminal TID, a TID with an inline
+// suffix, or a link to the next layer.
+type entry struct {
+	tid    TID
+	suffix []byte // non-nil: key continues with these bytes (l == layerLen)
+	layer  *layer // non-nil: multiple keys share the slice (l == layerLen)
+}
+
+// sliceAt extracts the 8-byte big-endian slice of k at byte offset depth,
+// zero-padded past the end.
+func sliceAt(k []byte, depth int) uint64 {
+	var w uint64
+	for i := 0; i < 8; i++ {
+		w |= uint64(key.Byte(k, depth+i)) << (56 - 8*i)
+	}
+	return w
+}
+
+func ikeyAt(k []byte, depth int) ikey {
+	rem := len(k) - depth
+	if rem > 8 {
+		return ikey{sliceAt(k, depth), layerLen}
+	}
+	return ikey{sliceAt(k, depth), uint8(rem)}
+}
+
+// Tree is a single-threaded Masstree.
+type Tree struct {
+	root layer
+	size int
+}
+
+// New returns an empty Masstree. Unlike the other index structures,
+// Masstree stores key remainders inline and needs no TID loader.
+func New() *Tree { return &Tree{} }
+
+// Len returns the number of stored keys.
+func (t *Tree) Len() int { return t.size }
+
+// Lookup returns the TID stored under k.
+func (t *Tree) Lookup(k []byte) (TID, bool) {
+	l := &t.root
+	depth := 0
+	for {
+		ik := ikeyAt(k, depth)
+		e := l.find(ik)
+		if e == nil {
+			return 0, false
+		}
+		if ik.l != layerLen {
+			return e.tid, true
+		}
+		if e.layer != nil {
+			l = e.layer
+			depth += 8
+			continue
+		}
+		if bytes.Equal(e.suffix, k[depth+8:]) {
+			return e.tid, true
+		}
+		return 0, false
+	}
+}
+
+// Insert stores tid under k, reporting false if the key already exists.
+func (t *Tree) Insert(k []byte, tid TID) bool {
+	if t.insert(&t.root, k, 0, tid) {
+		t.size++
+		return true
+	}
+	return false
+}
+
+func (t *Tree) insert(l *layer, k []byte, depth int, tid TID) bool {
+	ik := ikeyAt(k, depth)
+	if ik.l != layerLen {
+		return l.insert(ik, entry{tid: tid})
+	}
+	e := l.find(ik)
+	if e == nil {
+		suffix := append([]byte(nil), k[depth+8:]...)
+		return l.insert(ik, entry{tid: tid, suffix: suffix})
+	}
+	if e.layer != nil {
+		return t.insert(e.layer, k, depth+8, tid)
+	}
+	if bytes.Equal(e.suffix, k[depth+8:]) {
+		return false // duplicate
+	}
+	// Slice collision: push both remainders into a fresh layer.
+	sub := &layer{}
+	t.insert(sub, e.suffix, 0, e.tid)
+	ok := t.insert(sub, k[depth+8:], 0, tid)
+	e.layer = sub
+	e.suffix = nil
+	e.tid = 0
+	return ok
+}
+
+// Upsert stores tid under k, returning a replaced TID if one existed.
+func (t *Tree) Upsert(k []byte, tid TID) (TID, bool) {
+	l := &t.root
+	depth := 0
+	for {
+		ik := ikeyAt(k, depth)
+		e := l.find(ik)
+		if e == nil {
+			t.insert(l, k, depth, tid)
+			t.size++
+			return 0, false
+		}
+		if ik.l != layerLen {
+			old := e.tid
+			e.tid = tid
+			return old, true
+		}
+		if e.layer != nil {
+			l = e.layer
+			depth += 8
+			continue
+		}
+		if bytes.Equal(e.suffix, k[depth+8:]) {
+			old := e.tid
+			e.tid = tid
+			return old, true
+		}
+		t.insert(l, k, depth, tid)
+		t.size++
+		return 0, false
+	}
+}
+
+// Delete removes k, reporting whether it was present. Layers left with a
+// single suffix entry are not collapsed (lazy deletion).
+func (t *Tree) Delete(k []byte) bool {
+	l := &t.root
+	depth := 0
+	for {
+		ik := ikeyAt(k, depth)
+		if ik.l != layerLen {
+			if l.remove(ik, nil) {
+				t.size--
+				return true
+			}
+			return false
+		}
+		e := l.find(ik)
+		if e == nil {
+			return false
+		}
+		if e.layer != nil {
+			l = e.layer
+			depth += 8
+			continue
+		}
+		if !bytes.Equal(e.suffix, k[depth+8:]) {
+			return false
+		}
+		if l.remove(ik, nil) {
+			t.size--
+			return true
+		}
+		return false
+	}
+}
+
+// Scan invokes fn for up to max entries in ascending key order starting at
+// the first key ≥ start, returning the number visited.
+func (t *Tree) Scan(start []byte, max int, fn func(TID) bool) int {
+	if max <= 0 {
+		return 0
+	}
+	count := 0
+	emit := func(tid TID) bool {
+		count++
+		if !fn(tid) {
+			return false
+		}
+		return count < max
+	}
+	t.scanLayer(&t.root, start, 0, emit)
+	return count
+}
+
+// scanLayer walks one layer in order. start is the full search key; depth
+// the layer's byte offset (start == nil: unbounded).
+func (t *Tree) scanLayer(l *layer, start []byte, depth int, emit func(TID) bool) bool {
+	var from ikey
+	tight := false
+	if start != nil && len(start) > depth {
+		from = ikeyAt(start, depth)
+		tight = true
+	}
+	// start exhausted at this depth (or nil): every entry qualifies.
+	cont := true
+	l.walkFrom(from, func(ik ikey, e *entry) bool {
+		switch {
+		case ik.l != layerLen:
+			cont = emit(e.tid)
+		case e.layer != nil:
+			if tight && ik == from {
+				cont = t.scanLayer(e.layer, start, depth+8, emit)
+			} else {
+				cont = t.scanLayer(e.layer, nil, 0, emit)
+			}
+		default:
+			if tight && ik == from && bytes.Compare(e.suffix, start[depth+8:]) < 0 {
+				return true
+			}
+			cont = emit(e.tid)
+		}
+		return cont
+	})
+	return cont
+}
+
+// MemoryStats reports Masstree's node census and paper-style footprint:
+// border nodes (15 slots of key slice + value + keylen byte + metadata),
+// interior nodes, and the inline key suffix bytes that dominate for long
+// keys.
+type MemoryStats struct {
+	Borders     int
+	Interiors   int
+	Layers      int
+	SuffixBytes int
+	PaperBytes  int
+}
+
+const (
+	borderBytes   = 15*(8+8+1) + 24 // slices + values + keylens + meta/next
+	interiorBytes = 16*8 + 17*8     // keys + children
+)
+
+// Memory computes memory statistics by walking all layers.
+func (t *Tree) Memory() MemoryStats {
+	var m MemoryStats
+	var walkLayer func(l *layer)
+	walkLayer = func(l *layer) {
+		m.Layers++
+		var walk func(n mnode)
+		walk = func(n mnode) {
+			switch v := n.(type) {
+			case *interior:
+				m.Interiors++
+				m.PaperBytes += interiorBytes
+				for i := 0; i < v.n; i++ {
+					walk(v.children[i])
+				}
+			case *border:
+				m.Borders++
+				m.PaperBytes += borderBytes
+				for i := 0; i < v.n; i++ {
+					if e := &v.vals[i]; e.layer != nil {
+						walkLayer(e.layer)
+					} else if e.suffix != nil {
+						m.SuffixBytes += len(e.suffix)
+						m.PaperBytes += len(e.suffix) + 8 // suffix + length/ptr
+					}
+				}
+			}
+		}
+		if l.root != nil {
+			walk(l.root)
+		}
+	}
+	walkLayer(&t.root)
+	return m
+}

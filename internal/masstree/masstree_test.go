@@ -1,0 +1,301 @@
+package masstree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestEmpty(t *testing.T) {
+	tr := New()
+	if _, ok := tr.Lookup([]byte("x")); ok || tr.Delete([]byte("x")) || tr.Len() != 0 {
+		t.Error("empty tree misbehaves")
+	}
+}
+
+func TestShortKeys(t *testing.T) {
+	tr := New()
+	words := []string{"a", "ab", "abc", "zzz", "m", ""}
+	for i, w := range words {
+		if !tr.Insert([]byte(w), TID(i)) {
+			t.Fatalf("insert %q failed", w)
+		}
+	}
+	for i, w := range words {
+		if tid, ok := tr.Lookup([]byte(w)); !ok || tid != TID(i) {
+			t.Fatalf("lookup %q = (%d,%v)", w, tid, ok)
+		}
+	}
+	if _, ok := tr.Lookup([]byte("nope")); ok {
+		t.Error("phantom key")
+	}
+	if tr.Insert([]byte("ab"), 99) {
+		t.Error("duplicate insert")
+	}
+}
+
+func TestLayerCreationOnCollision(t *testing.T) {
+	tr := New()
+	// Same first 8 bytes, different remainders → sublayer.
+	a := []byte("prefix00-alpha")
+	b := []byte("prefix00-beta")
+	c := []byte("prefix00")
+	tr.Insert(a, 1)
+	m := tr.Memory()
+	if m.Layers != 1 || m.SuffixBytes != len(a)-8 {
+		t.Fatalf("after first long key: %+v", m)
+	}
+	tr.Insert(b, 2)
+	m = tr.Memory()
+	if m.Layers < 2 {
+		t.Fatalf("collision did not create a layer: %+v", m)
+	}
+	tr.Insert(c, 3)
+	for i, k := range [][]byte{a, b, c} {
+		if tid, ok := tr.Lookup(k); !ok || tid != TID(i+1) {
+			t.Fatalf("lookup %q = (%d,%v)", k, tid, ok)
+		}
+	}
+	if _, ok := tr.Lookup([]byte("prefix00-gamma")); ok {
+		t.Error("phantom in sublayer")
+	}
+}
+
+func TestDeepLayers(t *testing.T) {
+	tr := New()
+	// Keys sharing 32-byte prefixes force 4+ layers.
+	base := strings.Repeat("p", 32)
+	var keys []string
+	for i := 0; i < 500; i++ {
+		keys = append(keys, fmt.Sprintf("%s%06d", base, i))
+	}
+	for i, k := range keys {
+		if !tr.Insert([]byte(k), TID(i)) {
+			t.Fatalf("insert %d failed", i)
+		}
+	}
+	m := tr.Memory()
+	if m.Layers < 4 {
+		t.Errorf("expected deep layer chain, got %+v", m)
+	}
+	for i, k := range keys {
+		if tid, ok := tr.Lookup([]byte(k)); !ok || tid != TID(i) {
+			t.Fatalf("lookup %d failed", i)
+		}
+	}
+}
+
+func TestRandomOracle(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(19))
+	oracle := map[string]TID{}
+	var keys []string
+	nextTID := TID(0)
+	for step := 0; step < 30000; step++ {
+		if rng.Intn(3) != 0 || len(oracle) == 0 {
+			var k []byte
+			if rng.Intn(2) == 0 {
+				k = make([]byte, 8)
+				binary.BigEndian.PutUint64(k, rng.Uint64()>>1)
+			} else {
+				k = []byte(fmt.Sprintf("user%08d@domain%03d.example.com", rng.Intn(1e8), rng.Intn(1000)))
+			}
+			if _, dup := oracle[string(k)]; dup {
+				continue
+			}
+			if !tr.Insert(k, nextTID) {
+				t.Fatalf("insert failed at step %d", step)
+			}
+			oracle[string(k)] = nextTID
+			keys = append(keys, string(k))
+			nextTID++
+		} else {
+			k := keys[rng.Intn(len(keys))]
+			_, present := oracle[k]
+			if got := tr.Delete([]byte(k)); got != present {
+				t.Fatalf("delete %q = %v want %v", k, got, present)
+			}
+			delete(oracle, k)
+		}
+		if tr.Len() != len(oracle) {
+			t.Fatalf("len %d != %d at step %d", tr.Len(), len(oracle), step)
+		}
+	}
+	for k, tid := range oracle {
+		if got, ok := tr.Lookup([]byte(k)); !ok || got != tid {
+			t.Fatalf("lookup %q = (%d,%v) want %d", k, got, ok, tid)
+		}
+	}
+}
+
+func TestUpsert(t *testing.T) {
+	tr := New()
+	k := []byte("the-key-is-longer-than-eight")
+	if old, rep := tr.Upsert(k, 1); rep {
+		t.Fatalf("fresh upsert replaced %d", old)
+	}
+	if old, rep := tr.Upsert(k, 2); !rep || old != 1 {
+		t.Fatalf("upsert = (%d,%v)", old, rep)
+	}
+	if got, _ := tr.Lookup(k); got != 2 {
+		t.Fatal("not updated")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	// Upsert with a colliding slice but different suffix inserts fresh.
+	k2 := []byte("the-key-is-also-long")
+	if _, rep := tr.Upsert(k2, 3); rep {
+		t.Fatal("unexpected replacement")
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+}
+
+func TestScanOrdered(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(25))
+	seen := map[string]bool{}
+	var keys []string
+	for len(keys) < 3000 {
+		var k string
+		switch rng.Intn(3) {
+		case 0:
+			b := make([]byte, 8)
+			binary.BigEndian.PutUint64(b, rng.Uint64()>>1)
+			k = string(b)
+		case 1:
+			k = fmt.Sprintf("shared/prefix/longer/than/eight/%06d", rng.Intn(1e6))
+		default:
+			k = fmt.Sprintf("%05d", rng.Intn(1e5))
+		}
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	byKey := map[string]TID{}
+	for i, k := range keys {
+		tr.Insert([]byte(k), TID(i))
+		byKey[k] = TID(i)
+	}
+	sorted := append([]string(nil), keys...)
+	sort.Strings(sorted)
+
+	var got []TID
+	tr.Scan(nil, len(keys)+1, func(tid TID) bool {
+		got = append(got, tid)
+		return true
+	})
+	if len(got) != len(sorted) {
+		t.Fatalf("full scan %d, want %d", len(got), len(sorted))
+	}
+	for i, tid := range got {
+		if tid != byKey[sorted[i]] {
+			t.Fatalf("scan[%d] = tid %d, want %d (%q)", i, tid, byKey[sorted[i]], sorted[i])
+		}
+	}
+
+	for trial := 0; trial < 200; trial++ {
+		var start string
+		if trial%2 == 0 {
+			start = sorted[rng.Intn(len(sorted))]
+		} else {
+			start = fmt.Sprintf("shared/prefix/longer/than/eight/%06d", rng.Intn(1e6))
+		}
+		max := 1 + rng.Intn(100)
+		var got []TID
+		tr.Scan([]byte(start), max, func(tid TID) bool {
+			got = append(got, tid)
+			return true
+		})
+		lb := sort.SearchStrings(sorted, start)
+		want := sorted[lb:]
+		if len(want) > max {
+			want = want[:max]
+		}
+		if len(got) != len(want) {
+			t.Fatalf("scan(%q,%d) = %d results, want %d", start, max, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != byKey[want[i]] {
+				t.Fatalf("scan(%q)[%d] wrong", start, i)
+			}
+		}
+	}
+}
+
+func TestSuffixMemoryGrowsWithKeyLength(t *testing.T) {
+	// The paper's observation: Masstree's footprint explodes for long keys.
+	shortTr, longTr := New(), New()
+	buf := make([]byte, 8)
+	rng := rand.New(rand.NewSource(30))
+	for i := 0; i < 5000; i++ {
+		binary.BigEndian.PutUint64(buf, rng.Uint64()>>1)
+		shortTr.Insert(buf, TID(i))
+		long := []byte(fmt.Sprintf("http://site%04d.example.org/path/to/some/deeply/nested/resource/%08d", i%100, i))
+		longTr.Insert(long, TID(i))
+	}
+	ms, ml := shortTr.Memory(), longTr.Memory()
+	if ml.PaperBytes < ms.PaperBytes*3/2 {
+		t.Errorf("long keys should cost much more: short %d, long %d", ms.PaperBytes, ml.PaperBytes)
+	}
+
+	// Keys with unique slices keep their tails as inline suffixes.
+	uniq := New()
+	for i := 0; i < 1000; i++ {
+		k := make([]byte, 40)
+		rng.Read(k)
+		uniq.Insert(k, TID(i))
+	}
+	if m := uniq.Memory(); m.SuffixBytes == 0 {
+		t.Error("unique long keys stored no inline suffixes")
+	}
+}
+
+func TestBorderSplits(t *testing.T) {
+	// Sequential 8-byte keys drive border and interior splits in one layer.
+	tr := New()
+	buf := make([]byte, 8)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		binary.BigEndian.PutUint64(buf, uint64(i))
+		if !tr.Insert(buf, TID(i)) {
+			t.Fatalf("insert %d", i)
+		}
+	}
+	m := tr.Memory()
+	if m.Layers != 1 || m.Borders < n/borderFanout || m.Interiors == 0 {
+		t.Errorf("unexpected shape: %+v", m)
+	}
+	for i := 0; i < n; i++ {
+		binary.BigEndian.PutUint64(buf, uint64(i))
+		if tid, ok := tr.Lookup(buf); !ok || tid != TID(i) {
+			t.Fatalf("lookup %d failed", i)
+		}
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	tr := New()
+	var keys []string
+	for i := 0; i < 1500; i++ {
+		keys = append(keys, fmt.Sprintf("key/with/longish/path/%05d", i))
+	}
+	for i, k := range keys {
+		tr.Insert([]byte(k), TID(i))
+	}
+	perm := rand.New(rand.NewSource(31)).Perm(len(keys))
+	for _, i := range perm {
+		if !tr.Delete([]byte(keys[i])) {
+			t.Fatalf("delete %q failed", keys[i])
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+}

@@ -1,0 +1,269 @@
+// Package patricia implements a binary Patricia trie (Morrison 1968), the
+// structure HOT's compound nodes linearize. It is used three ways in this
+// repository: as the "BIN" baseline of the paper's tree-height experiment
+// (Figure 11), as a correctness oracle for the HOT implementation, and as
+// the conceptual reference for the insertion cases in Section 3.
+//
+// Like all tries here, it stores TIDs at the leaves and resolves full keys
+// through a loader, exactly as a main-memory database resolves tuples.
+package patricia
+
+import (
+	"github.com/hotindex/hot/internal/key"
+)
+
+// TID is a tuple identifier (must be < 1<<63, mirroring the paper's
+// pointer-tagging headroom).
+type TID = uint64
+
+// Loader resolves the key bytes stored under a TID. The buf argument may be
+// used as scratch space to avoid allocations; implementations return the key
+// (which may alias buf).
+type Loader func(tid TID, buf []byte) []byte
+
+// Trie is a binary Patricia trie. The zero value is not ready to use; call
+// New.
+type Trie struct {
+	loader Loader
+	root   node // nil when empty
+	size   int
+	buf    []byte
+}
+
+// node is either *inner or leaf.
+type node interface{ isNode() }
+
+type inner struct {
+	bit         int // discriminative bit position
+	left, right node
+}
+
+type leaf struct {
+	tid TID
+}
+
+func (*inner) isNode() {}
+func (*leaf) isNode()  {}
+
+// New returns an empty Patricia trie resolving keys through loader.
+func New(loader Loader) *Trie {
+	return &Trie{loader: loader, buf: make([]byte, 0, 64)}
+}
+
+// Len returns the number of keys stored.
+func (t *Trie) Len() int { return t.size }
+
+func (t *Trie) load(tid TID) []byte { return t.loader(tid, t.buf[:0]) }
+
+// Lookup returns the TID stored under k.
+func (t *Trie) Lookup(k []byte) (TID, bool) {
+	if t.root == nil {
+		return 0, false
+	}
+	n := t.root
+	for {
+		switch v := n.(type) {
+		case *inner:
+			if key.Bit(k, v.bit) == 0 {
+				n = v.left
+			} else {
+				n = v.right
+			}
+		case *leaf:
+			// Patricia lookups can be false positives; verify.
+			if _, differ := key.MismatchBit(t.load(v.tid), k); differ {
+				return 0, false
+			}
+			return v.tid, true
+		}
+	}
+}
+
+// Insert stores tid under k. It reports false (without modification) if k is
+// already present.
+func (t *Trie) Insert(k []byte, tid TID) bool {
+	if t.root == nil {
+		t.root = &leaf{tid: tid}
+		t.size++
+		return true
+	}
+	// Find the candidate leaf for k.
+	n := t.root
+	for {
+		v, ok := n.(*inner)
+		if !ok {
+			break
+		}
+		if key.Bit(k, v.bit) == 0 {
+			n = v.left
+		} else {
+			n = v.right
+		}
+	}
+	mb, differ := key.MismatchBit(t.load(n.(*leaf).tid), k)
+	if !differ {
+		return false
+	}
+	// Insert a new BiNode at depth mb: descend again until we reach a node
+	// whose bit exceeds mb (or a leaf), then splice.
+	nl := &leaf{tid: tid}
+	newBit := key.Bit(k, mb)
+	link := &t.root
+	for {
+		v, ok := (*link).(*inner)
+		if !ok || v.bit > mb {
+			break
+		}
+		if key.Bit(k, v.bit) == 0 {
+			link = &v.left
+		} else {
+			link = &v.right
+		}
+	}
+	d := &inner{bit: mb}
+	if newBit == 0 {
+		d.left, d.right = node(nl), *link
+	} else {
+		d.left, d.right = *link, node(nl)
+	}
+	*link = d
+	t.size++
+	return true
+}
+
+// Delete removes k. It reports whether the key was present.
+func (t *Trie) Delete(k []byte) bool {
+	if t.root == nil {
+		return false
+	}
+	var parent *inner
+	parentLink := &t.root // slot holding parent (or root leaf)
+	link := &t.root
+	for {
+		v, ok := (*link).(*inner)
+		if !ok {
+			break
+		}
+		parentLink = link
+		parent = v
+		if key.Bit(k, v.bit) == 0 {
+			link = &v.left
+		} else {
+			link = &v.right
+		}
+	}
+	lf := (*link).(*leaf)
+	if _, differ := key.MismatchBit(t.load(lf.tid), k); differ {
+		return false
+	}
+	t.size--
+	if parent == nil {
+		t.root = nil
+		return true
+	}
+	// Replace the parent BiNode with the sibling (Patricia collapse).
+	if parent.left == node(lf) {
+		*parentLink = parent.right
+	} else {
+		*parentLink = parent.left
+	}
+	return true
+}
+
+// Scan calls fn for up to max leaves in ascending key order starting at the
+// first key ≥ start, returning the number visited. fn returning false stops
+// the scan early.
+func (t *Trie) Scan(start []byte, max int, fn func(TID) bool) int {
+	if t.root == nil || max <= 0 {
+		return 0
+	}
+	count := 0
+	started := false
+	var walk func(n node) bool
+	walk = func(n node) bool {
+		switch v := n.(type) {
+		case *inner:
+			if !walk(v.left) {
+				return false
+			}
+			return walk(v.right)
+		case *leaf:
+			if !started {
+				if key.Compare(t.load(v.tid), start) < 0 {
+					return true
+				}
+				started = true
+			}
+			count++
+			if !fn(v.tid) || count >= max {
+				return false
+			}
+		}
+		return true
+	}
+	walk(t.root)
+	return count
+}
+
+// DepthStats describes the distribution of leaf depths, the measure used in
+// the paper's Figure 11 (a leaf directly under the root has depth 1).
+type DepthStats struct {
+	Leaves int
+	Min    int
+	Max    int
+	Mean   float64
+	Hist   map[int]int
+}
+
+// Depths computes the leaf-depth distribution of the trie.
+func (t *Trie) Depths() DepthStats {
+	st := DepthStats{Hist: map[int]int{}}
+	if t.root == nil {
+		return st
+	}
+	var walk func(n node, d int)
+	walk = func(n node, d int) {
+		switch v := n.(type) {
+		case *inner:
+			walk(v.left, d+1)
+			walk(v.right, d+1)
+		case *leaf:
+			st.Leaves++
+			st.Hist[d]++
+			if st.Min == 0 || d < st.Min {
+				st.Min = d
+			}
+			if d > st.Max {
+				st.Max = d
+			}
+			st.Mean += float64(d)
+		}
+	}
+	walk(t.root, 1)
+	if st.Leaves > 0 {
+		st.Mean /= float64(st.Leaves)
+	}
+	return st
+}
+
+// MemoryUsage returns the structure's size in bytes, counted the way the
+// paper counts competitor structures: one inner BiNode = bit index (4 B) +
+// two 8-byte pointers; one leaf = an 8-byte TID.
+func (t *Trie) MemoryUsage() int {
+	var sz int
+	var walk func(n node)
+	walk = func(n node) {
+		switch v := n.(type) {
+		case *inner:
+			sz += 4 + 2*8
+			walk(v.left)
+			walk(v.right)
+		case *leaf:
+			sz += 8
+		}
+	}
+	if t.root != nil {
+		walk(t.root)
+	}
+	return sz
+}

@@ -1,0 +1,263 @@
+package patricia
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// kv is a simple TID→key store for tests: tid is an index into keys.
+type kv struct {
+	keys [][]byte
+}
+
+func (s *kv) loader() Loader {
+	return func(tid TID, _ []byte) []byte { return s.keys[tid] }
+}
+
+func (s *kv) add(k string) TID {
+	s.keys = append(s.keys, []byte(k))
+	return TID(len(s.keys) - 1)
+}
+
+func newTrie() (*Trie, *kv) {
+	s := &kv{}
+	return New(s.loader()), s
+}
+
+func TestEmpty(t *testing.T) {
+	tr, _ := newTrie()
+	if _, ok := tr.Lookup([]byte("x")); ok {
+		t.Error("lookup in empty trie succeeded")
+	}
+	if tr.Delete([]byte("x")) {
+		t.Error("delete in empty trie succeeded")
+	}
+	if tr.Len() != 0 {
+		t.Error("empty trie has nonzero len")
+	}
+}
+
+func TestInsertLookup(t *testing.T) {
+	tr, s := newTrie()
+	words := []string{"romane", "romanus", "romulus", "rubens", "ruber", "rubicon", "rubicundus"}
+	for _, w := range words {
+		tid := s.add(w)
+		if !tr.Insert([]byte(w), tid) {
+			t.Fatalf("insert %q failed", w)
+		}
+	}
+	if tr.Len() != len(words) {
+		t.Fatalf("len = %d, want %d", tr.Len(), len(words))
+	}
+	for i, w := range words {
+		tid, ok := tr.Lookup([]byte(w))
+		if !ok || tid != TID(i) {
+			t.Errorf("lookup %q = (%d, %v), want (%d, true)", w, tid, ok, i)
+		}
+	}
+	for _, miss := range []string{"", "r", "roman", "romanes", "rubicundusx", "z"} {
+		if _, ok := tr.Lookup([]byte(miss)); ok {
+			t.Errorf("lookup %q unexpectedly found", miss)
+		}
+	}
+}
+
+func TestDuplicateInsert(t *testing.T) {
+	tr, s := newTrie()
+	tid := s.add("hello")
+	if !tr.Insert([]byte("hello"), tid) {
+		t.Fatal("first insert failed")
+	}
+	if tr.Insert([]byte("hello"), s.add("hello")) {
+		t.Fatal("duplicate insert succeeded")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr, s := newTrie()
+	words := []string{"a", "ab", "abc", "b", "ba", "c"}
+	for _, w := range words {
+		tr.Insert([]byte(w), s.add(w))
+	}
+	for i, w := range words {
+		if !tr.Delete([]byte(w)) {
+			t.Fatalf("delete %q failed", w)
+		}
+		if tr.Delete([]byte(w)) {
+			t.Fatalf("double delete %q succeeded", w)
+		}
+		for j, other := range words {
+			_, ok := tr.Lookup([]byte(other))
+			if want := j > i; ok != want {
+				t.Fatalf("after deleting %q: lookup %q = %v, want %v", w, other, ok, want)
+			}
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("len = %d after deleting all", tr.Len())
+	}
+}
+
+func TestScanOrder(t *testing.T) {
+	tr, s := newTrie()
+	words := []string{"pear", "apple", "cherry", "banana", "apricot", "fig", "date"}
+	for _, w := range words {
+		tr.Insert([]byte(w), s.add(w))
+	}
+	var got []string
+	tr.Scan(nil, 100, func(tid TID) bool {
+		got = append(got, string(s.keys[tid]))
+		return true
+	})
+	want := append([]string(nil), words...)
+	sort.Strings(want)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("scan order %v, want %v", got, want)
+	}
+
+	// Start key in the middle, bounded count.
+	got = got[:0]
+	n := tr.Scan([]byte("banana"), 3, func(tid TID) bool {
+		got = append(got, string(s.keys[tid]))
+		return true
+	})
+	if n != 3 || fmt.Sprint(got) != fmt.Sprint([]string{"banana", "cherry", "date"}) {
+		t.Errorf("bounded scan = %v (n=%d)", got, n)
+	}
+
+	// Start key that is not present.
+	got = got[:0]
+	tr.Scan([]byte("c"), 2, func(tid TID) bool {
+		got = append(got, string(s.keys[tid]))
+		return true
+	})
+	if fmt.Sprint(got) != fmt.Sprint([]string{"cherry", "date"}) {
+		t.Errorf("scan from absent key = %v", got)
+	}
+}
+
+func TestRandomAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tr, s := newTrie()
+	oracle := map[string]TID{}
+	for i := 0; i < 5000; i++ {
+		k := make([]byte, 8)
+		binary.BigEndian.PutUint64(k, rng.Uint64()>>1)
+		op := rng.Intn(10)
+		switch {
+		case op < 6: // insert
+			if _, dup := oracle[string(k)]; dup {
+				continue
+			}
+			tid := s.add(string(k))
+			if !tr.Insert(k, tid) {
+				t.Fatalf("insert %x failed", k)
+			}
+			oracle[string(k)] = tid
+		case op < 8 && len(oracle) > 0: // delete existing
+			for ks := range oracle {
+				kb := []byte(ks)
+				if !tr.Delete(kb) {
+					t.Fatalf("delete %x failed", kb)
+				}
+				delete(oracle, ks)
+				break
+			}
+		default: // lookup absent
+			if _, ok := tr.Lookup(k); ok {
+				if _, present := oracle[string(k)]; !present {
+					t.Fatalf("phantom key %x", k)
+				}
+			}
+		}
+	}
+	if tr.Len() != len(oracle) {
+		t.Fatalf("len %d != oracle %d", tr.Len(), len(oracle))
+	}
+	for ks, tid := range oracle {
+		got, ok := tr.Lookup([]byte(ks))
+		if !ok || got != tid {
+			t.Fatalf("lookup %x = (%d,%v), want (%d,true)", ks, got, ok, tid)
+		}
+	}
+	// Full scan must equal sorted oracle keys.
+	var want []string
+	for ks := range oracle {
+		want = append(want, ks)
+	}
+	sort.Strings(want)
+	var got []string
+	tr.Scan(nil, len(oracle)+1, func(tid TID) bool {
+		got = append(got, string(s.keys[tid]))
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("scan returned %d keys, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("scan[%d] = %x, want %x", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDepthStats(t *testing.T) {
+	tr, s := newTrie()
+	// Figure 2b's structure: a Patricia trie storing n keys has n-1 inner
+	// BiNodes; a 2-key trie has both leaves at depth 2.
+	tr.Insert([]byte{0x00}, s.add("\x00"))
+	tr.Insert([]byte{0x80}, s.add("\x80"))
+	st := tr.Depths()
+	if st.Leaves != 2 || st.Min != 2 || st.Max != 2 || st.Mean != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+
+	// A single key sits at depth 1.
+	tr2, s2 := newTrie()
+	tr2.Insert([]byte("only"), s2.add("only"))
+	if st := tr2.Depths(); st.Leaves != 1 || st.Max != 1 {
+		t.Errorf("single-key stats = %+v", st)
+	}
+}
+
+func TestMemoryUsage(t *testing.T) {
+	tr, s := newTrie()
+	if tr.MemoryUsage() != 0 {
+		t.Error("empty trie uses memory")
+	}
+	tr.Insert([]byte("a"), s.add("a"))
+	tr.Insert([]byte("b"), s.add("b"))
+	// 1 inner (20 B) + 2 leaves (8 B each).
+	if got := tr.MemoryUsage(); got != 20+16 {
+		t.Errorf("memory = %d", got)
+	}
+}
+
+func TestInsertionOrderIndependence(t *testing.T) {
+	// Tries are history-independent: any insertion order yields the same
+	// structure, hence identical depth stats.
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"}
+	var ref DepthStats
+	for trial := 0; trial < 5; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		perm := rng.Perm(len(words))
+		tr, s := newTrie()
+		for _, i := range perm {
+			tr.Insert([]byte(words[i]), s.add(words[i]))
+		}
+		st := tr.Depths()
+		if trial == 0 {
+			ref = st
+			continue
+		}
+		if st.Mean != ref.Mean || st.Max != ref.Max || st.Min != ref.Min {
+			t.Fatalf("trial %d: stats %+v differ from %+v", trial, st, ref)
+		}
+	}
+}

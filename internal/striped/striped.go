@@ -1,0 +1,114 @@
+// Package striped provides hash-partitioned synchronization for the
+// single-threaded baseline indexes: P independent partitions, each guarded
+// by a read-write mutex, with keys routed by a byte-string hash.
+//
+// This is the documented substitution (see DESIGN.md) for the baselines'
+// native synchronization protocols in the paper's scalability experiment
+// (ART-ROWEX, Masstree's OCC): partitioning preserves the experiment's
+// observable property — near-linear scaling of uniformly distributed
+// inserts and lookups — without reproducing the competitors' internal
+// protocols. HOT itself uses its real ROWEX implementation (core package).
+// Range scans across partitions are not supported; the scalability
+// workload does not scan.
+package striped
+
+import (
+	"sync"
+)
+
+// Index is the single-threaded index interface the wrapper partitions.
+type Index interface {
+	Insert(k []byte, tid uint64) bool
+	Upsert(k []byte, tid uint64) (uint64, bool)
+	Lookup(k []byte) (uint64, bool)
+	Delete(k []byte) bool
+	Len() int
+}
+
+// Map wraps P single-threaded indexes; all methods are safe for concurrent
+// use.
+type Map struct {
+	stripes []stripe
+	mask    uint64
+}
+
+type stripe struct {
+	mu  sync.RWMutex
+	idx Index
+	_   [6]uint64 // separate stripes across cache lines
+}
+
+// New builds a striped map with n partitions (rounded up to a power of
+// two), each created by mk.
+func New(n int, mk func() Index) *Map {
+	p := 1
+	for p < n {
+		p *= 2
+	}
+	m := &Map{stripes: make([]stripe, p), mask: uint64(p - 1)}
+	for i := range m.stripes {
+		m.stripes[i].idx = mk()
+	}
+	return m
+}
+
+// hash is FNV-1a over the key bytes.
+func hash(k []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range k {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	return h
+}
+
+func (m *Map) stripe(k []byte) *stripe {
+	return &m.stripes[hash(k)&m.mask]
+}
+
+// Insert stores tid under k, reporting false if the key already exists.
+func (m *Map) Insert(k []byte, tid uint64) bool {
+	s := m.stripe(k)
+	s.mu.Lock()
+	ok := s.idx.Insert(k, tid)
+	s.mu.Unlock()
+	return ok
+}
+
+// Upsert stores tid under k, returning a replaced TID if one existed.
+func (m *Map) Upsert(k []byte, tid uint64) (uint64, bool) {
+	s := m.stripe(k)
+	s.mu.Lock()
+	old, rep := s.idx.Upsert(k, tid)
+	s.mu.Unlock()
+	return old, rep
+}
+
+// Lookup returns the TID stored under k.
+func (m *Map) Lookup(k []byte) (uint64, bool) {
+	s := m.stripe(k)
+	s.mu.RLock()
+	tid, ok := s.idx.Lookup(k)
+	s.mu.RUnlock()
+	return tid, ok
+}
+
+// Delete removes k, reporting whether it was present.
+func (m *Map) Delete(k []byte) bool {
+	s := m.stripe(k)
+	s.mu.Lock()
+	ok := s.idx.Delete(k)
+	s.mu.Unlock()
+	return ok
+}
+
+// Len returns the total number of stored keys.
+func (m *Map) Len() int {
+	n := 0
+	for i := range m.stripes {
+		s := &m.stripes[i]
+		s.mu.RLock()
+		n += s.idx.Len()
+		s.mu.RUnlock()
+	}
+	return n
+}

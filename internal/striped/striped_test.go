@@ -1,0 +1,142 @@
+package striped
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+
+	"github.com/hotindex/hot/internal/art"
+	"github.com/hotindex/hot/internal/btree"
+	"github.com/hotindex/hot/internal/masstree"
+	"github.com/hotindex/hot/internal/tidstore"
+)
+
+func builders() map[string]func() Index {
+	return map[string]func() Index{
+		"art": func() Index {
+			s := &tidstore.Store{}
+			return &storeBacked{idx: art.New(s.Key), s: s}
+		},
+		"btree": func() Index {
+			s := &tidstore.Store{}
+			return &storeBacked{idx: btree.New(s.Key), s: s}
+		},
+		"masstree": func() Index { return masstree.New() },
+	}
+}
+
+// storeBacked adapts loader-based trees: tids here are provided by the
+// caller but keys must exist in the stripe-local store, so it registers the
+// key on insert and maps external tids through a translation table.
+type storeBacked struct {
+	idx interface {
+		Insert(k []byte, tid uint64) bool
+		Upsert(k []byte, tid uint64) (uint64, bool)
+		Lookup(k []byte) (uint64, bool)
+		Delete(k []byte) bool
+		Len() int
+	}
+	s   *tidstore.Store
+	ext []uint64
+}
+
+func (b *storeBacked) register(k []byte, tid uint64) uint64 {
+	local := b.s.Add(k)
+	for uint64(len(b.ext)) <= local {
+		b.ext = append(b.ext, 0)
+	}
+	b.ext[local] = tid
+	return local
+}
+
+func (b *storeBacked) Insert(k []byte, tid uint64) bool {
+	if _, ok := b.idx.Lookup(k); ok {
+		return false
+	}
+	return b.idx.Insert(k, b.register(k, tid))
+}
+
+func (b *storeBacked) Upsert(k []byte, tid uint64) (uint64, bool) {
+	old, rep := b.idx.Upsert(k, b.register(k, tid))
+	if rep {
+		return b.ext[old], true
+	}
+	return 0, false
+}
+
+func (b *storeBacked) Lookup(k []byte) (uint64, bool) {
+	local, ok := b.idx.Lookup(k)
+	if !ok {
+		return 0, false
+	}
+	return b.ext[local], true
+}
+
+func (b *storeBacked) Delete(k []byte) bool { return b.idx.Delete(k) }
+func (b *storeBacked) Len() int             { return b.idx.Len() }
+
+func TestStripedConcurrent(t *testing.T) {
+	for name, mk := range builders() {
+		t.Run(name, func(t *testing.T) {
+			m := New(16, mk)
+			const n = 20000
+			const workers = 8
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					k := make([]byte, 8)
+					for i := w; i < n; i += workers {
+						binary.BigEndian.PutUint64(k, uint64(i)*0x9E3779B97F4A7C15>>1)
+						if !m.Insert(k, uint64(i)) {
+							t.Errorf("insert %d failed", i)
+							return
+						}
+						if tid, ok := m.Lookup(k); !ok || tid != uint64(i) {
+							t.Errorf("lookup %d = (%d,%v)", i, tid, ok)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			if m.Len() != n {
+				t.Fatalf("len = %d, want %d", m.Len(), n)
+			}
+			k := make([]byte, 8)
+			for i := 0; i < n; i++ {
+				binary.BigEndian.PutUint64(k, uint64(i)*0x9E3779B97F4A7C15>>1)
+				if tid, ok := m.Lookup(k); !ok || tid != uint64(i) {
+					t.Fatalf("final lookup %d = (%d,%v)", i, tid, ok)
+				}
+			}
+			// Delete half concurrently.
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					k := make([]byte, 8)
+					for i := w; i < n/2; i += workers {
+						binary.BigEndian.PutUint64(k, uint64(i)*0x9E3779B97F4A7C15>>1)
+						if !m.Delete(k) {
+							t.Errorf("delete %d failed", i)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			if m.Len() != n/2 {
+				t.Fatalf("len after deletes = %d", m.Len())
+			}
+		})
+	}
+}
+
+func TestPowerOfTwoRounding(t *testing.T) {
+	m := New(3, func() Index { return masstree.New() })
+	if len(m.stripes) != 4 {
+		t.Errorf("stripes = %d, want 4", len(m.stripes))
+	}
+}

@@ -1,0 +1,60 @@
+// Package tidstore provides the tuple store the index structures resolve
+// keys from: the paper stores 8-byte tuple identifiers in its indexes and
+// loads the referenced tuple (whose first attribute is the key) whenever a
+// full key comparison is needed. Store is the minimal equivalent: an
+// append-only arena mapping dense TIDs to immutable keys.
+package tidstore
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+const maxKeyLen = 1<<13 - 1 // matches core.MaxKeyLen
+
+// Store is an append-only TID → key arena. The zero value is ready to use.
+// It is safe for concurrent readers once populated; Add must not race with
+// other calls.
+type Store struct {
+	data []byte
+	offs []uint64 // offset<<13 | length
+}
+
+// Add appends k and returns its TID. Keys are copied.
+func (s *Store) Add(k []byte) uint64 {
+	if len(k) > maxKeyLen {
+		panic(fmt.Sprintf("tidstore: key length %d exceeds %d", len(k), maxKeyLen))
+	}
+	off := uint64(len(s.data))
+	s.data = append(s.data, k...)
+	s.offs = append(s.offs, off<<13|uint64(len(k)))
+	return uint64(len(s.offs) - 1)
+}
+
+// AddString is Add for string keys.
+func (s *Store) AddString(k string) uint64 { return s.Add([]byte(k)) }
+
+// Key returns the key stored under tid. The result aliases the arena and
+// must not be modified. The buf parameter exists to satisfy the Loader
+// signatures of the index packages; it is unused.
+func (s *Store) Key(tid uint64, _ []byte) []byte {
+	e := s.offs[tid]
+	off, n := e>>13, e&maxKeyLen
+	return s.data[off : off+n]
+}
+
+// Len returns the number of stored keys.
+func (s *Store) Len() int { return len(s.offs) }
+
+// Bytes returns the total size of the stored raw keys, the paper's
+// "raw key size" baseline in Figure 9.
+func (s *Store) Bytes() int { return len(s.data) }
+
+// Uint64Key encodes a 63-bit integer as its order-preserving 8-byte
+// big-endian key into buf, the paper's embedded-key convention for fixed
+// size keys up to 8 bytes.
+func Uint64Key(tid uint64, buf []byte) []byte {
+	buf = append(buf[:0], 0, 0, 0, 0, 0, 0, 0, 0)
+	binary.BigEndian.PutUint64(buf, tid)
+	return buf
+}

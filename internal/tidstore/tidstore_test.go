@@ -1,0 +1,79 @@
+package tidstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func TestAddKey(t *testing.T) {
+	var s Store
+	keys := []string{"", "a", "hello world", "with\x00zero"}
+	tids := make([]uint64, len(keys))
+	for i, k := range keys {
+		tids[i] = s.AddString(k)
+	}
+	for i, k := range keys {
+		if got := s.Key(tids[i], nil); string(got) != k {
+			t.Errorf("Key(%d) = %q, want %q", tids[i], got, k)
+		}
+	}
+	if s.Len() != len(keys) {
+		t.Errorf("Len = %d", s.Len())
+	}
+	want := 0
+	for _, k := range keys {
+		want += len(k)
+	}
+	if s.Bytes() != want {
+		t.Errorf("Bytes = %d, want %d", s.Bytes(), want)
+	}
+}
+
+func TestDenseTIDs(t *testing.T) {
+	var s Store
+	for i := 0; i < 100; i++ {
+		if tid := s.Add([]byte{byte(i)}); tid != uint64(i) {
+			t.Fatalf("tid %d for insert %d", tid, i)
+		}
+	}
+}
+
+func TestKeyStableAcrossGrowth(t *testing.T) {
+	var s Store
+	tid := s.AddString("first")
+	got := s.Key(tid, nil)
+	for i := 0; i < 10000; i++ {
+		s.AddString("fillerfillerfiller")
+	}
+	if string(got) != "first" {
+		t.Error("previously returned key corrupted by arena growth")
+	}
+	if string(s.Key(tid, nil)) != "first" {
+		t.Error("key lost after growth")
+	}
+}
+
+func TestUint64Key(t *testing.T) {
+	buf := make([]byte, 0, 8)
+	k := Uint64Key(0x0123456789ABCDEF, buf)
+	if len(k) != 8 || binary.BigEndian.Uint64(k) != 0x0123456789ABCDEF {
+		t.Errorf("Uint64Key = %x", k)
+	}
+	// Order preservation.
+	a := Uint64Key(100, nil)
+	b := Uint64Key(200, make([]byte, 0, 8))
+	if bytes.Compare(a, b) >= 0 {
+		t.Error("Uint64Key is not order-preserving")
+	}
+}
+
+func TestOversizeKeyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for oversize key")
+		}
+	}()
+	var s Store
+	s.Add(make([]byte, maxKeyLen+1))
+}

@@ -1,0 +1,131 @@
+// Package ycsb reproduces the index micro-benchmark the paper bases its
+// evaluation on: the YCSB core workloads A–F adapted for index structures
+// by Zhang et al. [30], with uniform, zipfian and latest request
+// distributions, four key data sets and separate load / transaction phases
+// (Section 6.1).
+package ycsb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Distribution selects which record a request targets.
+type Distribution int
+
+const (
+	// Uniform picks records equiprobably.
+	Uniform Distribution = iota
+	// Zipfian picks records with the YCSB scrambled-zipfian skew
+	// (theta = 0.99), spreading the hot items across the key space.
+	Zipfian
+	// Latest skews towards recently inserted records (workload D).
+	Latest
+)
+
+var distNames = map[Distribution]string{Uniform: "uniform", Zipfian: "zipf", Latest: "latest"}
+
+// String returns the distribution's conventional name.
+func (d Distribution) String() string { return distNames[d] }
+
+// ParseDistribution resolves a distribution name.
+func ParseDistribution(s string) (Distribution, error) {
+	for d, n := range distNames {
+		if n == s {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("ycsb: unknown distribution %q (uniform|zipf|latest)", s)
+}
+
+const zipfianConstant = 0.99
+
+// zipfian is the YCSB incremental zipfian generator (Gray et al.,
+// "Quickly Generating Billion-Record Synthetic Databases").
+type zipfian struct {
+	items      int64
+	theta      float64
+	alpha      float64
+	zetan      float64
+	zeta2theta float64
+	eta        float64
+}
+
+func newZipfian(items int64) *zipfian {
+	z := &zipfian{items: items, theta: zipfianConstant}
+	z.alpha = 1 / (1 - z.theta)
+	z.zetan = zeta(items, z.theta)
+	z.zeta2theta = zeta(2, z.theta)
+	z.eta = (1 - math.Pow(2/float64(items), 1-z.theta)) / (1 - z.zeta2theta/z.zetan)
+	return z
+}
+
+func zeta(n int64, theta float64) float64 {
+	sum := 0.0
+	for i := int64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// next draws a rank in [0, items), rank 0 being the most popular.
+func (z *zipfian) next(rng *rand.Rand) int64 {
+	u := rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return int64(float64(z.items) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+// Picker draws record indices from [0, n) under a distribution. The domain
+// can grow as records are inserted (Grow), which Latest uses to chase the
+// newest records.
+type Picker struct {
+	dist Distribution
+	n    int64
+	zipf *zipfian // fixed-domain zipfian for Zipfian and Latest
+}
+
+// NewPicker builds a picker over an initial domain of n records.
+func NewPicker(dist Distribution, n int) *Picker {
+	p := &Picker{dist: dist, n: int64(n)}
+	if dist != Uniform {
+		p.zipf = newZipfian(int64(n))
+	}
+	return p
+}
+
+// Grow extends the domain after an insert.
+func (p *Picker) Grow() { p.n++ }
+
+// Next draws a record index in [0, current domain).
+func (p *Picker) Next(rng *rand.Rand) int {
+	switch p.dist {
+	case Uniform:
+		return int(rng.Int63n(p.n))
+	case Zipfian:
+		// Scrambled zipfian: spread the hot ranks over the whole domain.
+		r := p.zipf.next(rng)
+		return int(fnv64(uint64(r)) % uint64(p.n))
+	default: // Latest
+		r := p.zipf.next(rng)
+		if r >= p.n {
+			r = p.n - 1
+		}
+		return int(p.n - 1 - r)
+	}
+}
+
+func fnv64(v uint64) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v & 0xFF)) * 1099511628211
+		v >>= 8
+	}
+	return h
+}

@@ -1,0 +1,87 @@
+package ycsb
+
+import (
+	"fmt"
+	mathbits "math/bits"
+	"time"
+)
+
+// Histogram is a fixed-footprint log-linear latency histogram (16 linear
+// sub-buckets per power of two, ≈ 6% resolution), the usual shape for
+// benchmark latency capture. The zero value is ready to use; it is not
+// safe for concurrent recording.
+type Histogram struct {
+	counts [64 * subBuckets]uint64
+	n      uint64
+	max    time.Duration
+}
+
+const subBuckets = 16
+
+func bucketOf(ns uint64) int {
+	if ns < subBuckets {
+		return int(ns)
+	}
+	exp := mathbits.Len64(ns) - 1 // position of the top bit, ≥ 4
+	sub := (ns >> (uint(exp) - 4)) & (subBuckets - 1)
+	return (exp-3)*subBuckets + int(sub)
+}
+
+// Record adds one duration observation.
+func (h *Histogram) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.counts[bucketOf(uint64(d))]++
+	h.n++
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// N returns the number of observations.
+func (h *Histogram) N() uint64 { return h.n }
+
+// Max returns the largest observation.
+func (h *Histogram) Max() time.Duration { return h.max }
+
+// Quantile returns an upper bound of the q-quantile (0 < q ≤ 1) with the
+// histogram's bucket resolution.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.n))
+	if target >= h.n {
+		target = h.n - 1
+	}
+	var seen uint64
+	for b, c := range h.counts {
+		seen += c
+		if seen > target {
+			return time.Duration(bucketUpper(b))
+		}
+	}
+	return h.max
+}
+
+// bucketUpper returns the largest value mapping to bucket b: bucket
+// (exp-3)*16+sub covers [(16+sub)<<(exp-4), (16+sub+1)<<(exp-4) - 1].
+func bucketUpper(b int) uint64 {
+	if b < subBuckets {
+		return uint64(b)
+	}
+	exp := uint(b/subBuckets + 3)
+	sub := uint64(b % subBuckets)
+	return (subBuckets+sub+1)<<(exp-4) - 1
+}
+
+// String summarizes the histogram as p50/p90/p99/p999/max.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("p50=%v p90=%v p99=%v p999=%v max=%v",
+		h.Quantile(0.50).Round(10*time.Nanosecond),
+		h.Quantile(0.90).Round(10*time.Nanosecond),
+		h.Quantile(0.99).Round(10*time.Nanosecond),
+		h.Quantile(0.999).Round(10*time.Nanosecond),
+		h.Max().Round(10*time.Nanosecond))
+}

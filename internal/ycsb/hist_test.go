@@ -1,0 +1,126 @@
+package ycsb
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	// Every value must land in a bucket whose upper bound is ≥ the value
+	// and within ~7% (the log-linear resolution).
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		v := uint64(rng.Int63()) >> uint(rng.Intn(50))
+		b := bucketOf(v)
+		up := bucketUpper(b)
+		if up < v {
+			t.Fatalf("value %d bucket %d upper %d below value", v, b, up)
+		}
+		if v >= 16 && float64(up-v) > float64(v)*0.07+1 {
+			t.Fatalf("value %d bucket upper %d too loose", v, up)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	var vals []time.Duration
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50000; i++ {
+		d := time.Duration(rng.Intn(1_000_000)) // up to 1ms
+		h.Record(d)
+		vals = append(vals, d)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := vals[int(q*float64(len(vals)))]
+		got := h.Quantile(q)
+		if got < exact {
+			t.Errorf("q%.3f: histogram %v below exact %v", q, got, exact)
+		}
+		if float64(got) > float64(exact)*1.10+16 {
+			t.Errorf("q%.3f: histogram %v too far above exact %v", q, got, exact)
+		}
+	}
+	if h.N() != 50000 {
+		t.Errorf("N = %d", h.N())
+	}
+	if h.Max() != vals[len(vals)-1] {
+		t.Errorf("Max = %v, want %v", h.Max(), vals[len(vals)-1])
+	}
+	if h.String() == "" {
+		t.Error("empty summary")
+	}
+}
+
+func TestHistogramEmptyAndNegative(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.99) != 0 {
+		t.Error("empty histogram quantile nonzero")
+	}
+	h.Record(-5)
+	if h.N() != 1 || h.Quantile(0.5) != 0 {
+		t.Error("negative durations must clamp to zero")
+	}
+}
+
+func TestRunnerLatencyCapture(t *testing.T) {
+	keys := make([][]byte, 500)
+	tids := make([]uint64, 500)
+	for i := range keys {
+		keys[i] = []byte{byte(i >> 8), byte(i), 0xFF}
+		tids[i] = uint64(i)
+	}
+	idx := newMockIndex()
+	r := NewRunner(idx, keys, tids, 400, 1)
+	r.CaptureLatency = true
+	r.Load()
+	w, _ := ByName("C")
+	res := r.Run(w, Uniform, 2000)
+	if res.Latency == nil || res.Latency.N() != 2000 {
+		t.Fatalf("latency capture missing: %+v", res.Latency)
+	}
+	if res.Latency.Quantile(0.99) <= 0 {
+		t.Error("p99 is zero")
+	}
+}
+
+// mockIndex is a trivial map-backed Index for runner tests.
+type mockIndex struct {
+	m map[string]uint64
+}
+
+func newMockIndex() *mockIndex { return &mockIndex{m: map[string]uint64{}} }
+
+func (x *mockIndex) Insert(k []byte, tid uint64) bool {
+	if _, ok := x.m[string(k)]; ok {
+		return false
+	}
+	x.m[string(k)] = tid
+	return true
+}
+
+func (x *mockIndex) Upsert(k []byte, tid uint64) (uint64, bool) {
+	old, ok := x.m[string(k)]
+	x.m[string(k)] = tid
+	return old, ok
+}
+
+func (x *mockIndex) Lookup(k []byte) (uint64, bool) {
+	tid, ok := x.m[string(k)]
+	return tid, ok
+}
+
+func (x *mockIndex) Scan(start []byte, n int, fn func(uint64) bool) int {
+	// Order-free mock scan: enough for latency plumbing tests.
+	c := 0
+	for _, tid := range x.m {
+		if c >= n || !fn(tid) {
+			break
+		}
+		c++
+	}
+	return c
+}

@@ -1,0 +1,145 @@
+package ycsb
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Index is the index-structure interface the benchmark drives — the
+// operations of Section 6.1's micro-benchmark.
+type Index interface {
+	Insert(k []byte, tid uint64) bool
+	Upsert(k []byte, tid uint64) (uint64, bool)
+	Lookup(k []byte) (uint64, bool)
+	Scan(start []byte, n int, fn func(uint64) bool) int
+}
+
+// Result is one benchmark phase's outcome.
+type Result struct {
+	Ops      int
+	Elapsed  time.Duration
+	NotFound int        // reads that missed (should be 0: correctness signal)
+	Scanned  int        // total entries returned by scans
+	Latency  *Histogram // per-operation latencies, when capture is enabled
+}
+
+// Mops returns million operations per second, the paper's reporting unit.
+func (r Result) Mops() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds() / 1e6
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%d ops in %v (%.2f mops)", r.Ops, r.Elapsed.Round(time.Millisecond), r.Mops())
+}
+
+// Runner drives one index instance through the load and transaction
+// phases. keys[i] is stored under tids[i]; the first loadN keys belong to
+// the load phase and the remainder is the insert reserve for the
+// transaction phase.
+type Runner struct {
+	Idx  Index
+	Keys [][]byte
+	TIDs []uint64
+	// CaptureLatency additionally records a per-operation latency
+	// histogram during Run (adds one clock read per operation).
+	CaptureLatency bool
+	seed           int64
+	nLoad          int
+}
+
+// NewRunner builds a runner; loadN keys are inserted by Load, the rest
+// feed transaction-phase inserts.
+func NewRunner(idx Index, keys [][]byte, tids []uint64, loadN int, seed int64) *Runner {
+	if loadN > len(keys) {
+		loadN = len(keys)
+	}
+	return &Runner{Idx: idx, Keys: keys, TIDs: tids, nLoad: loadN, seed: seed}
+}
+
+// Load runs the insert-only load phase (keys arrive in generation order,
+// which is random for all data sets).
+func (r *Runner) Load() Result {
+	start := time.Now()
+	for i := 0; i < r.nLoad; i++ {
+		if !r.Idx.Insert(r.Keys[i], r.TIDs[i]) {
+			panic(fmt.Sprintf("ycsb: load insert %d failed (duplicate key?)", i))
+		}
+	}
+	return Result{Ops: r.nLoad, Elapsed: time.Since(start)}
+}
+
+// Run executes ops transaction-phase operations of workload w under the
+// given request distribution.
+func (r *Runner) Run(w Workload, dist Distribution, ops int) Result {
+	rng := rand.New(rand.NewSource(r.seed))
+	picker := NewPicker(dist, r.nLoad)
+	inserted := r.nLoad
+	res := Result{Ops: ops}
+	if r.CaptureLatency {
+		res.Latency = &Histogram{}
+	}
+	sink := uint64(0)
+	var opStart time.Time
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		if res.Latency != nil {
+			opStart = time.Now()
+		}
+		switch w.pick(rng.Float64()) {
+		case OpRead:
+			idx := picker.Next(rng)
+			if idx >= inserted {
+				idx = inserted - 1
+			}
+			tid, ok := r.Idx.Lookup(r.Keys[idx])
+			if !ok {
+				res.NotFound++
+			}
+			sink += tid
+		case OpUpdate:
+			idx := picker.Next(rng)
+			if idx >= inserted {
+				idx = inserted - 1
+			}
+			r.Idx.Upsert(r.Keys[idx], r.TIDs[idx])
+		case OpInsert:
+			if inserted < len(r.Keys) {
+				r.Idx.Insert(r.Keys[inserted], r.TIDs[inserted])
+				inserted++
+				picker.Grow()
+			}
+		case OpScan:
+			idx := picker.Next(rng)
+			if idx >= inserted {
+				idx = inserted - 1
+			}
+			n := 1 + rng.Intn(w.MaxScanLen)
+			res.Scanned += r.Idx.Scan(r.Keys[idx], n, func(tid uint64) bool {
+				sink += tid
+				return true
+			})
+		case OpRMW:
+			idx := picker.Next(rng)
+			if idx >= inserted {
+				idx = inserted - 1
+			}
+			tid, ok := r.Idx.Lookup(r.Keys[idx])
+			if !ok {
+				res.NotFound++
+			}
+			r.Idx.Upsert(r.Keys[idx], tid)
+		}
+		if res.Latency != nil {
+			res.Latency.Record(time.Since(opStart))
+		}
+	}
+	res.Elapsed = time.Since(start)
+	if sink == 0x12345678DEADBEEF {
+		fmt.Println() // defeat dead-code elimination of the lookups
+	}
+	return res
+}

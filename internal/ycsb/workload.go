@@ -1,0 +1,83 @@
+package ycsb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// OpKind is one benchmark operation type.
+type OpKind int
+
+const (
+	OpRead OpKind = iota
+	OpUpdate
+	OpInsert
+	OpScan
+	OpRMW
+)
+
+// Workload is one YCSB core workload: an operation mix plus scan bounds.
+// The request distribution is configured separately (the paper runs every
+// workload in a uniform and a zipfian variant; D conventionally uses
+// latest).
+type Workload struct {
+	Name        string
+	Description string
+	Read        float64
+	Update      float64
+	Insert      float64
+	Scan        float64
+	RMW         float64
+	MaxScanLen  int
+	// DefaultDist is the distribution YCSB prescribes for the workload.
+	DefaultDist Distribution
+}
+
+// Core returns the six YCSB core workloads as the paper configures them
+// (Section 6.1).
+func Core() []Workload {
+	return []Workload{
+		{Name: "A", Description: "50% lookup, 50% update", Read: 0.5, Update: 0.5, DefaultDist: Zipfian},
+		{Name: "B", Description: "95% lookup, 5% update", Read: 0.95, Update: 0.05, DefaultDist: Zipfian},
+		{Name: "C", Description: "100% lookup", Read: 1.0, DefaultDist: Zipfian},
+		{Name: "D", Description: "95% latest-read, 5% insert", Read: 0.95, Insert: 0.05, DefaultDist: Latest},
+		{Name: "E", Description: "95% scan(≤100), 5% insert", Scan: 0.95, Insert: 0.05, MaxScanLen: 100, DefaultDist: Zipfian},
+		{Name: "F", Description: "50% lookup, 50% read-modify-write", Read: 0.5, RMW: 0.5, DefaultDist: Zipfian},
+	}
+}
+
+// ByName returns the core workload with the given name (case-insensitive).
+// "load" resolves to the insert-only load phase pseudo-workload.
+func ByName(name string) (Workload, error) {
+	name = strings.ToUpper(strings.TrimSpace(name))
+	if name == "LOAD" {
+		return Workload{Name: "load", Description: "insert-only (load phase)", Insert: 1.0, DefaultDist: Uniform}, nil
+	}
+	for _, w := range Core() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("ycsb: unknown workload %q (A–F or load)", name)
+}
+
+// pick draws an operation kind according to the mix.
+func (w Workload) pick(u float64) OpKind {
+	u -= w.Read
+	if u < 0 {
+		return OpRead
+	}
+	u -= w.Update
+	if u < 0 {
+		return OpUpdate
+	}
+	u -= w.Insert
+	if u < 0 {
+		return OpInsert
+	}
+	u -= w.Scan
+	if u < 0 {
+		return OpScan
+	}
+	return OpRMW
+}

@@ -1,0 +1,182 @@
+package ycsb
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/hotindex/hot/internal/dataset"
+	"github.com/hotindex/hot/internal/masstree"
+)
+
+func TestZipfianSkew(t *testing.T) {
+	z := newZipfian(10000)
+	rng := rand.New(rand.NewSource(1))
+	counts := map[int64]int{}
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		r := z.next(rng)
+		if r < 0 || r >= 10000 {
+			t.Fatalf("rank %d out of range", r)
+		}
+		counts[r]++
+	}
+	// Rank 0 must be drawn far more often than a uniform share, and the
+	// top-10 ranks must dominate.
+	if counts[0] < draws/100 {
+		t.Errorf("rank 0 drawn %d times of %d, not skewed", counts[0], draws)
+	}
+	top10 := 0
+	for r := int64(0); r < 10; r++ {
+		top10 += counts[r]
+	}
+	if float64(top10)/draws < 0.2 {
+		t.Errorf("top-10 share %.3f, want > 0.2", float64(top10)/draws)
+	}
+}
+
+func TestScrambledZipfianSpreads(t *testing.T) {
+	p := NewPicker(Zipfian, 1000)
+	rng := rand.New(rand.NewSource(2))
+	counts := map[int]int{}
+	for i := 0; i < 100000; i++ {
+		idx := p.Next(rng)
+		if idx < 0 || idx >= 1000 {
+			t.Fatalf("index %d out of range", idx)
+		}
+		counts[idx]++
+	}
+	// The hottest item should NOT be item 0 systematically (scrambling) —
+	// check that several distinct buckets are hot instead of a prefix run.
+	hot := 0
+	for idx, c := range counts {
+		if c > 2000 {
+			hot++
+			_ = idx
+		}
+	}
+	if hot < 3 {
+		t.Errorf("only %d hot items; scrambling looks broken", hot)
+	}
+}
+
+func TestLatestFavorsRecent(t *testing.T) {
+	p := NewPicker(Latest, 1000)
+	rng := rand.New(rand.NewSource(3))
+	recent := 0
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		if p.Next(rng) >= 900 {
+			recent++
+		}
+	}
+	if float64(recent)/draws < 0.5 {
+		t.Errorf("only %.2f of draws in the newest 10%%", float64(recent)/draws)
+	}
+	// Growing must shift the focus.
+	for i := 0; i < 1000; i++ {
+		p.Grow()
+	}
+	newest := 0
+	for i := 0; i < draws; i++ {
+		if p.Next(rng) >= 1900 {
+			newest++
+		}
+	}
+	if float64(newest)/draws < 0.4 {
+		t.Errorf("after Grow, only %.2f of draws in the newest region", float64(newest)/draws)
+	}
+}
+
+func TestUniformPicker(t *testing.T) {
+	p := NewPicker(Uniform, 100)
+	rng := rand.New(rand.NewSource(4))
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		counts[p.Next(rng)]++
+	}
+	for i, c := range counts {
+		if c < 500 || c > 1500 {
+			t.Errorf("bucket %d drawn %d times, expected ~1000", i, c)
+		}
+	}
+}
+
+func TestWorkloadMixes(t *testing.T) {
+	for _, w := range Core() {
+		sum := w.Read + w.Update + w.Insert + w.Scan + w.RMW
+		if sum < 0.999 || sum > 1.001 {
+			t.Errorf("workload %s proportions sum to %f", w.Name, sum)
+		}
+		got, err := ByName(w.Name)
+		if err != nil || got.Name != w.Name {
+			t.Errorf("ByName(%s) failed: %v", w.Name, err)
+		}
+	}
+	if _, err := ByName("load"); err != nil {
+		t.Error("load pseudo-workload missing")
+	}
+	if _, err := ByName("Z"); err == nil {
+		t.Error("no error for unknown workload")
+	}
+}
+
+func TestOpPick(t *testing.T) {
+	w, _ := ByName("A")
+	rng := rand.New(rand.NewSource(5))
+	reads, updates := 0, 0
+	for i := 0; i < 100000; i++ {
+		switch w.pick(rng.Float64()) {
+		case OpRead:
+			reads++
+		case OpUpdate:
+			updates++
+		default:
+			t.Fatal("workload A produced a non-read/update op")
+		}
+	}
+	if reads < 45000 || reads > 55000 {
+		t.Errorf("A: %d reads of 100000", reads)
+	}
+	_ = updates
+}
+
+func TestRunnerEndToEnd(t *testing.T) {
+	// Run every workload against Masstree (self-contained, no store) and
+	// check the correctness signals.
+	keys := dataset.Generate(dataset.Email, 3000, 11)
+	tids := make([]uint64, len(keys))
+	for i := range tids {
+		tids[i] = uint64(i)
+	}
+	for _, name := range []string{"A", "B", "C", "D", "E", "F", "load"} {
+		w, _ := ByName(name)
+		idx := masstree.New()
+		r := NewRunner(idx, keys, tids, 2000, 42)
+		load := r.Load()
+		if load.Ops != 2000 {
+			t.Fatalf("%s: load ops %d", name, load.Ops)
+		}
+		res := r.Run(w, w.DefaultDist, 5000)
+		if res.NotFound != 0 {
+			t.Errorf("workload %s: %d reads missed", name, res.NotFound)
+		}
+		if w.Scan > 0 && res.Scanned == 0 {
+			t.Errorf("workload %s: scans returned nothing", name)
+		}
+		if res.Mops() <= 0 {
+			t.Errorf("workload %s: non-positive mops", name)
+		}
+	}
+}
+
+func TestParseDistribution(t *testing.T) {
+	for _, d := range []Distribution{Uniform, Zipfian, Latest} {
+		got, err := ParseDistribution(d.String())
+		if err != nil || got != d {
+			t.Errorf("ParseDistribution(%v) = %v, %v", d, got, err)
+		}
+	}
+	if _, err := ParseDistribution("normal"); err == nil {
+		t.Error("no error for unknown distribution")
+	}
+}

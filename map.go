@@ -1,0 +1,151 @@
+package hot
+
+import (
+	"fmt"
+
+	"github.com/hotindex/hot/internal/core"
+)
+
+// Map is an ordered map from arbitrary []byte keys to uint64 values backed
+// by a Height Optimized Trie. Unlike Tree it needs no external tuple
+// store: keys are kept in an internal append-only arena, and an
+// order-preserving escape (0x00 → 0x00 0xFF, terminated by 0x00 0x01)
+// makes arbitrary keys prefix-free, so keys may contain any bytes
+// including 0x00.
+//
+// Deleted keys' arena space is not reclaimed (append-only storage); Map is
+// intended for index-style workloads where inserts dominate. Map is not
+// safe for concurrent use. Because the escape can double a key's length,
+// Map keys are limited to MaxMapKeyLen bytes.
+type Map struct {
+	t    *core.Trie
+	keys arena
+	vals []uint64
+	buf  []byte
+}
+
+// arena stores encoded keys back to back.
+type arena struct {
+	data []byte
+	offs []uint64 // offset<<16 | length
+}
+
+func (a *arena) add(k []byte) uint64 {
+	off := uint64(len(a.data))
+	a.data = append(a.data, k...)
+	a.offs = append(a.offs, off<<16|uint64(len(k)))
+	return uint64(len(a.offs) - 1)
+}
+
+func (a *arena) key(id uint64) []byte {
+	e := a.offs[id]
+	off, n := e>>16, e&0xFFFF
+	return a.data[off : off+n]
+}
+
+// MaxMapKeyLen is the maximum Map key length in bytes: the worst-case
+// escape (every byte a zero) doubles the key and adds a two-byte
+// terminator, which must still fit in MaxKeyLen.
+const MaxMapKeyLen = (MaxKeyLen - 2) / 2
+
+// NewMap returns an empty Map.
+func NewMap() *Map {
+	m := &Map{vals: make([]uint64, 0, 16), buf: make([]byte, 0, 64)}
+	m.t = core.New(func(tid core.TID, _ []byte) []byte { return m.keys.key(tid) })
+	return m
+}
+
+// escapeKey appends the order-preserving, prefix-free encoding of k to dst.
+// It panics when len(k) > MaxMapKeyLen.
+func escapeKey(dst, k []byte) []byte {
+	if len(k) > MaxMapKeyLen {
+		panic(fmt.Sprintf("hot: Map key length %d exceeds MaxMapKeyLen %d", len(k), MaxMapKeyLen))
+	}
+	for _, b := range k {
+		if b == 0x00 {
+			dst = append(dst, 0x00, 0xFF)
+			continue
+		}
+		dst = append(dst, b)
+	}
+	return append(dst, 0x00, 0x01)
+}
+
+// Set stores val under key, replacing any existing value. It reports
+// whether the key was newly inserted.
+func (m *Map) Set(key []byte, val uint64) bool {
+	ek := escapeKey(m.buf[:0], key)
+	m.buf = ek[:0]
+	if tid, ok := m.t.Lookup(ek); ok {
+		m.vals[tid] = val
+		return false
+	}
+	tid := m.keys.add(ek)
+	m.vals = append(m.vals, val)
+	m.t.Insert(ek, tid)
+	return true
+}
+
+// Get returns the value stored under key.
+func (m *Map) Get(key []byte) (uint64, bool) {
+	ek := escapeKey(m.buf[:0], key)
+	m.buf = ek[:0]
+	tid, ok := m.t.Lookup(ek)
+	if !ok {
+		return 0, false
+	}
+	return m.vals[tid], true
+}
+
+// Delete removes key, reporting whether it was present.
+func (m *Map) Delete(key []byte) bool {
+	ek := escapeKey(m.buf[:0], key)
+	m.buf = ek[:0]
+	return m.t.Delete(ek)
+}
+
+// Len returns the number of stored keys.
+func (m *Map) Len() int { return m.t.Len() }
+
+// Range invokes fn for up to max entries with key ≥ start in ascending key
+// order (nil start ranges from the smallest key; max < 0 means unbounded).
+// The key slice passed to fn is only valid during the call; fn must not
+// modify the map.
+func (m *Map) Range(start []byte, max int, fn func(key []byte, val uint64) bool) int {
+	var es []byte
+	if start != nil {
+		es = escapeKey(nil, start)
+	}
+	if max < 0 {
+		max = m.t.Len()
+	}
+	var dec []byte
+	return m.t.Scan(es, max, func(tid core.TID) bool {
+		dec = unescapeKey(dec[:0], m.keys.key(tid))
+		return fn(dec, m.vals[tid])
+	})
+}
+
+// unescapeKey reverses escapeKey.
+func unescapeKey(dst, ek []byte) []byte {
+	for i := 0; i < len(ek); i++ {
+		b := ek[i]
+		if b != 0x00 {
+			dst = append(dst, b)
+			continue
+		}
+		i++
+		if i >= len(ek) || ek[i] == 0x01 {
+			break // terminator
+		}
+		dst = append(dst, 0x00) // escaped zero (0x00 0xFF)
+	}
+	return dst
+}
+
+// Height returns the underlying trie's height.
+func (m *Map) Height() int { return m.t.Height() }
+
+// Memory returns the underlying trie's memory statistics (key arena not
+// included).
+func (m *Map) Memory() MemoryStats { return m.t.Memory() }

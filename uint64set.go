@@ -1,0 +1,116 @@
+package hot
+
+import (
+	"encoding/binary"
+
+	"github.com/hotindex/hot/internal/core"
+	"github.com/hotindex/hot/internal/tidstore"
+)
+
+// Uint64Set is an ordered set of 63-bit integers backed by a Height
+// Optimized Trie, using the paper's embedded-key optimization: fixed-size
+// keys up to 8 bytes are stored directly inside their tuple identifiers,
+// so the set needs no tuple store at all. Not safe for concurrent use; see
+// ConcurrentUint64Set.
+type Uint64Set struct {
+	t   *core.Trie
+	buf [8]byte
+}
+
+// NewUint64Set returns an empty integer set.
+func NewUint64Set() *Uint64Set {
+	return &Uint64Set{t: core.New(tidstore.Uint64Key)}
+}
+
+func (s *Uint64Set) key(v uint64) []byte {
+	binary.BigEndian.PutUint64(s.buf[:], v)
+	return s.buf[:]
+}
+
+// Insert adds v (< 2^63), reporting false if already present.
+func (s *Uint64Set) Insert(v uint64) bool { return s.t.Insert(s.key(v), v) }
+
+// Contains reports whether v is in the set.
+func (s *Uint64Set) Contains(v uint64) bool {
+	_, ok := s.t.Lookup(s.key(v))
+	return ok
+}
+
+// Delete removes v, reporting whether it was present.
+func (s *Uint64Set) Delete(v uint64) bool { return s.t.Delete(s.key(v)) }
+
+// Len returns the set's cardinality.
+func (s *Uint64Set) Len() int { return s.t.Len() }
+
+// Ascend invokes fn for up to max values ≥ from in ascending order,
+// returning the number visited (max < 0 means unbounded).
+func (s *Uint64Set) Ascend(from uint64, max int, fn func(uint64) bool) int {
+	if max < 0 {
+		max = s.t.Len()
+	}
+	return s.t.Scan(s.key(from), max, fn)
+}
+
+// Min returns the smallest element.
+func (s *Uint64Set) Min() (uint64, bool) {
+	var v uint64
+	found := false
+	s.t.Scan(nil, 1, func(tid core.TID) bool {
+		v, found = tid, true
+		return false
+	})
+	return v, found
+}
+
+// Height returns the underlying trie height.
+func (s *Uint64Set) Height() int { return s.t.Height() }
+
+// Memory returns the underlying trie's memory statistics.
+func (s *Uint64Set) Memory() MemoryStats { return s.t.Memory() }
+
+// ConcurrentUint64Set is Uint64Set over the ROWEX-synchronized trie; all
+// methods are safe for concurrent use.
+type ConcurrentUint64Set struct {
+	t *core.ConcurrentTrie
+}
+
+// NewConcurrentUint64Set returns an empty concurrent integer set.
+func NewConcurrentUint64Set() *ConcurrentUint64Set {
+	return &ConcurrentUint64Set{t: core.NewConcurrent(tidstore.Uint64Key)}
+}
+
+func u64key(v uint64, buf *[8]byte) []byte {
+	binary.BigEndian.PutUint64(buf[:], v)
+	return buf[:]
+}
+
+// Insert adds v (< 2^63), reporting false if already present.
+func (s *ConcurrentUint64Set) Insert(v uint64) bool {
+	var b [8]byte
+	return s.t.Insert(u64key(v, &b), v)
+}
+
+// Contains reports whether v is in the set. It is wait-free.
+func (s *ConcurrentUint64Set) Contains(v uint64) bool {
+	var b [8]byte
+	_, ok := s.t.Lookup(u64key(v, &b))
+	return ok
+}
+
+// Delete removes v, reporting whether it was present.
+func (s *ConcurrentUint64Set) Delete(v uint64) bool {
+	var b [8]byte
+	return s.t.Delete(u64key(v, &b))
+}
+
+// Len returns the set's cardinality.
+func (s *ConcurrentUint64Set) Len() int { return s.t.Len() }
+
+// Ascend invokes fn for up to max values ≥ from in ascending order.
+func (s *ConcurrentUint64Set) Ascend(from uint64, max int, fn func(uint64) bool) int {
+	var b [8]byte
+	if max < 0 {
+		max = s.t.Len()
+	}
+	return s.t.Scan(u64key(from, &b), max, fn)
+}
