@@ -1,0 +1,35 @@
+# Development entry points. `make all` is the full local CI pass.
+
+GO ?= go
+
+.PHONY: all check race chaos fuzz bench clean
+
+all: check race chaos
+
+# Tier-1: vet, build everything, run the full test suite.
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test ./...
+
+# Concurrency tier: the ROWEX writer path, epoch reclamation and the armed
+# chaos tests under the race detector, twice (ordering flakes rarely repeat).
+race:
+	$(GO) test -race -count=2 ./internal/core/... ./internal/epoch/...
+
+# Chaos smoke: seeded concurrent churn with every injection point armed;
+# fails on any structural-invariant violation.
+chaos:
+	$(GO) run ./cmd/hot-chaos -seed 1 -ops 100000
+
+# Short exploratory fuzz burst over each public-API fuzz target.
+fuzz:
+	$(GO) test -fuzz FuzzTreeVerify -fuzztime 30s .
+	$(GO) test -fuzz FuzzMap -fuzztime 30s .
+	$(GO) test -fuzz FuzzUint64Set -fuzztime 30s .
+
+bench:
+	$(GO) test -bench . -benchtime 1s -run - .
+
+clean:
+	$(GO) clean -testcache

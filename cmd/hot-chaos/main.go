@@ -1,0 +1,189 @@
+// hot-chaos is the robustness analogue of hot-ycsb: instead of measuring
+// throughput it tries to break the ROWEX trie. It runs seeded rounds of
+// concurrent inserts, upserts, deletes, lookups and ordered scans with the
+// fault-injection points of internal/chaos armed — widened lock windows,
+// delayed epoch advances, injected pin-slot contention — then verifies the
+// full structural-invariant catalog between rounds and reports how many
+// injected faults the index survived, alongside the writer-path
+// restart/backoff/validation and epoch-contention counters.
+//
+//	hot-chaos -seed 1 -ops 100000          # acceptance run
+//	hot-chaos -prob 0.05 -workers 16       # heavier fault pressure
+//	hot-chaos -disarmed                    # baseline without injections
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/hotindex/hot"
+	"github.com/hotindex/hot/internal/chaos"
+	"github.com/hotindex/hot/internal/tidstore"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 1, "PRNG seed for keys, workload and injections")
+		ops      = flag.Int("ops", 100_000, "total operations across all rounds")
+		nkeys    = flag.Int("keys", 1<<15, "distinct keys in the working set")
+		workers  = flag.Int("workers", defaultWorkers(), "concurrent worker goroutines")
+		rounds   = flag.Int("rounds", 8, "verification rounds (ops are split across them)")
+		prob     = flag.Float64("prob", 0.01, "per-hit injection probability")
+		disarmed = flag.Bool("disarmed", false, "run without arming the injection registry")
+	)
+	flag.Parse()
+	if *ops < 1 || *nkeys < 1 || *workers < 1 || *rounds < 1 {
+		fmt.Fprintln(os.Stderr, "hot-chaos: -ops, -keys, -workers and -rounds must be >= 1")
+		os.Exit(2)
+	}
+	if *prob < 0 || *prob > 1 {
+		fmt.Fprintln(os.Stderr, "hot-chaos: -prob must be in [0, 1]")
+		os.Exit(2)
+	}
+
+	store, keys := genKeys(*nkeys, *seed)
+	tr := hot.NewConcurrent(store.Key)
+
+	reg := chaos.New(*seed)
+	if !*disarmed {
+		reg.On(chaos.RowexAfterTraverse, *prob, chaos.Yield(4))
+		reg.On(chaos.RowexBetweenLocks, *prob, chaos.Yield(2))
+		reg.On(chaos.RowexBeforeValidate, *prob, chaos.Yield(2))
+		reg.On(chaos.RowexMidCopy, *prob, chaos.Yield(1))
+		reg.On(chaos.RowexBeforeUnlock, *prob, chaos.Yield(1))
+		reg.On(chaos.EpochEnter, *prob, chaos.Yield(1))
+		reg.On(chaos.EpochAdvance, *prob, chaos.Sleep(50*time.Microsecond))
+		reg.Arm()
+		defer chaos.Disarm()
+	}
+
+	fmt.Printf("hot-chaos: seed=%d ops=%d keys=%d workers=%d rounds=%d prob=%g armed=%v\n",
+		*seed, *ops, *nkeys, *workers, *rounds, *prob, !*disarmed)
+
+	var (
+		corruptions int
+		scanFaults  atomic.Uint64
+		prev        hot.OpStats
+		start       = time.Now()
+	)
+	perRound := *ops / *rounds
+	for r := 0; r < *rounds; r++ {
+		runRound(tr, store, keys, *workers, perRound, *seed+int64(r)*997, &scanFaults)
+		// All workers joined: the trie is quiescent and must verify clean.
+		if err := tr.Verify(); err != nil {
+			corruptions++
+			fmt.Printf("round %d: CORRUPTION: %v\n", r, err)
+			continue
+		}
+		st := tr.OpStats()
+		fmt.Printf("round %d: len=%d height=%d  %s\n", r, tr.Len(), tr.Height(), st.Sub(prev))
+		prev = st
+	}
+	if n := scanFaults.Load(); n > 0 {
+		corruptions++
+		fmt.Printf("scan order violations: %d\n", n)
+	}
+
+	elapsed := time.Since(start)
+	st := tr.OpStats()
+	freed, pending := tr.ReclaimStats()
+	fmt.Printf("\ntotals after %.2fs (%.3f mops):\n", elapsed.Seconds(),
+		float64(*ops)/elapsed.Seconds()/1e6)
+	fmt.Printf("  opstats: %s\n", st)
+	fmt.Printf("  reclaim: freed=%d pending=%d\n", freed, pending)
+	if !*disarmed {
+		fmt.Printf("  survived faults: %d\n", reg.FiredTotal())
+		for _, p := range chaos.Points() {
+			fmt.Printf("    %-24s hits=%-8d fired=%d\n", p, reg.Hits(p), reg.Fired(p))
+		}
+	}
+	if corruptions > 0 {
+		fmt.Printf("FAIL: %d corruption(s) detected\n", corruptions)
+		os.Exit(1)
+	}
+	fmt.Println("OK: zero corruption errors")
+}
+
+// defaultWorkers keeps writer interleaving meaningful even on one CPU:
+// injected yields force goroutine switches inside the protocol windows, so
+// more goroutines than cores still produce real contention.
+func defaultWorkers() int {
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		return n
+	}
+	return 4
+}
+
+// genKeys registers n distinct 8-byte keys in a fresh store.
+func genKeys(n int, seed int64) (*tidstore.Store, [][]byte) {
+	s := &tidstore.Store{}
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[uint64]bool, n)
+	keys := make([][]byte, 0, n)
+	for len(keys) < n {
+		v := rng.Uint64() >> 1
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		k := make([]byte, 8)
+		binary.BigEndian.PutUint64(k, v)
+		s.Add(k)
+		keys = append(keys, k)
+	}
+	return s, keys
+}
+
+// runRound fires ops operations at the trie from workers goroutines: a
+// 45/25/20/10 mix of upserts, deletes, lookups and bounded ordered scans.
+// Scans double as wait-free-reader integrity probes: observed keys must be
+// strictly ascending.
+func runRound(tr *hot.ConcurrentTree, store *tidstore.Store, keys [][]byte,
+	workers, ops int, seed int64, scanFaults *atomic.Uint64) {
+	var wg sync.WaitGroup
+	perWorker := ops / workers
+	if perWorker == 0 {
+		perWorker = 1
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)))
+			var prevKey []byte
+			for i := 0; i < perWorker; i++ {
+				ki := rng.Intn(len(keys))
+				k := keys[ki]
+				switch c := rng.Intn(100); {
+				case c < 45:
+					tr.Upsert(k, hot.TID(ki))
+				case c < 70:
+					tr.Delete(k)
+				case c < 90:
+					if tid, ok := tr.Lookup(k); ok && tid != hot.TID(ki) {
+						scanFaults.Add(1)
+					}
+				default:
+					prevKey = prevKey[:0]
+					tr.Scan(k, 100, func(tid hot.TID) bool {
+						got := store.Key(tid, nil)
+						if len(prevKey) > 0 && string(prevKey) >= string(got) {
+							scanFaults.Add(1)
+							return false
+						}
+						prevKey = append(prevKey[:0], got...)
+						return true
+					})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

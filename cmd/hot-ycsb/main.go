@@ -17,6 +17,7 @@ import (
 	"os"
 	"strings"
 
+	"github.com/hotindex/hot"
 	"github.com/hotindex/hot/internal/bench"
 	"github.com/hotindex/hot/internal/dataset"
 	"github.com/hotindex/hot/internal/ycsb"
@@ -32,6 +33,7 @@ func main() {
 		indexes   = flag.String("indexes", "hot,art,btree,masstree", "comma list of index structures")
 		all       = flag.Bool("all", false, "run all 6 workloads × {uniform, zipf} (Appendix A)")
 		latency   = flag.Bool("latency", false, "capture and print per-operation latency percentiles")
+		opstats   = flag.Bool("opstats", false, "print insertion-case and robustness counters after each configuration")
 		seed      = flag.Int64("seed", 2018, "data/workload seed")
 	)
 	flag.Parse()
@@ -81,6 +83,11 @@ func main() {
 						fmt.Printf("   %s", res.Latency)
 					}
 					fmt.Println()
+					if *opstats {
+						if st, ok := inst.Idx.(interface{ OpStats() hot.OpStats }); ok {
+							fmt.Printf("%-9s   opstats: %s\n", "", st.OpStats())
+						}
+					}
 				}
 			}
 		}

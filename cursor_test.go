@@ -1,7 +1,10 @@
 package hot
 
 import (
+	"bytes"
+	"encoding/binary"
 	"sort"
+	"sync/atomic"
 	"testing"
 
 	"github.com/hotindex/hot/internal/tidstore"
@@ -53,6 +56,72 @@ func TestCursor(t *testing.T) {
 	c = tr.Iter([]byte("m"))
 	if !c.Valid() || string(s.Key(c.TID(), nil)) != "only" {
 		t.Fatal("seek to 'm' should land on 'only'")
+	}
+}
+
+// TestConcurrentCursorDuringWrites walks cursors while a writer churns
+// interleaved keys. A stable base set (even values) stays in the tree for
+// the whole test; the writer inserts and deletes the odd values between
+// them. Wait-free reader semantics guarantee each walk is strictly
+// ascending and observes every base key exactly once — churn keys may or
+// may not appear depending on where each cursor step lands relative to the
+// writer's commits.
+func TestConcurrentCursorDuringWrites(t *testing.T) {
+	const base = 1024
+	s := &tidstore.Store{}
+	u64 := func(v uint64) []byte {
+		k := make([]byte, 8)
+		binary.BigEndian.PutUint64(k, v)
+		return k
+	}
+	tr := NewConcurrent(s.Key)
+	for i := 0; i < base; i++ {
+		k := u64(uint64(2 * i))
+		tr.Insert(k, s.Add(k))
+	}
+	churn := make([][]byte, base)
+	churnTID := make([]uint64, base)
+	for i := range churn {
+		churn[i] = u64(uint64(2*i + 1))
+		churnTID[i] = s.Add(churn[i])
+	}
+
+	var stop atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for r := 0; !stop.Load(); r++ {
+			for i := r % 3; i < base; i += 3 {
+				tr.Insert(churn[i], churnTID[i])
+			}
+			for i := r % 3; i < base; i += 3 {
+				tr.Delete(churn[i])
+			}
+		}
+	}()
+
+	for walk := 0; walk < 50; walk++ {
+		var prev []byte
+		seenBase := 0
+		for c := tr.Iter(nil); c.Valid(); c.Next() {
+			k := s.Key(c.TID(), nil)
+			if prev != nil && bytes.Compare(prev, k) >= 0 {
+				t.Fatalf("walk %d: %x after %x", walk, k, prev)
+			}
+			prev = append(prev[:0], k...)
+			if binary.BigEndian.Uint64(k)%2 == 0 {
+				seenBase++
+			}
+		}
+		if seenBase != base {
+			t.Fatalf("walk %d: saw %d of %d base keys", walk, seenBase, base)
+		}
+	}
+	stop.Store(true)
+	<-done
+
+	if err := tr.Verify(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"sort"
 	"testing"
+
+	"github.com/hotindex/hot/internal/tidstore"
 )
 
 // Fuzz targets for the public API: `go test -fuzz FuzzMap` explores them;
@@ -89,6 +91,59 @@ func FuzzMap(f *testing.F) {
 func mapHas(m map[string]uint64, k []byte) bool {
 	_, ok := m[string(k)]
 	return ok
+}
+
+// FuzzTreeVerify interleaves inserts, deletes and lookups on a Tree from an
+// operation tape and runs the full structural-invariant walk (Verify) after
+// every batch of operations, so the fuzzer searches directly for histories
+// that corrupt the trie rather than only for wrong answers.
+func FuzzTreeVerify(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	f.Add([]byte("\x01\x00\x00\x00\x00\x00\x00\x00a\x02\x00\x00\x00\x00\x00\x00\x00a"))
+	f.Add(bytes.Repeat([]byte{3, 7, 1, 0, 0, 255, 128, 64, 32}, 8))
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		s := &tidstore.Store{}
+		tr := New(s.Key)
+		oracle := map[string]uint64{}
+		for i := 0; i+9 <= len(tape); i += 9 {
+			op := tape[i] % 3
+			k := tape[i+1 : i+9] // fixed 8-byte keys are prefix-free
+			switch op {
+			case 0:
+				_, present := oracle[string(k)]
+				tid := s.Add(k)
+				if tr.Insert(k, tid) == present {
+					t.Fatalf("insert %x: present=%v", k, present)
+				}
+				if !present {
+					oracle[string(k)] = tid
+				}
+			case 1:
+				_, present := oracle[string(k)]
+				if tr.Delete(k) != present {
+					t.Fatalf("delete %x: present=%v", k, present)
+				}
+				delete(oracle, string(k))
+			default:
+				tid, ok := tr.Lookup(k)
+				want, present := oracle[string(k)]
+				if ok != present || (ok && tid != want) {
+					t.Fatalf("lookup %x = (%d,%v), want (%d,%v)", k, tid, ok, want, present)
+				}
+			}
+			if (i/9)%8 == 7 {
+				if err := tr.Verify(); err != nil {
+					t.Fatalf("after op %d: %v", i/9, err)
+				}
+			}
+		}
+		if err := tr.Verify(); err != nil {
+			t.Fatal(err)
+		}
+		if tr.Len() != len(oracle) {
+			t.Fatalf("len %d != %d", tr.Len(), len(oracle))
+		}
+	})
 }
 
 // FuzzUint64Set exercises the integer set with a value stream.

@@ -47,8 +47,16 @@ type (
 	DepthStats = core.DepthStats
 	// MemoryStats reports the index footprint and node-layout census.
 	MemoryStats = core.MemoryStats
-	// OpStats counts the insertion structure-adaptation cases.
+	// OpStats counts the insertion structure-adaptation cases and the
+	// ROWEX writer-path robustness events (restarts, backoffs, validation
+	// failures, epoch contention).
 	OpStats = core.OpStats
+	// CorruptionError is the typed error the Verify methods return: which
+	// structural invariant was violated, at which node path and entry.
+	CorruptionError = core.CorruptionError
+	// Invariant identifies the structural invariant a CorruptionError
+	// reports as violated.
+	Invariant = core.Invariant
 )
 
 const (
@@ -130,6 +138,14 @@ func (t *Tree) Memory() MemoryStats { return t.t.Memory() }
 // overall tree height.
 func (t *Tree) OpStats() OpStats { return t.t.OpStats() }
 
+// Verify checks the tree's structural invariants — fanout and height
+// bounds, discriminative-bit monotonicity, partial-key ordering and
+// canonical encoding, leaf key order and lookup self-consistency — and
+// returns nil or a *CorruptionError describing the first violation. It
+// walks every node and resolves every stored key, so it is intended for
+// integrity audits and tests, not per-operation use.
+func (t *Tree) Verify() error { return t.t.Verify() }
+
 // ConcurrentTree is a Height Optimized Trie synchronized with the paper's
 // ROWEX protocol: reads and scans are wait-free (they never lock, block or
 // restart); writers lock only the nodes they modify and replace them
@@ -185,5 +201,13 @@ func (t *ConcurrentTree) ReclaimStats() (freed uint64, pending int64) {
 	return t.t.ReclaimStats()
 }
 
-// OpStats reports the insertion-case counters (see Tree.OpStats).
+// OpStats reports the insertion-case counters (see Tree.OpStats) plus the
+// ROWEX robustness counters: writer restarts, parked backoffs, validation
+// failures and epoch pin-slot contention.
 func (t *ConcurrentTree) OpStats() OpStats { return t.t.OpStats() }
+
+// Verify checks the tree's structural invariants (see Tree.Verify),
+// additionally asserting that no reachable node is marked obsolete. It
+// must run in a quiescent state (no concurrent writers) for reliable
+// results; concurrent readers are always safe.
+func (t *ConcurrentTree) Verify() error { return t.t.Verify() }

@@ -1,0 +1,199 @@
+// Package chaos is a deterministic, seedable fault-injection registry for
+// stress-testing the ROWEX writer protocol and the epoch reclamation
+// manager under adversarial interleavings.
+//
+// Production code threads named injection points (Fire calls) into the
+// steps of the writer discipline — after traversal, between lock
+// acquisitions, before validation, mid copy-on-write, before unlock — and
+// into the epoch manager's Enter and TryAdvance. By default no registry is
+// armed and every Fire is a single predictable-branch atomic load, so the
+// points cost nothing on the hot path. Tests and the hot-chaos driver arm
+// a Registry that fires seeded-random actions (yields, parked sleeps) at
+// chosen points to force restart storms, ABA-style races, slot exhaustion
+// and reclamation under load, deterministically enough to reproduce with
+// the same seed.
+package chaos
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Point names one injection site threaded into production code. The
+// catalog mirrors the ROWEX writer steps (Section 5 of the paper) plus the
+// epoch manager's two contention-sensitive operations.
+type Point uint8
+
+const (
+	// RowexAfterTraverse fires after step (a): the writer has determined
+	// the affected-node set but holds no locks yet — delaying here lets
+	// concurrent writers invalidate the traversal and forces restarts.
+	RowexAfterTraverse Point = iota
+	// RowexBetweenLocks fires between the bottom-up lock acquisitions of
+	// step (b), widening the partial-lock window.
+	RowexBetweenLocks
+	// RowexBeforeValidate fires after all locks are held, before the
+	// obsolete/link validation of step (c).
+	RowexBeforeValidate
+	// RowexMidCopy fires during step (d), after a replacement node has
+	// been built but before it is published.
+	RowexMidCopy
+	// RowexBeforeUnlock fires before the top-down unlock of step (e).
+	RowexBeforeUnlock
+	// EpochEnter fires at the start of epoch.Manager.Enter; an armed
+	// action simulates pin-slot contention.
+	EpochEnter
+	// EpochAdvance fires at the start of epoch.Manager.TryAdvance; an
+	// armed action delays the advance, piling up retired nodes.
+	EpochAdvance
+
+	// NumPoints is the number of named injection points.
+	NumPoints = int(iota)
+)
+
+var pointNames = [NumPoints]string{
+	"rowex/after-traverse",
+	"rowex/between-locks",
+	"rowex/before-validate",
+	"rowex/mid-copy",
+	"rowex/before-unlock",
+	"epoch/enter",
+	"epoch/advance",
+}
+
+// String returns the point's catalog name.
+func (p Point) String() string {
+	if int(p) < NumPoints {
+		return pointNames[p]
+	}
+	return "chaos/unknown"
+}
+
+// Points lists every named injection point, in catalog order.
+func Points() []Point {
+	ps := make([]Point, NumPoints)
+	for i := range ps {
+		ps[i] = Point(i)
+	}
+	return ps
+}
+
+var (
+	enabled atomic.Bool
+	armed   atomic.Pointer[Registry]
+)
+
+// Fire is the production-side hook: it invokes the armed registry's action
+// for p and reports whether an injected action ran. With no registry armed
+// it is a no-op costing one atomic load.
+func Fire(p Point) bool {
+	if !enabled.Load() {
+		return false
+	}
+	r := armed.Load()
+	if r == nil {
+		return false
+	}
+	return r.fire(p)
+}
+
+// Armed reports whether a registry is currently armed.
+func Armed() bool { return enabled.Load() }
+
+// Registry holds per-point injected actions and counters. Decisions are
+// drawn from a seeded PRNG, so a single-goroutine hit sequence fires
+// identically across runs; under concurrency the draw order follows the
+// interleaving but remains fully determined by it and the seed.
+type Registry struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	acts  [NumPoints]action
+	hits  [NumPoints]atomic.Uint64
+	fired [NumPoints]atomic.Uint64
+}
+
+type action struct {
+	prob float64
+	fn   func()
+}
+
+// New returns a registry whose fire decisions derive from seed.
+func New(seed int64) *Registry {
+	return &Registry{rng: rand.New(rand.NewSource(seed))}
+}
+
+// On installs fn at point p, firing with probability prob per hit
+// (prob ≥ 1 fires on every hit; prob ≤ 0 disables the point). fn may be
+// nil to count fires without acting.
+func (r *Registry) On(p Point, prob float64, fn func()) {
+	r.mu.Lock()
+	r.acts[p] = action{prob: prob, fn: fn}
+	r.mu.Unlock()
+}
+
+// Arm installs r as the process-wide registry receiving Fire calls. Only
+// one registry may be armed at a time; Arm panics if another is.
+func (r *Registry) Arm() {
+	if !armed.CompareAndSwap(nil, r) {
+		panic("chaos: another registry is already armed")
+	}
+	enabled.Store(true)
+}
+
+// Disarm removes the armed registry, returning every injection point to
+// its zero-cost no-op state.
+func Disarm() {
+	enabled.Store(false)
+	armed.Store(nil)
+}
+
+func (r *Registry) fire(p Point) bool {
+	r.hits[p].Add(1)
+	r.mu.Lock()
+	a := r.acts[p]
+	run := a.prob > 0 && (a.prob >= 1 || r.rng.Float64() < a.prob)
+	r.mu.Unlock()
+	if !run {
+		return false
+	}
+	r.fired[p].Add(1)
+	if a.fn != nil {
+		a.fn()
+	}
+	return true
+}
+
+// Hits returns how many times point p was reached while armed.
+func (r *Registry) Hits(p Point) uint64 { return r.hits[p].Load() }
+
+// Fired returns how many times point p's action actually ran.
+func (r *Registry) Fired(p Point) uint64 { return r.fired[p].Load() }
+
+// FiredTotal returns the number of injected faults across all points — the
+// "survived faults" count when the structure verifies clean afterwards.
+func (r *Registry) FiredTotal() uint64 {
+	var n uint64
+	for i := 0; i < NumPoints; i++ {
+		n += r.fired[i].Load()
+	}
+	return n
+}
+
+// Yield returns an action that yields the processor n times, widening the
+// race window at its injection point without burning wall-clock time.
+func Yield(n int) func() {
+	return func() {
+		for i := 0; i < n; i++ {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Sleep returns an action that parks the goroutine for d — long enough for
+// concurrent writers to commit whole operations inside the window.
+func Sleep(d time.Duration) func() {
+	return func() { time.Sleep(d) }
+}

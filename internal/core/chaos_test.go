@@ -1,0 +1,176 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hotindex/hot/internal/chaos"
+	"github.com/hotindex/hot/internal/epoch"
+)
+
+// armChaos arms reg for the duration of the test. Chaos tests must not run
+// in parallel with each other (the registry is process-wide); Go runs tests
+// within a package sequentially unless t.Parallel is called, which these
+// tests never do.
+func armChaos(t *testing.T, reg *chaos.Registry) {
+	t.Helper()
+	reg.Arm()
+	t.Cleanup(chaos.Disarm)
+}
+
+// TestChaosRestartStorm widens every writer-protocol window with injected
+// yields while eight writers hammer the same key set with overlapping
+// upserts and deletes, forcing step-(c) validation failures and restarts.
+// The trie must come out structurally intact with every key resolving.
+func TestChaosRestartStorm(t *testing.T) {
+	reg := chaos.New(1)
+	reg.On(chaos.RowexAfterTraverse, 0.5, chaos.Yield(4))
+	reg.On(chaos.RowexBetweenLocks, 0.25, chaos.Yield(2))
+	reg.On(chaos.RowexBeforeValidate, 0.25, chaos.Yield(2))
+	reg.On(chaos.RowexMidCopy, 0.1, chaos.Yield(1))
+	reg.On(chaos.RowexBeforeUnlock, 0.1, chaos.Yield(1))
+	armChaos(t, reg)
+
+	const n = 1500
+	s, keys := concurrentKeys(n, 11)
+	tr := NewConcurrent(s.Key)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for round := 0; round < 3; round++ {
+				for i := 0; i < n; i++ {
+					tr.Upsert(keys[i], TID(i))
+				}
+				// Overlapping deletes across workers maximize contention on
+				// the same nodes.
+				for i := w % 2; i < n; i += 2 {
+					tr.Delete(keys[i])
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		tr.Upsert(keys[i], TID(i))
+	}
+
+	st := tr.OpStats()
+	if st.Restarts == 0 || st.ValidationFails == 0 {
+		t.Errorf("storm forced no restarts: %s", st)
+	}
+	if err := tr.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != n {
+		t.Fatalf("len = %d, want %d", tr.Len(), n)
+	}
+	for i, k := range keys {
+		if tid, ok := tr.Lookup(k); !ok || tid != TID(i) {
+			t.Fatalf("lookup %d = (%d, %v)", i, tid, ok)
+		}
+	}
+	t.Logf("stats: %s; injected faults survived: %d", st, reg.FiredTotal())
+}
+
+// TestChaosSlotExhaustion pins every epoch slot so concurrent writers must
+// sweep and yield in Enter (plus injected contention), then releases the
+// slots and checks the writers completed and the trie verifies.
+func TestChaosSlotExhaustion(t *testing.T) {
+	reg := chaos.New(2)
+	reg.On(chaos.EpochEnter, 0.2, chaos.Yield(1))
+	armChaos(t, reg)
+
+	const n = 512
+	s, keys := concurrentKeys(n, 12)
+	tr := NewConcurrent(s.Key)
+
+	guards := make([]epoch.Guard, 0, epoch.Slots)
+	for i := 0; i < epoch.Slots; i++ {
+		guards = append(guards, tr.gc.Enter())
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i, k := range keys {
+			tr.Insert(k, TID(i))
+		}
+	}()
+	// The writer is stuck sweeping for a pin slot; wait until it has
+	// provably counted contention, then release the slots.
+	deadline := time.Now().Add(5 * time.Second)
+	for tr.gc.Contended() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("writer never reported Enter contention")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for _, g := range guards {
+		g.Exit()
+	}
+	wg.Wait()
+
+	if got := tr.OpStats().Contended; got == 0 {
+		t.Error("Contended stat not surfaced through OpStats")
+	}
+	if err := tr.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != n {
+		t.Fatalf("len = %d, want %d", tr.Len(), n)
+	}
+	t.Logf("contended sweeps: %d; injected faults survived: %d",
+		tr.gc.Contended(), reg.FiredTotal())
+}
+
+// TestChaosDelayedAdvance delays every epoch advance while writers churn
+// inserts and deletes, piling up retired nodes; the trie must stay intact
+// and the backlog must drain once the churn stops.
+func TestChaosDelayedAdvance(t *testing.T) {
+	reg := chaos.New(3)
+	reg.On(chaos.EpochAdvance, 1, chaos.Sleep(100*time.Microsecond))
+	armChaos(t, reg)
+
+	const n = 3000
+	s, keys := concurrentKeys(n, 13)
+	tr := NewConcurrent(s.Key)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for round := 0; round < 3; round++ {
+				for i := w; i < n; i += 4 {
+					tr.Insert(keys[i], TID(i))
+				}
+				for i := w; i < n; i += 8 {
+					tr.Delete(keys[i])
+				}
+				for i := w; i < n; i += 4 {
+					tr.Upsert(keys[i], TID(i))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if err := tr.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != n {
+		t.Fatalf("len = %d, want %d", tr.Len(), n)
+	}
+	// Quiescent now: the delayed advances must still drain the backlog.
+	for i := 0; i < 3; i++ {
+		tr.gc.Flush()
+	}
+	freed, pending := tr.ReclaimStats()
+	if freed == 0 {
+		t.Errorf("no retirements reclaimed despite churn (pending %d)", pending)
+	}
+	t.Logf("freed=%d pending=%d; injected faults survived: %d",
+		freed, pending, reg.FiredTotal())
+}

@@ -1,102 +1,20 @@
 package core
 
 import (
-	"fmt"
 	"testing"
 
-	"github.com/hotindex/hot/internal/key"
 	"github.com/hotindex/hot/internal/tidstore"
 )
 
-// checkInvariants validates the structural invariants of a HOT trie:
-//
-//  1. every node has 2..MaxFanout entries and 1..MaxFanout-1 discriminative
-//     bits, strictly ascending;
-//  2. sparse partial keys are canonical (every column discriminates, bits
-//     set exactly on 1-branch path BiNodes) — verified by recanonicalizing;
-//  3. entry 0's partial key is 0 (the leftmost path takes only 0-branches);
-//  4. leaves enumerate in ascending key order;
-//  5. searching each stored key finds exactly its leaf;
-//  6. child nodes discriminate strictly below the bit that leads to them;
-//  7. when strictHeights, h(n) = 1 + max child h (can go stale only through
-//     deletions, which the paper's deletion design tolerates).
+// checkInvariants validates the structural invariants of a HOT trie by
+// running the exported verification walk (see verify.go for the invariant
+// catalog). strictHeights additionally requires h(n) to be exact, which
+// holds for insert-only histories (deletions may leave heights stale, which
+// the paper's deletion design tolerates).
 func checkInvariants(t *testing.T, tr *Trie, strictHeights bool) {
 	t.Helper()
-	rb := tr.root.Load()
-	if rb.n == nil {
-		return
-	}
-	var prevKey []byte
-	var leaves int
-	var walk func(nd *node, minBit int) uint8
-	walk = func(nd *node, minBit int) uint8 {
-		n := int(nd.n)
-		if n < 2 || n > MaxFanout {
-			t.Fatalf("node with %d entries", n)
-		}
-		d := nd.dbits
-		if len(d) < 1 || len(d) > MaxFanout-1 {
-			t.Fatalf("node with %d discriminative bits", len(d))
-		}
-		for i := 1; i < len(d); i++ {
-			if d[i-1] >= d[i] {
-				t.Fatalf("dbits not strictly ascending: %v", d)
-			}
-		}
-		if int(d[0]) < minBit {
-			t.Fatalf("node root bit %d under parent path bit bound %d", d[0], minBit)
-		}
-		pks := nd.pks(nil)
-		if pks[0] != 0 {
-			t.Fatalf("entry 0 pk = %#x, want 0 (pks=%v)", pks[0], pks)
-		}
-		cd, cpks := canonicalize(d, pks, nil, nil)
-		if fmt.Sprint(cd) != fmt.Sprint(d) || fmt.Sprint(cpks) != fmt.Sprint(pks) {
-			t.Fatalf("node not canonical:\n d=%v pks=%v\n want d=%v pks=%v", d, pks, cd, cpks)
-		}
-		var maxChild uint8
-		for i := 0; i < n; i++ {
-			// The smallest discriminative bit a subtree below entry i may
-			// use is one past the deepest BiNode on entry i's path.
-			pathMax := -1
-			for c := 0; c < len(d); c++ {
-				// Column c is on i's path iff i is inside the subtree that
-				// diverges at c... cheap sufficient bound: any column where
-				// i's bit is set, or where i is adjacent to the divergence.
-				if pks[i]&(1<<(len(d)-1-c)) != 0 && int(d[c]) > pathMax {
-					pathMax = int(d[c])
-				}
-			}
-			if c := nd.slots[i].loadChild(); c != nil {
-				h := walk(c, pathMax+1)
-				if h > maxChild {
-					maxChild = h
-				}
-				continue
-			}
-			leaves++
-			k := tr.load(nd.slots[i].tid, nil)
-			if prevKey != nil && key.Compare(prevKey, k) >= 0 {
-				t.Fatalf("leaves out of order: %q then %q", prevKey, k)
-			}
-			prevKey = append([]byte(nil), k...)
-			// Search must find exactly this entry.
-			if tid, ok := tr.Lookup(k); !ok || tid != nd.slots[i].tid {
-				t.Fatalf("lookup of stored key %q = (%d,%v), want (%d,true)", k, tid, ok, nd.slots[i].tid)
-			}
-		}
-		if strictHeights {
-			if nd.height != maxChild+1 {
-				t.Fatalf("height %d, want %d", nd.height, maxChild+1)
-			}
-		} else if nd.height < maxChild+1 {
-			t.Fatalf("height %d below children %d", nd.height, maxChild+1)
-		}
-		return nd.height
-	}
-	walk(rb.n, 0)
-	if leaves != tr.Len() {
-		t.Fatalf("walked %d leaves, Len()=%d", leaves, tr.Len())
+	if err := tr.verify(strictHeights); err != nil {
+		t.Fatal(err)
 	}
 }
 

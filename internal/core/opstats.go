@@ -1,0 +1,61 @@
+package core
+
+import "fmt"
+
+// OpStats reports how often each insertion structure-adaptation case fired
+// (Section 3.2) plus the robustness counters of the ROWEX writer path:
+// restarts, backoffs and validation failures (zero on the single-threaded
+// trie) and epoch pin-slot contention.
+type OpStats struct {
+	Normal       uint64 // normal inserts (splice into the affected node)
+	Pushdown     uint64 // leaf-node pushdowns
+	PullUp       uint64 // parent pull ups
+	Intermediate uint64 // intermediate node creations
+	NewRoot      uint64 // root creations (the only case growing the height)
+
+	Restarts        uint64 // write attempts retried after a failed attempt
+	Backoffs        uint64 // restarts that escalated to a parked sleep
+	ValidationFails uint64 // step-(c) validation failures under locks
+	Contended       uint64 // epoch Enter sweeps finding no free pin slot
+}
+
+// Sub returns s - prev counter-wise: the activity between two snapshots.
+func (s OpStats) Sub(prev OpStats) OpStats {
+	return OpStats{
+		Normal:          s.Normal - prev.Normal,
+		Pushdown:        s.Pushdown - prev.Pushdown,
+		PullUp:          s.PullUp - prev.PullUp,
+		Intermediate:    s.Intermediate - prev.Intermediate,
+		NewRoot:         s.NewRoot - prev.NewRoot,
+		Restarts:        s.Restarts - prev.Restarts,
+		Backoffs:        s.Backoffs - prev.Backoffs,
+		ValidationFails: s.ValidationFails - prev.ValidationFails,
+		Contended:       s.Contended - prev.Contended,
+	}
+}
+
+// String formats every counter in a fixed order, so the drivers
+// (cmd/hot-ycsb, cmd/hot-chaos) and tests report uniformly.
+func (s OpStats) String() string {
+	return fmt.Sprintf(
+		"normal=%d pushdown=%d pullup=%d intermediate=%d newroot=%d "+
+			"restarts=%d backoffs=%d validationfails=%d contended=%d",
+		s.Normal, s.Pushdown, s.PullUp, s.Intermediate, s.NewRoot,
+		s.Restarts, s.Backoffs, s.ValidationFails, s.Contended)
+}
+
+// OpStats returns the insertion-case counters. The robustness counters are
+// populated by the concurrent trie (see ConcurrentTrie.OpStats); on the
+// single-threaded trie they are always zero.
+func (t *tree) OpStats() OpStats {
+	return OpStats{
+		Normal:          t.ops.normal.Load(),
+		Pushdown:        t.ops.pushdown.Load(),
+		PullUp:          t.ops.pullup.Load(),
+		Intermediate:    t.ops.intermediate.Load(),
+		NewRoot:         t.ops.newRoot.Load(),
+		Restarts:        t.ops.restarts.Load(),
+		Backoffs:        t.ops.backoffs.Load(),
+		ValidationFails: t.ops.validationFails.Load(),
+	}
+}

@@ -40,12 +40,27 @@ func TestAllInsertCasesOccur(t *testing.T) {
 		total.PullUp += st.PullUp
 		total.Intermediate += st.Intermediate
 		total.NewRoot += st.NewRoot
-		t.Logf("%v: %+v height=%d", kind, st, tr.Height())
+		t.Logf("%v: %s height=%d", kind, st, tr.Height())
 	}
 	if total.Pushdown == 0 {
 		t.Error("no data set triggered leaf-node pushdown")
 	}
 	if total.Intermediate == 0 {
 		t.Error("no data set triggered intermediate node creation")
+	}
+}
+
+func TestOpStatsStringAndSub(t *testing.T) {
+	a := OpStats{Normal: 10, Pushdown: 2, PullUp: 3, Intermediate: 1, NewRoot: 1,
+		Restarts: 7, Backoffs: 2, ValidationFails: 5, Contended: 4}
+	b := OpStats{Normal: 4, Restarts: 3, ValidationFails: 1}
+	d := a.Sub(b)
+	if d.Normal != 6 || d.Restarts != 4 || d.ValidationFails != 4 || d.Contended != 4 {
+		t.Fatalf("Sub = %+v", d)
+	}
+	want := "normal=6 pushdown=2 pullup=3 intermediate=1 newroot=1 " +
+		"restarts=4 backoffs=2 validationfails=4 contended=4"
+	if got := d.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
 	}
 }

@@ -3,7 +3,9 @@ package core
 import (
 	"runtime"
 	"sync"
+	"time"
 
+	"github.com/hotindex/hot/internal/chaos"
 	"github.com/hotindex/hot/internal/epoch"
 	"github.com/hotindex/hot/internal/key"
 )
@@ -84,7 +86,7 @@ func (t *ConcurrentTrie) write(k []byte, tid TID, upsert bool) (inserted bool, o
 			}
 			return inserted, old, replaced
 		}
-		backoff(attempt)
+		t.restartBackoff(attempt)
 	}
 }
 
@@ -97,6 +99,7 @@ func (t *ConcurrentTrie) tryWrite(k []byte, tid TID, upsert bool) (inserted bool
 		t.rootMu.Lock()
 		defer t.rootMu.Unlock()
 		if t.root.Load() != rb {
+			t.ops.validationFails.Add(1)
 			return false, 0, false, false
 		}
 		if !rb.leaf {
@@ -124,6 +127,7 @@ func (t *ConcurrentTrie) tryWrite(k []byte, tid TID, upsert bool) (inserted bool
 	}
 
 	stack, cand := descend(rb.n, k, make([]pathEntry, 0, 8))
+	chaos.Fire(chaos.RowexAfterTraverse)
 	mb, differ := key.MismatchBit(t.load(cand, nil), k)
 	if !differ {
 		if !upsert {
@@ -165,7 +169,7 @@ func (t *ConcurrentTrie) Delete(k []byte) bool {
 			}
 			return deleted
 		}
-		backoff(attempt)
+		t.restartBackoff(attempt)
 	}
 }
 
@@ -178,6 +182,7 @@ func (t *ConcurrentTrie) tryDelete(k []byte) (deleted, ok bool) {
 		t.rootMu.Lock()
 		defer t.rootMu.Unlock()
 		if t.root.Load() != rb {
+			t.ops.validationFails.Add(1)
 			return false, false
 		}
 		if !key.Equal(t.load(rb.tid, nil), k) {
@@ -188,6 +193,7 @@ func (t *ConcurrentTrie) tryDelete(k []byte) (deleted, ok bool) {
 		return true, true
 	}
 	stack, cand := descend(rb.n, k, make([]pathEntry, 0, 8))
+	chaos.Fire(chaos.RowexAfterTraverse)
 	if !key.Equal(t.load(cand, nil), k) {
 		return false, true
 	}
@@ -210,10 +216,12 @@ func (t *ConcurrentTrie) tryDelete(k []byte) (deleted, ok bool) {
 func (t *ConcurrentTrie) lockLevels(stack []pathEntry, lo, hi int, useRoot bool, rb *rootBox, cand TID, candIsLeaf bool) bool {
 	for i := hi; i >= lo; i-- {
 		stack[i].nd.mu.Lock()
+		chaos.Fire(chaos.RowexBetweenLocks)
 	}
 	if useRoot {
 		t.rootMu.Lock()
 	}
+	chaos.Fire(chaos.RowexBeforeValidate)
 	valid := true
 	for i := lo; i <= hi && valid; i++ {
 		if stack[i].nd.obsolete.Load() {
@@ -249,6 +257,7 @@ func (t *ConcurrentTrie) lockLevels(stack []pathEntry, lo, hi int, useRoot bool,
 		}
 	}
 	if !valid {
+		t.ops.validationFails.Add(1)
 		t.unlockLevels(stack, lo, hi, useRoot)
 		return false
 	}
@@ -256,6 +265,7 @@ func (t *ConcurrentTrie) lockLevels(stack []pathEntry, lo, hi int, useRoot bool,
 }
 
 func (t *ConcurrentTrie) unlockLevels(stack []pathEntry, lo, hi int, useRoot bool) {
+	chaos.Fire(chaos.RowexBeforeUnlock)
 	if useRoot {
 		t.rootMu.Unlock()
 	}
@@ -278,12 +288,38 @@ func (t *ConcurrentTrie) maybeAdvance() {
 	}
 }
 
-func backoff(attempt int) {
-	if attempt < 4 {
+// OpStats returns the insertion-case counters plus the writer-path
+// robustness counters: restarts, parked backoffs, step-(c) validation
+// failures, and the epoch manager's pin-slot contention count.
+func (t *ConcurrentTrie) OpStats() OpStats {
+	s := t.tree.OpStats()
+	s.Contended = t.gc.Contended()
+	return s
+}
+
+// Restart/backoff policy: a failed attempt (step (c) validation or a
+// root-box race) restarts the whole operation. The first few restarts only
+// yield the processor — under light contention the conflicting writer
+// finishes within a scheduling quantum. Past restartYieldAttempts the
+// writer parks with capped exponential sleep, so a restart storm degrades
+// into bounded sleeping instead of spinning cores at 100%.
+const (
+	restartYieldAttempts = 8
+	restartBaseSleep     = 2 * time.Microsecond
+	restartMaxSleep      = 512 * time.Microsecond
+)
+
+func (t *ConcurrentTrie) restartBackoff(attempt int) {
+	t.ops.restarts.Add(1)
+	if attempt < restartYieldAttempts {
 		runtime.Gosched()
 		return
 	}
-	for i := 0; i < attempt*16 && i < 1024; i++ {
-		runtime.Gosched()
+	t.ops.backoffs.Add(1)
+	shift := attempt - restartYieldAttempts
+	d := restartMaxSleep
+	if shift < 8 {
+		d = restartBaseSleep << uint(shift)
 	}
+	time.Sleep(d)
 }

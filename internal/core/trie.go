@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"github.com/hotindex/hot/internal/chaos"
 	"github.com/hotindex/hot/internal/key"
 )
 
@@ -36,35 +37,18 @@ type tree struct {
 }
 
 // opCounters tallies the paper's four insertion cases plus root creations
-// (Section 3.2). Counters are atomic so the concurrent trie can share them.
+// (Section 3.2) and the ROWEX writer-path robustness events. Counters are
+// atomic so the concurrent trie can share them.
 type opCounters struct {
 	normal       atomic.Uint64
 	pushdown     atomic.Uint64
 	pullup       atomic.Uint64
 	intermediate atomic.Uint64
 	newRoot      atomic.Uint64
-}
 
-// OpStats reports how often each insertion case fired: normal inserts,
-// leaf-node pushdowns, parent pull ups, intermediate node creations and
-// root creations (the only case that grows the overall height).
-type OpStats struct {
-	Normal       uint64
-	Pushdown     uint64
-	PullUp       uint64
-	Intermediate uint64
-	NewRoot      uint64
-}
-
-// OpStats returns the insertion-case counters.
-func (t *tree) OpStats() OpStats {
-	return OpStats{
-		Normal:       t.ops.normal.Load(),
-		Pushdown:     t.ops.pushdown.Load(),
-		PullUp:       t.ops.pullup.Load(),
-		Intermediate: t.ops.intermediate.Load(),
-		NewRoot:      t.ops.newRoot.Load(),
-	}
+	restarts        atomic.Uint64
+	backoffs        atomic.Uint64
+	validationFails atomic.Uint64
 }
 
 func (t *tree) init(loader Loader, k int) {
@@ -336,6 +320,7 @@ func (t *tree) execInsert(plan insertPlan, tid TID, replaced []*node) []*node {
 // replaceAt publishes repl in place of the node at stack level: a child
 // store in the parent, or a root box swap at level 0.
 func (t *tree) replaceAt(stack []pathEntry, level int, repl *node) {
+	chaos.Fire(chaos.RowexMidCopy) // replacement built, not yet published
 	if level == 0 {
 		t.root.Store(&rootBox{n: repl})
 		return

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// buildCorruptible returns a multi-level trie plus its root node, ready to
+// be surgically damaged. Each caller gets a fresh trie: the mutations below
+// are irreversible.
+func buildCorruptible(t *testing.T) (*Trie, *node) {
+	t.Helper()
+	tr, s := newTestTrie()
+	for i := 0; i < 2000; i++ {
+		k := fmt.Sprintf("key-%04d", i)
+		tr.Insert([]byte(k), s.AddString(k))
+	}
+	rb := tr.root.Load()
+	if rb.n == nil || rb.n.height < 2 {
+		t.Fatal("test trie too shallow to corrupt meaningfully")
+	}
+	return tr, rb.n
+}
+
+func firstChild(t *testing.T, nd *node) *node {
+	t.Helper()
+	for i := 0; i < int(nd.n); i++ {
+		if c := nd.slots[i].loadChild(); c != nil {
+			return c
+		}
+	}
+	t.Fatal("node has no child")
+	return nil
+}
+
+// TestVerifyDetectsCorruption damages a healthy trie one invariant at a
+// time and checks Verify reports the damage as a typed CorruptionError
+// naming that invariant — the detector must detect, not just pass clean
+// trees.
+func TestVerifyDetectsCorruption(t *testing.T) {
+	cases := []struct {
+		name    string
+		want    Invariant
+		corrupt func(t *testing.T, tr *Trie, root *node)
+	}{
+		{"fanout", InvFanout, func(t *testing.T, tr *Trie, root *node) {
+			firstChild(t, root).n = 1
+		}},
+		{"dbits-order", InvDiscriminativeBits, func(t *testing.T, tr *Trie, root *node) {
+			nd := firstChild(t, root)
+			if len(nd.dbits) < 2 {
+				t.Skip("child has a single discriminative bit")
+			}
+			nd.dbits[0], nd.dbits[1] = nd.dbits[1], nd.dbits[0]
+		}},
+		{"dbits-path-bound", InvDiscriminativeBits, func(t *testing.T, tr *Trie, root *node) {
+			firstChild(t, root).dbits[0] = 0 // bits must grow along the path
+		}},
+		{"obsolete-reachable", InvObsoleteReachable, func(t *testing.T, tr *Trie, root *node) {
+			firstChild(t, root).obsolete.Store(true)
+		}},
+		{"height-bound", InvHeightBound, func(t *testing.T, tr *Trie, root *node) {
+			root.height = 1 // root must sit above its subtrees
+		}},
+		{"leaf-count", InvLeafCount, func(t *testing.T, tr *Trie, root *node) {
+			tr.size.Add(1)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr, root := buildCorruptible(t)
+			if err := tr.Verify(); err != nil {
+				t.Fatalf("healthy trie failed verification: %v", err)
+			}
+			tc.corrupt(t, tr, root)
+			err := tr.Verify()
+			if err == nil {
+				t.Fatal("corruption went undetected")
+			}
+			var ce *CorruptionError
+			if !errors.As(err, &ce) {
+				t.Fatalf("error is %T, want *CorruptionError", err)
+			}
+			if ce.Invariant != tc.want {
+				t.Fatalf("reported %v, want %v (%v)", ce.Invariant, tc.want, err)
+			}
+			if ce.Error() == "" || ce.Invariant.String() == "unknown invariant" {
+				t.Fatalf("unhelpful report: %v", err)
+			}
+			t.Logf("detected: %v", err)
+		})
+	}
+}

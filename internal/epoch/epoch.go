@@ -12,14 +12,19 @@
 package epoch
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"github.com/hotindex/hot/internal/chaos"
 )
 
 const (
-	// slots bounds the number of concurrently pinned operations. Must be a
+	// Slots bounds the number of concurrently pinned operations. Must be a
 	// power of two.
-	slots = 256
+	Slots = 256
+
+	slots = Slots
 
 	// idle marks an unpinned slot. Pinned slots store epoch+1 so the zero
 	// value of Manager is ready to use.
@@ -37,6 +42,10 @@ type Manager struct {
 	counts  [3]int
 	freed   atomic.Uint64
 	pending atomic.Int64
+
+	// contended counts Enter sweeps that found every pin slot taken
+	// (including injected contention) — slot exhaustion observability.
+	contended atomic.Uint64
 }
 
 type paddedPin struct {
@@ -52,18 +61,26 @@ type Guard struct {
 }
 
 // Enter pins the calling operation to the current epoch. Operations from
-// any goroutine may enter concurrently; Enter spins only in the unlikely
-// case that all pin slots are taken.
+// any goroutine may enter concurrently. In the unlikely case that all pin
+// slots are taken, Enter degrades gracefully: each failed sweep is counted
+// (see Contended) and yields the processor instead of busy-spinning.
 func (m *Manager) Enter() Guard {
-	e := m.global.Load()
-	i := int(e) & (slots - 1)
+	if chaos.Fire(chaos.EpochEnter) {
+		// Injected slot contention: account and yield as if a sweep failed.
+		m.contended.Add(1)
+		runtime.Gosched()
+	}
 	for {
+		e := m.global.Load()
+		i := int(e) & (slots - 1)
 		for j := 0; j < slots; j++ {
 			s := (i + j) & (slots - 1)
 			if m.pins[s].epoch.Load() == idle && m.pins[s].epoch.CompareAndSwap(idle, e+1) {
 				return Guard{m: m, slot: s}
 			}
 		}
+		m.contended.Add(1)
+		runtime.Gosched()
 	}
 }
 
@@ -92,6 +109,7 @@ func (m *Manager) Retire(free func()) {
 // old. It returns whether the epoch advanced. Callers typically invoke it
 // periodically (e.g. every N retirements).
 func (m *Manager) TryAdvance() bool {
+	chaos.Fire(chaos.EpochAdvance)
 	e := m.global.Load()
 	for i := range m.pins {
 		pe := m.pins[i].epoch.Load()
@@ -134,6 +152,10 @@ func (m *Manager) Freed() uint64 { return m.freed.Load() }
 
 // Pending returns the number of not-yet-reclaimed retirements.
 func (m *Manager) Pending() int64 { return m.pending.Load() }
+
+// Contended returns the number of Enter sweeps that found every pin slot
+// taken. A nonzero value means operations had to wait for a slot.
+func (m *Manager) Contended() uint64 { return m.contended.Load() }
 
 // Epoch returns the current global epoch (for tests and stats).
 func (m *Manager) Epoch() uint64 { return m.global.Load() }

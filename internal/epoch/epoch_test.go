@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestRetireReclaimAfterTwoAdvances(t *testing.T) {
@@ -105,6 +106,45 @@ func TestConcurrentGuards(t *testing.T) {
 	}
 	if m.Pending() != 0 {
 		t.Fatalf("pending %d after flush", m.Pending())
+	}
+}
+
+// TestEnterSlotExhaustion pins every slot and checks that a further Enter
+// degrades gracefully: it counts contended sweeps (and yields rather than
+// busy-spinning) until a slot frees up, then succeeds.
+func TestEnterSlotExhaustion(t *testing.T) {
+	var m Manager
+	guards := make([]Guard, 0, Slots)
+	for i := 0; i < Slots; i++ {
+		guards = append(guards, m.Enter())
+	}
+	if m.Contended() != 0 {
+		t.Fatalf("contended = %d before exhaustion", m.Contended())
+	}
+	acquired := make(chan Guard)
+	go func() { acquired <- m.Enter() }()
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Contended() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("exhausted Enter never counted a contended sweep")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-acquired:
+		t.Fatal("Enter returned while every slot was pinned")
+	default:
+	}
+	guards[Slots/2].Exit()
+	g := <-acquired
+	g.Exit()
+	for i, gd := range guards {
+		if i != Slots/2 {
+			gd.Exit()
+		}
+	}
+	if m.Contended() == 0 {
+		t.Fatal("contention not counted")
 	}
 }
 

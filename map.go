@@ -146,6 +146,10 @@ func unescapeKey(dst, ek []byte) []byte {
 // Height returns the underlying trie's height.
 func (m *Map) Height() int { return m.t.Height() }
 
+// Verify checks the underlying trie's structural invariants (see
+// Tree.Verify), returning nil or a *CorruptionError.
+func (m *Map) Verify() error { return m.t.Verify() }
+
 // Memory returns the underlying trie's memory statistics (key arena not
 // included).
 func (m *Map) Memory() MemoryStats { return m.t.Memory() }

@@ -65,6 +65,10 @@ func (s *Uint64Set) Min() (uint64, bool) {
 // Height returns the underlying trie height.
 func (s *Uint64Set) Height() int { return s.t.Height() }
 
+// Verify checks the underlying trie's structural invariants (see
+// Tree.Verify), returning nil or a *CorruptionError.
+func (s *Uint64Set) Verify() error { return s.t.Verify() }
+
 // Memory returns the underlying trie's memory statistics.
 func (s *Uint64Set) Memory() MemoryStats { return s.t.Memory() }
 
@@ -114,3 +118,7 @@ func (s *ConcurrentUint64Set) Ascend(from uint64, max int, fn func(uint64) bool)
 	}
 	return s.t.Scan(u64key(from, &b), max, fn)
 }
+
+// Verify checks the underlying trie's structural invariants (see
+// ConcurrentTree.Verify); it must run in a quiescent state.
+func (s *ConcurrentUint64Set) Verify() error { return s.t.Verify() }
