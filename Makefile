@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check race chaos fuzz bench clean
+.PHONY: all check race chaos fuzz bench bench-json clean
 
 all: check race chaos
 
@@ -30,6 +30,12 @@ fuzz:
 
 bench:
 	$(GO) test -bench . -benchtime 1s -run - .
+
+# Machine-readable throughput snapshot: the Figure 8 core (workload C and
+# the load phase) at laptop scale, scalar and batched lookups, written as
+# JSON records {dataset, workload, dist, index, batch, mops, misses}.
+bench-json:
+	$(GO) run ./cmd/hot-ycsb -n 200000 -ops 400000 -workloads C,load -indexes hot -batch 0,16 -json BENCH_2.json
 
 clean:
 	$(GO) clean -testcache

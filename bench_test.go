@@ -91,6 +91,40 @@ func BenchmarkFig8Lookup(b *testing.B) {
 	})
 }
 
+// BenchmarkFig8LookupBatch is workload C issued through the batched
+// memory-level-parallel lookup path (HOT only — the baseline indexes have
+// no batch API). Compare against BenchmarkFig8Lookup's hot rows.
+func BenchmarkFig8LookupBatch(b *testing.B) {
+	const lanes = 32
+	for _, kind := range dataset.Kinds() {
+		b.Run(fmt.Sprintf("%s/hot", kind), func(b *testing.B) {
+			d := benchData(b, kind)
+			inst := loadedInstance(b, "hot", d)
+			bi, ok := inst.Idx.(ycsb.BatchIndex)
+			if !ok {
+				b.Fatal("hot index lost its batch API")
+			}
+			rng := rand.New(rand.NewSource(benchSeed))
+			probes := make([][]byte, 4096)
+			for i := range probes {
+				probes[i] = d.Keys[rng.Intn(benchKeys)]
+			}
+			out := make([]uint64, lanes)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i += lanes {
+				base := i % (len(probes) - lanes)
+				found := bi.LookupBatch(probes[base:base+lanes], out)
+				for _, okk := range found {
+					if !okk {
+						b.Fatal("lookup missed")
+					}
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkFig8Scan is workload E's scan component (range scans of up to
 // 100 entries from a uniform start key): Figure 8, middle.
 func BenchmarkFig8Scan(b *testing.B) {

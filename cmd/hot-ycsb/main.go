@@ -12,9 +12,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"github.com/hotindex/hot"
@@ -22,6 +24,17 @@ import (
 	"github.com/hotindex/hot/internal/dataset"
 	"github.com/hotindex/hot/internal/ycsb"
 )
+
+// record is one configuration's result in the -json output.
+type record struct {
+	Dataset  string  `json:"dataset"`
+	Workload string  `json:"workload"`
+	Dist     string  `json:"dist"`
+	Index    string  `json:"index"`
+	Batch    int     `json:"batch"`
+	Mops     float64 `json:"mops"`
+	Misses   int     `json:"misses"`
+}
 
 func main() {
 	var (
@@ -34,9 +47,18 @@ func main() {
 		all       = flag.Bool("all", false, "run all 6 workloads × {uniform, zipf} (Appendix A)")
 		latency   = flag.Bool("latency", false, "capture and print per-operation latency percentiles")
 		opstats   = flag.Bool("opstats", false, "print insertion-case and robustness counters after each configuration")
+		batch     = flag.String("batch", "0", "comma list of read batch sizes routed through LookupBatch (0 = scalar lookups)")
+		jsonPath  = flag.String("json", "", "additionally write results as a JSON array to this file")
 		seed      = flag.Int64("seed", 2018, "data/workload seed")
 	)
 	flag.Parse()
+	var records []record
+	var batches []int
+	for _, b := range split(*batch) {
+		v, err := strconv.Atoi(b)
+		die(err)
+		batches = append(batches, v)
+	}
 
 	wNames := split(*workloads)
 	dNames := split(*dists)
@@ -46,7 +68,7 @@ func main() {
 	}
 
 	fmt.Printf("load %d keys, %d txn ops per configuration\n", *n, *ops)
-	fmt.Printf("%-9s %-26s %-8s %-9s %10s %9s\n", "dataset", "workload", "dist", "index", "mops", "misses")
+	fmt.Printf("%-9s %-26s %-8s %-9s %6s %10s %9s\n", "dataset", "workload", "dist", "index", "batch", "mops", "misses")
 
 	for _, ds := range split(*datasets) {
 		kind, err := dataset.ParseKind(ds)
@@ -66,31 +88,44 @@ func main() {
 					dist = ycsb.Latest // paper: D is latest-read
 				}
 				for _, iname := range split(*indexes) {
-					inst, err := bench.New(iname, data.Store)
-					die(err)
-					r := data.Runner(inst, *n, *seed)
-					r.CaptureLatency = *latency
-					var res ycsb.Result
-					if w.Name == "load" {
-						res = r.Load()
-					} else {
-						r.Load()
-						res = r.Run(w, dist, *ops)
-					}
-					fmt.Printf("%-9s %-26s %-8s %-9s %10.3f %9d",
-						ds, w.Name+" ("+w.Description+")", dist, iname, res.Mops(), res.NotFound)
-					if res.Latency != nil {
-						fmt.Printf("   %s", res.Latency)
-					}
-					fmt.Println()
-					if *opstats {
-						if st, ok := inst.Idx.(interface{ OpStats() hot.OpStats }); ok {
-							fmt.Printf("%-9s   opstats: %s\n", "", st.OpStats())
+					for _, b := range batches {
+						inst, err := bench.New(iname, data.Store)
+						die(err)
+						r := data.Runner(inst, *n, *seed)
+						r.CaptureLatency = *latency
+						r.BatchLookups = b
+						var res ycsb.Result
+						if w.Name == "load" {
+							res = r.Load()
+						} else {
+							r.Load()
+							res = r.Run(w, dist, *ops)
 						}
+						fmt.Printf("%-9s %-26s %-8s %-9s %6d %10.3f %9d",
+							ds, w.Name+" ("+w.Description+")", dist, iname, b, res.Mops(), res.NotFound)
+						if res.Latency != nil {
+							fmt.Printf("   %s", res.Latency)
+						}
+						fmt.Println()
+						if *opstats {
+							if st, ok := inst.Idx.(interface{ OpStats() hot.OpStats }); ok {
+								fmt.Printf("%-9s   opstats: %s\n", "", st.OpStats())
+							}
+						}
+						records = append(records, record{
+							Dataset: ds, Workload: w.Name, Dist: dist.String(), Index: iname,
+							Batch: b, Mops: res.Mops(), Misses: res.NotFound,
+						})
 					}
 				}
 			}
 		}
+	}
+	if *jsonPath != "" {
+		blob, err := json.MarshalIndent(records, "", "  ")
+		die(err)
+		die(os.WriteFile(*jsonPath, append(blob, '\n'), 0o644))
+		fmt.Printf("wrote %d records to %s\n", len(records), *jsonPath)
 	}
 }
 

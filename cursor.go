@@ -26,6 +26,13 @@ func (t *Tree) Iter(start []byte) *Cursor {
 	return &Cursor{it: t.t.Iter(start)}
 }
 
+// SeekCursor repositions c at the first key ≥ start, reusing the cursor's
+// internal storage: repositioning an already-used cursor allocates nothing.
+// The cursor may be zero-valued or previously exhausted.
+func (t *Tree) SeekCursor(c *Cursor, start []byte) {
+	t.t.SeekIter(&c.it, start)
+}
+
 // Iter returns a cursor positioned at the first key ≥ start. Like the
 // paper's wait-free readers, the cursor stays usable while other
 // goroutines modify the tree; it observes each node atomically and may

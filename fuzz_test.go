@@ -146,6 +146,50 @@ func FuzzTreeVerify(f *testing.F) {
 	})
 }
 
+// FuzzLookupBatch cross-checks batched lookups against scalar Lookup: a
+// tree is built from the tape's first half and probed with batches decoded
+// from the whole tape, so probes mix present keys, absent keys and
+// prefix-colliding near-misses. Batch and scalar answers must agree
+// exactly, at any batch size.
+func FuzzLookupBatch(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17})
+	f.Add(bytes.Repeat([]byte{0xAB, 0x00, 0xFF, 0x7F}, 24))
+	f.Add([]byte("batch\x00lookup\x01oracle\x02probe"))
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		s := &tidstore.Store{}
+		tr := New(s.Key)
+		for i := 0; i+8 <= len(tape)/2; i += 8 {
+			k := tape[i : i+8] // fixed 8-byte keys are prefix-free
+			if _, ok := tr.Lookup(k); !ok {
+				tr.Insert(k, s.Add(k))
+			}
+		}
+		var probes [][]byte
+		for i := 0; i+8 <= len(tape); i += 4 { // overlapping windows: near-miss probes
+			probes = append(probes, tape[i:i+8])
+		}
+		if len(probes) == 0 {
+			return
+		}
+		batch := 1 + int(tape[0])%(len(probes)+1)
+		out := make([]uint64, batch)
+		for base := 0; base < len(probes); base += batch {
+			end := base + batch
+			if end > len(probes) {
+				end = len(probes)
+			}
+			chunk := probes[base:end]
+			found := tr.LookupBatch(chunk, out)
+			for i, k := range chunk {
+				wantTID, wantOK := tr.Lookup(k)
+				if found[i] != wantOK || (wantOK && out[i] != wantTID) {
+					t.Fatalf("probe %x: batch (%d,%v), scalar (%d,%v)", k, out[i], found[i], wantTID, wantOK)
+				}
+			}
+		}
+	})
+}
+
 // FuzzUint64Set exercises the integer set with a value stream.
 func FuzzUint64Set(f *testing.F) {
 	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9})

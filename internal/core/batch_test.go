@@ -1,0 +1,212 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/hotindex/hot/internal/tidstore"
+)
+
+// checkBatchAgainstScalar asserts that one LookupBatch call over probes
+// agrees with per-key Lookup on the same trie.
+func checkBatchAgainstScalar(t *testing.T, tr *Trie, probes [][]byte) {
+	t.Helper()
+	out := make([]TID, len(probes))
+	found := tr.LookupBatch(probes, out)
+	if len(found) != len(probes) {
+		t.Fatalf("found mask length %d, want %d", len(found), len(probes))
+	}
+	for i, k := range probes {
+		wantTID, wantOK := tr.Lookup(k)
+		if found[i] != wantOK {
+			t.Fatalf("probe %d (%x): batch found=%v scalar found=%v", i, k, found[i], wantOK)
+		}
+		if wantOK && out[i] != wantTID {
+			t.Fatalf("probe %d (%x): batch tid=%d scalar tid=%d", i, k, out[i], wantTID)
+		}
+		if !wantOK && out[i] != 0 {
+			t.Fatalf("probe %d (%x): absent key got out=%d, want 0", i, k, out[i])
+		}
+	}
+}
+
+// TestLookupBatchOracle cross-checks batched lookups against scalar Lookup
+// over present keys, absent keys and prefix-colliding probes (keys sharing
+// a long prefix with stored keys, which descend to a candidate and must be
+// rejected by the final key comparison), at batch sizes below, at and above
+// the lane count.
+func TestLookupBatchOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := &tidstore.Store{}
+	tr := New(s.Key)
+	// randomKey draws from a ~364-key universe; stay well below it.
+	var stored [][]byte
+	seen := map[string]bool{}
+	for len(stored) < 300 {
+		k := randomKey(rng)
+		if seen[string(k)] {
+			continue
+		}
+		seen[string(k)] = true
+		tr.Insert(k, s.Add(k))
+		stored = append(stored, k)
+	}
+
+	var probes [][]byte
+	for _, k := range stored {
+		probes = append(probes, k)
+		// Prefix-colliding probe: same bytes, divergence only in the
+		// terminator position — shares every discriminative bit of the
+		// stored key's path prefix.
+		col := append([]byte(nil), k...)
+		col[len(col)-1] = 0xFE
+		if !seen[string(col)] {
+			probes = append(probes, col)
+		}
+		// Extension past the stored key (candidate check must compare
+		// full lengths).
+		ext := append(append([]byte(nil), k...), 0xFF)
+		if !seen[string(ext)] {
+			probes = append(probes, ext)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		k := randomKey(rng)
+		probes = append(probes, k) // mix of present and absent
+	}
+	rng.Shuffle(len(probes), func(i, j int) { probes[i], probes[j] = probes[j], probes[i] })
+
+	for _, size := range []int{0, 1, 7, batchLanes - 1, batchLanes, batchLanes + 1, 3 * batchLanes, len(probes)} {
+		if size > len(probes) {
+			size = len(probes)
+		}
+		checkBatchAgainstScalar(t, tr, probes[:size])
+	}
+}
+
+// TestLookupBatchSmallTrees covers the rootless and single-leaf roots,
+// which bypass the batched descent entirely.
+func TestLookupBatchSmallTrees(t *testing.T) {
+	s := &tidstore.Store{}
+	tr := New(s.Key)
+	k1 := []byte("alpha\xFF")
+	probes := [][]byte{k1, []byte("beta\xFF"), nil}
+	checkBatchAgainstScalar(t, tr, probes) // empty
+
+	tr.Insert(k1, s.Add(k1))
+	checkBatchAgainstScalar(t, tr, probes) // single leaf
+}
+
+// TestLookupBatchOutTooShort pins the documented contract violation.
+func TestLookupBatchOutTooShort(t *testing.T) {
+	s := &tidstore.Store{}
+	tr := New(s.Key)
+	k := []byte("a\xFF")
+	tr.Insert(k, s.Add(k))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("LookupBatch with short out slice did not panic")
+		}
+	}()
+	tr.LookupBatch([][]byte{k, k}, make([]TID, 1))
+}
+
+// TestLookupBatchAllocs asserts the single-threaded batched lookup is
+// allocation-free in steady state, one of the PR's acceptance criteria.
+func TestLookupBatchAllocs(t *testing.T) {
+	s := &tidstore.Store{}
+	tr := New(s.Key)
+	rng := rand.New(rand.NewSource(11))
+	var keys [][]byte
+	seen := map[string]bool{}
+	for len(keys) < 200 {
+		k := randomKey(rng)
+		if seen[string(k)] {
+			continue
+		}
+		seen[string(k)] = true
+		tr.Insert(k, s.Add(k))
+		keys = append(keys, k)
+	}
+	probes := keys[:2*batchLanes]
+	out := make([]TID, len(probes))
+	tr.LookupBatch(probes, out) // warm the scratch
+	if allocs := testing.AllocsPerRun(100, func() {
+		tr.LookupBatch(probes, out)
+	}); allocs != 0 {
+		t.Fatalf("LookupBatch allocates %v per call, want 0", allocs)
+	}
+}
+
+// TestConcurrentLookupBatchChurn interleaves batched lookups with
+// concurrent inserts and deletes under -race: even values stay resident
+// for the whole test (their lookups must always succeed with the right
+// TID), odd values churn (their lookups may go either way but must return
+// the right TID when found).
+func TestConcurrentLookupBatchChurn(t *testing.T) {
+	tr := NewConcurrent(tidstore.Uint64Key)
+	const stable = 512
+	key := func(v uint64, buf []byte) []byte { return tidstore.Uint64Key(v, buf) }
+	for v := uint64(0); v < stable; v += 2 {
+		tr.Insert(key(v, nil), v)
+	}
+
+	var stop atomic.Bool
+	var writers, readers sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		writers.Add(1)
+		go func(seed int64) {
+			defer writers.Done()
+			rng := rand.New(rand.NewSource(seed))
+			var buf [8]byte
+			for !stop.Load() {
+				v := uint64(rng.Intn(stable))*2 + 1
+				if rng.Intn(2) == 0 {
+					tr.Insert(key(v, buf[:0]), v)
+				} else {
+					tr.Delete(key(v, buf[:0]))
+				}
+			}
+		}(int64(w))
+	}
+
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func(seed int64) {
+			defer readers.Done()
+			rng := rand.New(rand.NewSource(100 + seed))
+			probes := make([][]byte, batchLanes+3)
+			vals := make([]uint64, len(probes))
+			out := make([]TID, len(probes))
+			for i := range probes {
+				probes[i] = make([]byte, 8)
+			}
+			for round := 0; round < 300; round++ {
+				for i := range probes {
+					v := uint64(rng.Intn(2 * stable))
+					if i%2 == 0 {
+						v = uint64(rng.Intn(stable/2)) * 2 // stable resident
+					}
+					vals[i] = v
+					tidstore.Uint64Key(v, probes[i])
+				}
+				found := tr.LookupBatch(probes, out)
+				for i, v := range vals {
+					if i%2 == 0 && !found[i] {
+						t.Errorf("stable value %d not found", v)
+						return
+					}
+					if found[i] && out[i] != v {
+						t.Errorf("value %d resolved to tid %d", v, out[i])
+						return
+					}
+				}
+			}
+		}(int64(r))
+	}
+	readers.Wait()
+	stop.Store(true)
+	writers.Wait()
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -61,6 +62,45 @@ func BenchmarkLookup(b *testing.B) {
 	}
 }
 
+// BenchmarkLookupBatch compares scalar point lookups against the batched
+// memory-level-parallel descent at 1M keys per data set — large enough
+// that the upper trie levels no longer fit in L2, so the batch's
+// overlapping cache misses show up as throughput. Both paths must report
+// 0 allocs/op.
+func BenchmarkLookupBatch(b *testing.B) {
+	for _, kind := range dataset.Kinds() {
+		b.Run(kind.String(), func(b *testing.B) {
+			tr, _, keys := benchTrie(b, kind, 1_000_000)
+			rng := rand.New(rand.NewSource(2))
+			probes := make([][]byte, 4096)
+			for i := range probes {
+				probes[i] = keys[rng.Intn(len(keys))]
+			}
+			b.Run("scalar", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, ok := tr.Lookup(probes[i%len(probes)]); !ok {
+						b.Fatal("miss")
+					}
+				}
+			})
+			b.Run(fmt.Sprintf("batch%d", batchLanes), func(b *testing.B) {
+				out := make([]TID, batchLanes)
+				b.ReportAllocs()
+				for i := 0; i < b.N; i += batchLanes {
+					base := i % (len(probes) - batchLanes)
+					found := tr.LookupBatch(probes[base:base+batchLanes], out)
+					for _, ok := range found {
+						if !ok {
+							b.Fatal("miss")
+						}
+					}
+				}
+			})
+		})
+	}
+}
+
 func BenchmarkScan100(b *testing.B) {
 	for _, kind := range dataset.Kinds() {
 		b.Run(kind.String(), func(b *testing.B) {
@@ -76,6 +116,27 @@ func BenchmarkScan100(b *testing.B) {
 			}
 			_ = sink
 		})
+	}
+}
+
+// BenchmarkSeekIter measures repositioning a reused iterator, which must
+// not allocate: the candidate key load goes through the trie's scratch
+// buffer and the path stack is recycled.
+func BenchmarkSeekIter(b *testing.B) {
+	tr, _, keys := benchTrie(b, dataset.Integer, 200000)
+	rng := rand.New(rand.NewSource(6))
+	starts := make([][]byte, 1024)
+	for i := range starts {
+		starts[i] = keys[rng.Intn(len(keys))]
+	}
+	var it Iterator
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.SeekIter(&it, starts[i%len(starts)])
+		if !it.Valid() {
+			b.Fatal("seek missed an existing key")
+		}
 	}
 }
 

@@ -110,6 +110,13 @@ func (s *extractSpec) extract(k []byte) uint32 {
 		}
 		return uint32(bits.Pext64(w, s.mask))
 	}
+	return s.extractMulti(k)
+}
+
+// extractMulti is the multi-mask slow path of extract, split out so the
+// single-mask path stays small enough for the probe kernels in node.go to
+// inline it around their comply calls.
+func (s *extractSpec) extractMulti(k []byte) uint32 {
 	var pk uint32
 	for gi := range s.groups {
 		g := &s.groups[gi]

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// nodeFootprint computes a node's Go heap footprint from its actual
+// fields: the struct itself plus every backing array, with element sizes
+// taken from the types rather than hardcoded. This is the ground truth
+// goBytes must reproduce; in particular multi-mask nodes hang their
+// precomputed extraction groups (several dozen bytes each) off the spec,
+// and an accounting that omits them or guesses the header size
+// misreports exactly the layouts the paper's Figure 6 census is about.
+func nodeFootprint(nd *node) int {
+	return int(unsafe.Sizeof(*nd)) +
+		len(nd.spec.offsets)*int(unsafe.Sizeof(uint16(0))) +
+		len(nd.spec.masks)*int(unsafe.Sizeof(uint8(0))) +
+		len(nd.spec.groups)*int(unsafe.Sizeof(extractGroup{})) +
+		len(nd.dbits)*int(unsafe.Sizeof(uint16(0))) +
+		len(nd.keys) +
+		len(nd.slots)*int(unsafe.Sizeof(slot{}))
+}
+
+// TestGoBytesMultiMask builds a multi-mask node whose discriminative bits
+// span well past a single 8-byte window and cross-checks goBytes against
+// the node's actual field sizes.
+func TestGoBytesMultiMask(t *testing.T) {
+	// 10 discriminative bits, one every 3 bytes: 10 distinct byte
+	// offsets → extractMulti16 with two extraction groups.
+	d := make([]uint16, 10)
+	for i := range d {
+		d[i] = uint16(i * 24)
+	}
+	pks := []uint32{0, 1, 2, 3}
+	slots := []slot{leafSlot(1), leafSlot(2), leafSlot(3), leafSlot(4)}
+	nd := newNode(nil, 1, d, pks, slots)
+
+	if nd.spec.kind != extractMulti16 {
+		t.Fatalf("spec kind = %v, want extractMulti16", nd.spec.kind)
+	}
+	if len(nd.spec.groups) != 2 || len(nd.spec.offsets) != 10 {
+		t.Fatalf("groups=%d offsets=%d, want 2 and 10", len(nd.spec.groups), len(nd.spec.offsets))
+	}
+	if got, want := nd.goBytes(), nodeFootprint(nd); got != want {
+		t.Fatalf("goBytes() = %d, want %d (field-size ground truth)", got, want)
+	}
+}
+
+// TestGoBytesSingleMask covers the group-free layout too, so the header
+// accounting is pinned for both families.
+func TestGoBytesSingleMask(t *testing.T) {
+	d := []uint16{0, 5, 9}
+	pks := []uint32{0, 1, 4, 7}
+	slots := []slot{leafSlot(1), leafSlot(2), leafSlot(3), leafSlot(4)}
+	nd := newNode(nil, 1, d, pks, slots)
+
+	if nd.spec.kind != extractSingle {
+		t.Fatalf("spec kind = %v, want extractSingle", nd.spec.kind)
+	}
+	if got, want := nd.goBytes(), nodeFootprint(nd); got != want {
+		t.Fatalf("goBytes() = %d, want %d (field-size ground truth)", got, want)
+	}
+}

@@ -145,18 +145,47 @@ func (nd *node) pks(dst []uint32) []uint32 {
 // whose sparse partial key complies with the extracted dense key (the
 // paper's retrieveResultCandidates + bit scan reverse). Entry 0's partial
 // key is always 0 and always complies, so the comply mask is never empty.
+//
+// The body is specialized per layout rather than funneled through
+// spec.extract + a width switch: single-mask extraction is inlined around
+// the width-matched comply kernel, with a fused fast path for the
+// width-8 + single-mask combination — the dominant layout in the paper's
+// Figure 6 census — so the hot descent pays no per-node dispatch beyond
+// two predictable branches.
 func (nd *node) search(k []byte) int {
-	probe := nd.spec.extract(k)
-	var comply uint32
+	sp := &nd.spec
+	if sp.kind == extractSingle {
+		w := beWindow(k, sp.firstByte)
+		if nd.width == 8 {
+			// Fused width-8 + single-mask fast path.
+			var probe uint8
+			if sp.contiguous {
+				probe = uint8((w & sp.mask) >> sp.shift)
+			} else {
+				probe = uint8(bits.Pext64(w, sp.mask))
+			}
+			return 31 - mathbits.LeadingZeros32(bits.Comply8(nd.keys, int(nd.n), probe))
+		}
+		var probe uint32
+		if sp.contiguous {
+			probe = uint32((w & sp.mask) >> sp.shift)
+		} else {
+			probe = uint32(bits.Pext64(w, sp.mask))
+		}
+		if nd.width == 16 {
+			return 31 - mathbits.LeadingZeros32(bits.Comply16(nd.keys, int(nd.n), uint16(probe)))
+		}
+		return 31 - mathbits.LeadingZeros32(bits.Comply32(nd.keys, int(nd.n), probe))
+	}
+	probe := sp.extractMulti(k)
 	switch nd.width {
 	case 8:
-		comply = bits.Comply8(nd.keys, int(nd.n), uint8(probe))
+		return 31 - mathbits.LeadingZeros32(bits.Comply8(nd.keys, int(nd.n), uint8(probe)))
 	case 16:
-		comply = bits.Comply16(nd.keys, int(nd.n), uint16(probe))
+		return 31 - mathbits.LeadingZeros32(bits.Comply16(nd.keys, int(nd.n), uint16(probe)))
 	default:
-		comply = bits.Comply32(nd.keys, int(nd.n), probe)
+		return 31 - mathbits.LeadingZeros32(bits.Comply32(nd.keys, int(nd.n), probe))
 	}
-	return 31 - mathbits.LeadingZeros32(comply)
 }
 
 // complyRangeOf returns the contiguous index range [lo, hi] of entries whose
@@ -280,13 +309,18 @@ func (nd *node) paperBytes() int {
 	return sz
 }
 
-// goBytes estimates the node's actual Go heap footprint (struct, spec
-// slices, bit positions, key array, slots).
+// goBytes estimates the node's actual Go heap footprint: the node struct
+// itself (mutex, atomics, inline spec, slice headers) plus the backing
+// arrays of every slice hanging off it — the spec's offset/mask pairs and
+// the precomputed extraction groups of multi-mask nodes, the bit
+// positions, the key array and the slots.
 func (nd *node) goBytes() int {
-	sz := 120 // struct header estimate: mutex, atomics, slice headers, spec
-	sz += 3 * len(nd.spec.offsets)
+	sz := int(unsafe.Sizeof(*nd))
+	sz += 2 * len(nd.spec.offsets)
+	sz += len(nd.spec.masks)
+	sz += int(unsafe.Sizeof(extractGroup{})) * len(nd.spec.groups)
 	sz += 2 * len(nd.dbits)
 	sz += len(nd.keys)
-	sz += 16 * len(nd.slots)
+	sz += int(unsafe.Sizeof(slot{})) * len(nd.slots)
 	return sz
 }

@@ -45,6 +45,22 @@ func (t *ConcurrentTrie) Lookup(k []byte) (TID, bool) {
 	return tid, ok
 }
 
+// LookupBatch looks up all keys as one batch, storing each key's TID in the
+// corresponding out slot (0 when absent) and returning a mask of which keys
+// were found; len(out) must be at least len(keys). The whole batch reads
+// from a single root snapshot under one epoch guard, advancing the descents
+// in lockstep so their memory stalls overlap. The returned mask is owned by
+// the caller.
+func (t *ConcurrentTrie) LookupBatch(keys [][]byte, out []TID) []bool {
+	st := batchStatePool.Get().(*batchState)
+	g := t.gc.Enter()
+	found := t.lookupBatch(keys, out, st)
+	g.Exit()
+	st.found = nil // handed to the caller; must not be pooled
+	batchStatePool.Put(st)
+	return found
+}
+
 // Scan invokes fn for up to max entries in ascending key order starting at
 // the first key ≥ start. Like the paper's readers it observes nodes
 // atomically: concurrent writers may commit before or after each step.

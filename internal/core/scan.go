@@ -62,10 +62,15 @@ func (it *Iterator) descendLeftmost() {
 
 // seek returns an iterator positioned at the first key ≥ start (nil
 // start: the smallest key). Single-entry trees are handled by the callers
-// (scan), since they have no nodes to stack.
-func (t *tree) seek(root *node, start []byte, buf []byte) Iterator {
+// (scan), since they have no nodes to stack. buf is scratch for the one
+// candidate key load; stack, when non-nil, is reused as the iterator's
+// path storage so repositioning a cursor allocates nothing.
+func (t *tree) seek(root *node, start, buf []byte, stack []pathEntry) Iterator {
 	var it Iterator
-	it.stack = make([]pathEntry, 0, 8)
+	if stack == nil {
+		stack = make([]pathEntry, 0, 8)
+	}
+	it.stack = stack[:0]
 	if start == nil {
 		it.stack = append(it.stack, pathEntry{root, 0})
 		it.descendLeftmost()
@@ -95,9 +100,21 @@ func (t *tree) seek(root *node, start []byte, buf []byte) Iterator {
 		it.valid = true
 		return it
 	}
+	// Entries [lo, hi] of the affected node are exactly the affected
+	// subtree's entries at this level (canonical encoding keeps the comply
+	// range contiguous), and every leaf below them sorts before start:
+	// they agree with start on all bits above mb and — since no BiNode on
+	// start's path discriminates at mb — share bit 0 at mb where start has
+	// 1. The lower bound is therefore the subtree's successor. With the
+	// stack truncated to level ai and positioned on hi, Next() yields
+	// precisely that: it skips (a, hi)'s whole subtree without descending
+	// into it, stepping to entry hi+1 (or climbing the retained path when
+	// hi is the node's last entry), and invalidates the iterator when
+	// start is greater than every stored key. The boundary tests in
+	// seek_test.go pin all three cases against a sorted oracle.
 	it.stack[ai].idx = hi
 	it.valid = true
-	it.Next() // moves past (a, hi)'s subtree? hi points at the last affected top-level entry
+	it.Next()
 	return it
 }
 
@@ -106,17 +123,25 @@ func (t *tree) seek(root *node, start []byte, buf []byte) Iterator {
 // a single-threaded trie (replaced nodes are recycled); on the concurrent
 // trie it behaves like the paper's wait-free readers.
 func (t *tree) Iter(start []byte) Iterator {
+	return t.iter(start, nil, nil)
+}
+
+// iter implements Iter with caller-provided scratch: buf for the seek's
+// candidate key load and stack for the iterator's path storage (both may
+// be nil; Trie threads its reusable buffers, the concurrent trie passes
+// nil since its calls may race).
+func (t *tree) iter(start, buf []byte, stack []pathEntry) Iterator {
 	rb := t.root.Load()
 	switch {
 	case rb.n == nil && !rb.leaf:
-		return Iterator{}
+		return Iterator{stack: stack[:0]}
 	case rb.leaf:
-		if start != nil && key.Compare(t.load(rb.tid, nil), start) < 0 {
-			return Iterator{}
+		if start != nil && key.Compare(t.load(rb.tid, buf), start) < 0 {
+			return Iterator{stack: stack[:0]}
 		}
-		return Iterator{leafOnly: true, leafTID: rb.tid, valid: true}
+		return Iterator{stack: stack[:0], leafOnly: true, leafTID: rb.tid, valid: true}
 	}
-	return t.seek(rb.n, start, nil)
+	return t.seek(rb.n, start, buf, stack)
 }
 
 // scan invokes fn for up to max entries in ascending key order starting at
@@ -137,7 +162,7 @@ func (t *tree) scan(start []byte, max int, fn func(TID) bool, buf []byte) int {
 		fn(rb.tid)
 		return 1
 	}
-	it := t.seek(rb.n, start, buf)
+	it := t.seek(rb.n, start, buf, nil)
 	n := 0
 	for it.Valid() && n < max {
 		n++

@@ -9,6 +9,7 @@ type Trie struct {
 	buf      []byte
 	stack    []pathEntry
 	replaced []*node
+	batch    batchState
 }
 
 // New returns an empty HOT trie resolving keys through loader.
@@ -29,6 +30,31 @@ func NewWithFanout(loader Loader, k int) *Trie {
 // Lookup returns the TID stored under k.
 func (t *Trie) Lookup(k []byte) (TID, bool) {
 	return t.lookup(k, t.buf[:0])
+}
+
+// LookupBatch looks up all keys as one batch, storing each key's TID in
+// the corresponding out slot (0 when absent) and returning a mask of which
+// keys were found. len(out) must be at least len(keys). The descents
+// advance through the trie in lockstep, overlapping the memory stalls that
+// serialize repeated Lookup calls; steady-state calls allocate nothing.
+// The returned mask is scratch owned by the trie, valid until the next
+// LookupBatch call.
+func (t *Trie) LookupBatch(keys [][]byte, out []TID) []bool {
+	return t.lookupBatch(keys, out, &t.batch)
+}
+
+// Iter returns an iterator positioned at the first key ≥ start (nil start:
+// the smallest key), like tree.Iter but threading the trie's scratch key
+// buffer so opening a cursor performs no allocation inside the loader.
+func (t *Trie) Iter(start []byte) Iterator {
+	return t.iter(start, t.buf[:0], nil)
+}
+
+// SeekIter repositions it at the first key ≥ start, reusing the iterator's
+// stack storage; steady-state repositioning allocates nothing. The
+// iterator may be zero-valued or previously exhausted.
+func (t *Trie) SeekIter(it *Iterator, start []byte) {
+	*it = t.iter(start, t.buf[:0], it.stack)
 }
 
 // Scan invokes fn for up to max entries in ascending key order starting at

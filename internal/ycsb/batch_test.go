@@ -1,0 +1,80 @@
+package ycsb
+
+import "testing"
+
+// batchMockIndex implements BatchIndex on top of mockIndex and counts how
+// reads were issued, so the runner's batching plumbing is observable.
+type batchMockIndex struct {
+	*mockIndex
+	batchCalls  int
+	batchedKeys int
+}
+
+func (x *batchMockIndex) LookupBatch(keys [][]byte, out []uint64) []bool {
+	x.batchCalls++
+	x.batchedKeys += len(keys)
+	found := make([]bool, len(keys))
+	for i, k := range keys {
+		out[i], found[i] = x.Lookup(k)
+	}
+	return found
+}
+
+func runnerFixture(idx Index, n int) *Runner {
+	keys := make([][]byte, n+n/2)
+	tids := make([]uint64, len(keys))
+	for i := range keys {
+		keys[i] = []byte{byte(i >> 16), byte(i >> 8), byte(i), 0xFF}
+		tids[i] = uint64(i)
+	}
+	return NewRunner(idx, keys, tids, n, 1)
+}
+
+// TestRunnerBatchedReads drives read-only and mixed workloads through the
+// batched read path: every read must still resolve (no misses), all reads
+// must flow through LookupBatch, and flushes before mutations must keep
+// partial batches from being dropped.
+func TestRunnerBatchedReads(t *testing.T) {
+	for _, wname := range []string{"C", "A", "B"} {
+		idx := &batchMockIndex{mockIndex: newMockIndex()}
+		r := runnerFixture(idx, 2000)
+		r.BatchLookups = 16
+		r.Load()
+		w, err := ByName(wname)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const ops = 5000
+		res := r.Run(w, Uniform, ops)
+		if res.Ops != ops {
+			t.Errorf("workload %s: ops %d, want %d", wname, res.Ops, ops)
+		}
+		if res.NotFound != 0 {
+			t.Errorf("workload %s: %d batched reads missed", wname, res.NotFound)
+		}
+		if idx.batchCalls == 0 {
+			t.Errorf("workload %s: LookupBatch never called", wname)
+		}
+		// Every read goes through a batch: expected read count for the
+		// workload mix, all accounted for via batchedKeys.
+		wantReads := int(float64(ops) * w.Read)
+		slack := ops / 10
+		if idx.batchedKeys < wantReads-slack || idx.batchedKeys > wantReads+slack {
+			t.Errorf("workload %s: %d keys batched, want ≈%d", wname, idx.batchedKeys, wantReads)
+		}
+	}
+}
+
+// TestRunnerBatchFallback: requesting batching on an index without
+// BatchIndex silently runs the scalar path.
+func TestRunnerBatchFallback(t *testing.T) {
+	idx := newMockIndex()
+	r := runnerFixture(idx, 1000)
+	r.BatchLookups = 16
+	r.Load()
+	w, _ := ByName("C")
+	res := r.Run(w, Uniform, 2000)
+	if res.NotFound != 0 {
+		t.Fatalf("%d reads missed on the scalar fallback", res.NotFound)
+	}
+}

@@ -15,6 +15,14 @@ type Index interface {
 	Scan(start []byte, n int, fn func(uint64) bool) int
 }
 
+// BatchIndex is optionally implemented by indexes whose point lookups can
+// be issued as memory-level-parallel batches. The contract matches
+// hot.Tree.LookupBatch: out[i] receives key i's TID (0 when absent) and
+// the returned mask says which keys were found.
+type BatchIndex interface {
+	LookupBatch(keys [][]byte, out []uint64) []bool
+}
+
 // Result is one benchmark phase's outcome.
 type Result struct {
 	Ops      int
@@ -47,8 +55,15 @@ type Runner struct {
 	// CaptureLatency additionally records a per-operation latency
 	// histogram during Run (adds one clock read per operation).
 	CaptureLatency bool
-	seed           int64
-	nLoad          int
+	// BatchLookups > 1 groups read operations into batches of that size
+	// and issues them through BatchIndex.LookupBatch (ignored when the
+	// index does not implement it). Pending reads are flushed before any
+	// mutation, so read-your-writes ordering is preserved; with latency
+	// capture enabled, the read that fills a batch absorbs the whole
+	// flush in its recorded latency.
+	BatchLookups int
+	seed         int64
+	nLoad        int
 }
 
 // NewRunner builds a runner; loadN keys are inserted by Load, the rest
@@ -83,6 +98,35 @@ func (r *Runner) Run(w Workload, dist Distribution, ops int) Result {
 		res.Latency = &Histogram{}
 	}
 	sink := uint64(0)
+
+	// Batched-read plumbing: reads accumulate into pending and are issued
+	// as one LookupBatch when the batch fills or a mutation needs them
+	// resolved first.
+	batch := 0
+	var bidx BatchIndex
+	var pending [][]byte
+	var bout []uint64
+	if r.BatchLookups > 1 {
+		if bi, ok := r.Idx.(BatchIndex); ok {
+			bidx, batch = bi, r.BatchLookups
+			pending = make([][]byte, 0, batch)
+			bout = make([]uint64, batch)
+		}
+	}
+	flush := func() {
+		if len(pending) == 0 {
+			return
+		}
+		found := bidx.LookupBatch(pending, bout)
+		for i := range pending {
+			if !found[i] {
+				res.NotFound++
+			}
+			sink += bout[i]
+		}
+		pending = pending[:0]
+	}
+
 	var opStart time.Time
 	start := time.Now()
 	for i := 0; i < ops; i++ {
@@ -95,18 +139,31 @@ func (r *Runner) Run(w Workload, dist Distribution, ops int) Result {
 			if idx >= inserted {
 				idx = inserted - 1
 			}
+			if batch > 0 {
+				pending = append(pending, r.Keys[idx])
+				if len(pending) == batch {
+					flush()
+				}
+				break
+			}
 			tid, ok := r.Idx.Lookup(r.Keys[idx])
 			if !ok {
 				res.NotFound++
 			}
 			sink += tid
 		case OpUpdate:
+			if batch > 0 {
+				flush()
+			}
 			idx := picker.Next(rng)
 			if idx >= inserted {
 				idx = inserted - 1
 			}
 			r.Idx.Upsert(r.Keys[idx], r.TIDs[idx])
 		case OpInsert:
+			if batch > 0 {
+				flush()
+			}
 			if inserted < len(r.Keys) {
 				r.Idx.Insert(r.Keys[inserted], r.TIDs[inserted])
 				inserted++
@@ -123,6 +180,9 @@ func (r *Runner) Run(w Workload, dist Distribution, ops int) Result {
 				return true
 			})
 		case OpRMW:
+			if batch > 0 {
+				flush()
+			}
 			idx := picker.Next(rng)
 			if idx >= inserted {
 				idx = inserted - 1
@@ -136,6 +196,9 @@ func (r *Runner) Run(w Workload, dist Distribution, ops int) Result {
 		if res.Latency != nil {
 			res.Latency.Record(time.Since(opStart))
 		}
+	}
+	if batch > 0 {
+		flush()
 	}
 	res.Elapsed = time.Since(start)
 	if sink == 0x12345678DEADBEEF {

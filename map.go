@@ -22,6 +22,13 @@ type Map struct {
 	keys arena
 	vals []uint64
 	buf  []byte
+
+	// LookupBatch scratch: escaped keys back to back in bflat, delimited
+	// by boffs, resliced into bkeys; btids receives the trie's TIDs.
+	bflat []byte
+	boffs []int
+	bkeys [][]byte
+	btids []uint64
 }
 
 // arena stores encoded keys back to back.
@@ -95,6 +102,44 @@ func (m *Map) Get(key []byte) (uint64, bool) {
 		return 0, false
 	}
 	return m.vals[tid], true
+}
+
+// LookupBatch looks up all keys as one batch, storing each key's value in
+// the corresponding out slot (0 when absent) and returning a mask of which
+// keys were found; len(out) must be at least len(keys). The underlying
+// batched descent overlaps the trie's memory stalls across keys (see
+// Tree.LookupBatch); steady-state calls allocate nothing. The returned mask
+// is scratch owned by the map, valid until the next LookupBatch call.
+func (m *Map) LookupBatch(keys [][]byte, out []uint64) []bool {
+	n := len(keys)
+	if len(out) < n {
+		panic("hot: LookupBatch out slice shorter than keys")
+	}
+	// Escape every key into the flat scratch arena first; subslices are
+	// built only afterwards, since appends may move the backing array.
+	m.bflat = m.bflat[:0]
+	m.boffs = append(m.boffs[:0], 0)
+	for _, k := range keys {
+		m.bflat = escapeKey(m.bflat, k)
+		m.boffs = append(m.boffs, len(m.bflat))
+	}
+	m.bkeys = m.bkeys[:0]
+	for i := 0; i < n; i++ {
+		m.bkeys = append(m.bkeys, m.bflat[m.boffs[i]:m.boffs[i+1]])
+	}
+	if cap(m.btids) < n {
+		m.btids = make([]uint64, n)
+	}
+	m.btids = m.btids[:n]
+	found := m.t.LookupBatch(m.bkeys, m.btids)
+	for i := 0; i < n; i++ {
+		if found[i] {
+			out[i] = m.vals[m.btids[i]]
+		} else {
+			out[i] = 0
+		}
+	}
+	return found
 }
 
 // Delete removes key, reporting whether it was present.

@@ -15,6 +15,12 @@ import (
 type Uint64Set struct {
 	t   *core.Trie
 	buf [8]byte
+
+	// LookupBatch scratch: big-endian encodings back to back in bflat,
+	// resliced into bkeys; btids receives the trie's TIDs.
+	bflat []byte
+	bkeys [][]byte
+	btids []uint64
 }
 
 // NewUint64Set returns an empty integer set.
@@ -34,6 +40,29 @@ func (s *Uint64Set) Insert(v uint64) bool { return s.t.Insert(s.key(v), v) }
 func (s *Uint64Set) Contains(v uint64) bool {
 	_, ok := s.t.Lookup(s.key(v))
 	return ok
+}
+
+// LookupBatch reports membership of all values as one batch: the returned
+// mask's i'th element tells whether vs[i] is in the set. The underlying
+// batched descent overlaps the trie's memory stalls across values (see
+// Tree.LookupBatch); steady-state calls allocate nothing. The returned mask
+// is scratch owned by the set, valid until the next LookupBatch call.
+func (s *Uint64Set) LookupBatch(vs []uint64) []bool {
+	n := len(vs)
+	if cap(s.bflat) < 8*n {
+		s.bflat = make([]byte, 8*n)
+	}
+	s.bflat = s.bflat[:8*n]
+	s.bkeys = s.bkeys[:0]
+	for i, v := range vs {
+		binary.BigEndian.PutUint64(s.bflat[8*i:], v)
+		s.bkeys = append(s.bkeys, s.bflat[8*i:8*i+8])
+	}
+	if cap(s.btids) < n {
+		s.btids = make([]uint64, n)
+	}
+	s.btids = s.btids[:n]
+	return s.t.LookupBatch(s.bkeys, s.btids)
 }
 
 // Delete removes v, reporting whether it was present.
@@ -99,6 +128,21 @@ func (s *ConcurrentUint64Set) Contains(v uint64) bool {
 	var b [8]byte
 	_, ok := s.t.Lookup(u64key(v, &b))
 	return ok
+}
+
+// LookupBatch reports membership of all values as one batch (see
+// Uint64Set.LookupBatch). The whole batch observes a single root snapshot
+// and is wait-free like Contains; the returned mask is owned by the caller.
+func (s *ConcurrentUint64Set) LookupBatch(vs []uint64) []bool {
+	n := len(vs)
+	flat := make([]byte, 8*n)
+	keys := make([][]byte, n)
+	tids := make([]uint64, n)
+	for i, v := range vs {
+		binary.BigEndian.PutUint64(flat[8*i:], v)
+		keys[i] = flat[8*i : 8*i+8]
+	}
+	return s.t.LookupBatch(keys, tids)
 }
 
 // Delete removes v, reporting whether it was present.
