@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all check race chaos fuzz bench bench-json clean
+.PHONY: all check race chaos crash fuzz bench bench-json clean
 
-all: check race chaos
+all: check race chaos crash
 
 # Tier-1: vet, build everything, run the full test suite.
 check:
@@ -12,21 +12,33 @@ check:
 	$(GO) build ./...
 	$(GO) test ./...
 
-# Concurrency tier: the ROWEX writer path, epoch reclamation and the armed
+# Concurrency tier: the root package (concurrent snapshots), the ROWEX
+# writer path, epoch reclamation, the snapshot I/O layer and the armed
 # chaos tests under the race detector, twice (ordering flakes rarely repeat).
 race:
-	$(GO) test -race -count=2 ./internal/core/... ./internal/epoch/...
+	$(GO) test -race -count=2 . ./internal/core/... ./internal/epoch/... ./internal/persist/...
 
 # Chaos smoke: seeded concurrent churn with every injection point armed;
 # fails on any structural-invariant violation.
 chaos:
 	$(GO) run ./cmd/hot-chaos -seed 1 -ops 100000
 
+# Crash matrix: a subprocess writer is killed at every snapshot I/O
+# injection point (fixed seed) and the parent must recover a verifiable
+# tree from what is left on disk.
+crash:
+	$(GO) test -run 'TestCrashMatrix' -count=1 -v ./internal/persist/
+
 # Short exploratory fuzz burst over each public-API fuzz target.
+# This list must track the Fuzz* functions in fuzz_test.go — add a line
+# here whenever a target is added there.
 fuzz:
 	$(GO) test -fuzz FuzzTreeVerify -fuzztime 30s .
 	$(GO) test -fuzz FuzzMap -fuzztime 30s .
 	$(GO) test -fuzz FuzzUint64Set -fuzztime 30s .
+	$(GO) test -fuzz FuzzLookupBatch -fuzztime 30s .
+	$(GO) test -fuzz FuzzSnapshotLoad -fuzztime 30s .
+	$(GO) test -fuzz FuzzSnapshotRoundTrip -fuzztime 30s .
 
 bench:
 	$(GO) test -bench . -benchtime 1s -run - .

@@ -1,0 +1,167 @@
+// hot-snap measures snapshot persistence: for each data set it builds a
+// Tree, saves a crash-safe snapshot to disk, then times loading that
+// snapshot back against rebuilding the index from raw keys — the recovery
+// path a database restart would take. The loaded tree is verified against
+// the original on every run.
+//
+//	hot-snap                                 # all four data sets, 1M keys
+//	hot-snap -n 200000 -datasets url,integer
+//	hot-snap -json SNAP.json                 # machine-readable records
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	hot "github.com/hotindex/hot"
+	"github.com/hotindex/hot/internal/dataset"
+	"github.com/hotindex/hot/internal/tidstore"
+)
+
+// record is one data set's result in the -json output.
+type record struct {
+	Dataset   string  `json:"dataset"`
+	N         int     `json:"n"`
+	Bytes     int64   `json:"bytes"`
+	SaveMs    float64 `json:"save_ms"`
+	LoadMs    float64 `json:"load_ms"`
+	RebuildMs float64 `json:"rebuild_ms"`
+	Speedup   float64 `json:"speedup"`
+}
+
+func main() {
+	var (
+		n        = flag.Int("n", 1_000_000, "keys per data set")
+		datasets = flag.String("datasets", "url,email,yago,integer", "comma list of data sets")
+		dir      = flag.String("dir", "", "directory for snapshot files (default: a temp dir, removed on exit)")
+		jsonPath = flag.String("json", "", "additionally write results as a JSON array to this file")
+		seed     = flag.Int64("seed", 2018, "data seed")
+	)
+	flag.Parse()
+
+	out := *dir
+	if out == "" {
+		tmp, err := os.MkdirTemp("", "hot-snap-*")
+		die(err)
+		defer os.RemoveAll(tmp)
+		out = tmp
+	}
+
+	fmt.Printf("%d keys per data set, snapshots in %s\n", *n, out)
+	fmt.Printf("%-9s %10s %12s %9s %9s %11s %8s\n",
+		"dataset", "n", "bytes", "save_ms", "load_ms", "rebuild_ms", "speedup")
+
+	var records []record
+	for _, name := range splitComma(*datasets) {
+		kind, err := dataset.ParseKind(name)
+		die(err)
+		keys := dataset.Generate(kind, *n, *seed)
+		store := &tidstore.Store{}
+		tids := make([]uint64, len(keys))
+		for i, k := range keys {
+			tids[i] = store.Add(k)
+		}
+
+		// Build the original index (also the rebuild-path baseline shape).
+		build := func() (*hot.Tree, time.Duration) {
+			start := time.Now()
+			tr := hot.New(store.Key)
+			for i, k := range keys {
+				tr.Insert(k, tids[i])
+			}
+			return tr, time.Since(start)
+		}
+		orig, _ := build()
+
+		path := filepath.Join(out, name+".hot")
+		start := time.Now()
+		die(orig.SaveFile(path))
+		saveDur := time.Since(start)
+		fi, err := os.Stat(path)
+		die(err)
+
+		start = time.Now()
+		loaded, err := hot.LoadTreeFile(path, store.Key)
+		die(err)
+		loadDur := time.Since(start)
+
+		// The rebuild path: what a restart costs without a snapshot.
+		rebuilt, rebuildDur := build()
+
+		check(orig, loaded, "loaded")
+		check(orig, rebuilt, "rebuilt")
+
+		rec := record{
+			Dataset:   name,
+			N:         len(keys),
+			Bytes:     fi.Size(),
+			SaveMs:    ms(saveDur),
+			LoadMs:    ms(loadDur),
+			RebuildMs: ms(rebuildDur),
+			Speedup:   rebuildDur.Seconds() / loadDur.Seconds(),
+		}
+		records = append(records, rec)
+		fmt.Printf("%-9s %10d %12d %9.1f %9.1f %11.1f %7.2fx\n",
+			rec.Dataset, rec.N, rec.Bytes, rec.SaveMs, rec.LoadMs, rec.RebuildMs, rec.Speedup)
+	}
+
+	if *jsonPath != "" {
+		blob, err := json.MarshalIndent(records, "", "  ")
+		die(err)
+		die(os.WriteFile(*jsonPath, append(blob, '\n'), 0o644))
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+}
+
+// check asserts got is structurally valid and indexes exactly the same
+// entries as want, by Len and a paired full scan.
+func check(want, got *hot.Tree, what string) {
+	if err := got.Verify(); err != nil {
+		die(fmt.Errorf("%s tree fails Verify: %v", what, err))
+	}
+	if got.Len() != want.Len() {
+		die(fmt.Errorf("%s tree has %d entries, want %d", what, got.Len(), want.Len()))
+	}
+	wantTIDs := make([]uint64, 0, want.Len())
+	want.Scan(nil, want.Len(), func(tid hot.TID) bool {
+		wantTIDs = append(wantTIDs, tid)
+		return true
+	})
+	i := 0
+	ok := true
+	got.Scan(nil, got.Len(), func(tid hot.TID) bool {
+		ok = i < len(wantTIDs) && tid == wantTIDs[i]
+		i++
+		return ok
+	})
+	if !ok || i != len(wantTIDs) {
+		die(fmt.Errorf("%s tree diverges from the original at entry %d", what, i))
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hot-snap:", err)
+		os.Exit(1)
+	}
+}

@@ -1,19 +1,41 @@
 // kvstore builds a small ordered key-value store on hot.Map: a write-ahead
 // style workload of puts, overwrites, deletes and range queries over URL
 // keys, demonstrating that Map accepts arbitrary byte keys (including
-// embedded zero bytes) while keeping them in lexicographic order.
+// embedded zero bytes) while keeping them in lexicographic order. The
+// store persists itself on exit (crash-safe snapshot) and reloads on the
+// next start, so a second run begins where the first one ended.
 package main
 
 import (
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"time"
 
 	hot "github.com/hotindex/hot"
 )
 
 func main() {
-	store := hot.NewMap()
+	// Reload the previous run's snapshot when there is one; otherwise
+	// start empty. A damaged snapshot falls back to salvaging the longest
+	// valid prefix rather than losing the whole store.
+	snap := filepath.Join(os.TempDir(), "hot-kvstore.hot")
+	store, err := hot.LoadMapFile(snap)
+	switch {
+	case err == nil:
+		fmt.Printf("reloaded %d keys from %s\n", store.Len(), snap)
+	case os.IsNotExist(err):
+		store = hot.NewMap()
+	default:
+		var rep hot.RecoveryReport
+		store, rep, err = hot.RecoverMapFile(snap)
+		if err != nil {
+			store = hot.NewMap()
+		} else {
+			fmt.Printf("snapshot damaged (%v); salvaged %d keys\n", rep.Damage, rep.Entries)
+		}
+	}
 	rng := rand.New(rand.NewSource(7))
 
 	sections := []string{"articles", "users", "products", "wiki"}
@@ -65,4 +87,15 @@ func main() {
 	fmt.Printf("trie height %d, avg fanout %.1f, %.1f bytes/key (index only)\n",
 		store.Height(), store.Memory().AvgFanout(),
 		store.Memory().BytesPerKey(store.Len()))
+
+	// Persist for the next run: temp file + fsync + atomic rename, so a
+	// crash here leaves the previous snapshot intact.
+	start = time.Now()
+	if err := store.SaveFile(snap); err != nil {
+		fmt.Println("snapshot failed:", err)
+		os.Exit(1)
+	}
+	fi, _ := os.Stat(snap)
+	fmt.Printf("persisted %d keys (%d bytes) to %s in %v\n",
+		store.Len(), fi.Size(), snap, time.Since(start).Round(time.Millisecond))
 }

@@ -4,8 +4,11 @@
 //
 // Production code threads named injection points (Fire calls) into the
 // steps of the writer discipline — after traversal, between lock
-// acquisitions, before validation, mid copy-on-write, before unlock — and
-// into the epoch manager's Enter and TryAdvance. By default no registry is
+// acquisitions, before validation, mid copy-on-write, before unlock — into
+// the epoch manager's Enter and TryAdvance, and into the snapshot persist
+// writer's I/O steps (header, block, fsync, rename), where armed points
+// inject write errors, short "torn tail" writes, or simulated process
+// crashes (Exit). By default no registry is
 // armed and every Fire is a single predictable-branch atomic load, so the
 // points cost nothing on the hot path. Tests and the hot-chaos driver arm
 // a Registry that fires seeded-random actions (yields, parked sleeps) at
@@ -16,6 +19,7 @@ package chaos
 
 import (
 	"math/rand"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -50,6 +54,33 @@ const (
 	// armed action delays the advance, piling up retired nodes.
 	EpochAdvance
 
+	// Snapshot-persistence I/O fault points (internal/persist). An armed
+	// point with a nil action makes the persist writer fail that I/O step
+	// with persist.ErrInjected; an action of Exit simulates a process
+	// crash at exactly that step (the crash-matrix test drives both).
+
+	// SnapWriteHeader fires before the snapshot header is written: a fault
+	// here leaves a zero-length or absent temp file.
+	SnapWriteHeader
+	// SnapWriteBlock fires before each data block is written: a fault here
+	// leaves a snapshot whose tail block is missing entirely.
+	SnapWriteBlock
+	// SnapTornWrite fires after the first half of a data block has reached
+	// the file but before the rest: a short write, leaving a torn tail
+	// whose partial block must be detected by the per-block CRC.
+	SnapTornWrite
+	// SnapSync fires after the temp file's contents are complete but
+	// before it is fsynced — the window in which a crash may leave any
+	// prefix of the data durable.
+	SnapSync
+	// SnapRename fires after the temp file is durable but before the
+	// atomic rename: a crash here must leave the previous snapshot intact.
+	SnapRename
+	// SnapDirSync fires after the rename but before the directory fsync:
+	// the new snapshot is complete, its directory entry possibly not yet
+	// durable.
+	SnapDirSync
+
 	// NumPoints is the number of named injection points.
 	NumPoints = int(iota)
 )
@@ -62,6 +93,12 @@ var pointNames = [NumPoints]string{
 	"rowex/before-unlock",
 	"epoch/enter",
 	"epoch/advance",
+	"snap/write-header",
+	"snap/write-block",
+	"snap/torn-write",
+	"snap/sync",
+	"snap/rename",
+	"snap/dir-sync",
 }
 
 // String returns the point's catalog name.
@@ -196,4 +233,13 @@ func Yield(n int) func() {
 // concurrent writers to commit whole operations inside the window.
 func Sleep(d time.Duration) func() {
 	return func() { time.Sleep(d) }
+}
+
+// Exit returns an action that terminates the process immediately with the
+// given exit code — a simulated crash at the injection point, used by the
+// snapshot crash-matrix subprocess test. Unlike a panic it runs no deferred
+// cleanup, so whatever bytes the writer had issued are exactly what a real
+// power cut at that step would leave behind.
+func Exit(code int) func() {
+	return func() { os.Exit(code) }
 }

@@ -1,0 +1,195 @@
+package persist_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	hot "github.com/hotindex/hot"
+	"github.com/hotindex/hot/internal/chaos"
+	"github.com/hotindex/hot/internal/persist"
+	"github.com/hotindex/hot/internal/tidstore"
+)
+
+// The crash matrix: for every snapshot I/O injection point, a subprocess
+// writer is killed (os.Exit mid-syscall-sequence, no deferred cleanup)
+// while overwriting a previous snapshot, and the parent must recover: the
+// snapshot path must load to either the previous or the new image — never
+// a mix, never an error — and the recovered tree must pass Verify() and
+// match a sorted-key oracle. Leftover temp files must recover to a clean
+// prefix of the new image.
+
+const (
+	crashEnvPoint = "HOT_SNAP_CRASH_POINT"
+	crashEnvDir   = "HOT_SNAP_CRASH_DIR"
+	crashSeed     = 42
+	crashPrevKeys = 2000
+	crashNextKeys = 5000
+	crashExitCode = 3
+)
+
+// crashKeys deterministically generates the full key set; both parent and
+// child derive identical stores so TIDs agree across processes.
+func crashKeys() (*tidstore.Store, [][]byte) {
+	rng := rand.New(rand.NewSource(crashSeed))
+	seen := make(map[uint64]bool, crashNextKeys)
+	s := &tidstore.Store{}
+	keys := make([][]byte, 0, crashNextKeys)
+	for len(keys) < crashNextKeys {
+		v := rng.Uint64() >> 1
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		k := make([]byte, 8)
+		binary.BigEndian.PutUint64(k, v)
+		s.Add(k)
+		keys = append(keys, k)
+	}
+	return s, keys
+}
+
+func buildTree(s *tidstore.Store, keys [][]byte, n int) *hot.Tree {
+	tr := hot.New(s.Key)
+	for i := 0; i < n; i++ {
+		tr.Insert(keys[i], uint64(i))
+	}
+	return tr
+}
+
+func sortedOracle(keys [][]byte, n int) [][]byte {
+	o := make([][]byte, n)
+	copy(o, keys[:n])
+	sort.Slice(o, func(i, j int) bool { return bytes.Compare(o[i], o[j]) < 0 })
+	return o
+}
+
+// crashChild runs in the subprocess: it arms a process-exit action at the
+// named injection point and attempts to snapshot the full tree over the
+// previous snapshot. The armed point always lies on the save path, so the
+// process dies inside SaveFile; reaching the end means the point never
+// fired, reported to the parent as a distinct exit code.
+func crashChild(pointName, dir string) {
+	var point chaos.Point
+	found := false
+	for _, p := range chaos.Points() {
+		if p.String() == pointName {
+			point, found = p, true
+			break
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown injection point %q\n", pointName)
+		os.Exit(4)
+	}
+	store, keys := crashKeys()
+	tr := buildTree(store, keys, crashNextKeys)
+	reg := chaos.New(crashSeed)
+	reg.On(point, 1, chaos.Exit(crashExitCode))
+	reg.Arm()
+	err := tr.SaveFile(filepath.Join(dir, "snap.hot"))
+	chaos.Disarm()
+	fmt.Fprintf(os.Stderr, "point %s never fired (save err: %v)\n", pointName, err)
+	os.Exit(5)
+}
+
+func TestCrashMatrix(t *testing.T) {
+	if p := os.Getenv(crashEnvPoint); p != "" {
+		crashChild(p, os.Getenv(crashEnvDir))
+	}
+	store, keys := crashKeys()
+	points := []chaos.Point{
+		chaos.SnapWriteHeader,
+		chaos.SnapWriteBlock,
+		chaos.SnapTornWrite,
+		chaos.SnapSync,
+		chaos.SnapRename,
+		chaos.SnapDirSync,
+	}
+	for _, point := range points {
+		point := point
+		t.Run(point.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "snap.hot")
+			// The previous snapshot the crashed writer was replacing.
+			if err := buildTree(store, keys, crashPrevKeys).SaveFile(path); err != nil {
+				t.Fatal(err)
+			}
+
+			cmd := exec.Command(os.Args[0], "-test.run=^TestCrashMatrix$")
+			cmd.Env = append(os.Environ(),
+				crashEnvPoint+"="+point.String(), crashEnvDir+"="+dir)
+			out, err := cmd.CombinedOutput()
+			ee, ok := err.(*exec.ExitError)
+			if !ok || ee.ExitCode() != crashExitCode {
+				t.Fatalf("writer did not crash at the point (err=%v):\n%s", err, out)
+			}
+
+			// Recovery: strict load first; if that fails, salvage. One of
+			// the two must restore a verifiable tree.
+			tr, err := hot.LoadTreeFile(path, store.Key)
+			if err != nil {
+				var rep hot.RecoveryReport
+				tr, rep, err = hot.RecoverTreeFile(path, store.Key)
+				if err != nil {
+					t.Fatalf("snapshot unrecoverable after crash: %v", err)
+				}
+				t.Logf("strict load failed, salvaged %d entries (damage: %v)", rep.Entries, rep.Damage)
+			}
+			if err := tr.Verify(); err != nil {
+				t.Fatalf("recovered tree fails Verify: %v", err)
+			}
+
+			// The atomic protocol admits exactly two states for the main
+			// path: the previous image or the complete new one.
+			var wantN int
+			switch tr.Len() {
+			case crashPrevKeys:
+				wantN = crashPrevKeys
+			case crashNextKeys:
+				wantN = crashNextKeys
+			default:
+				t.Fatalf("recovered %d entries, want %d or %d", tr.Len(), crashPrevKeys, crashNextKeys)
+			}
+			oracle := sortedOracle(keys, wantN)
+			i := 0
+			tr.Scan(nil, wantN, func(tid hot.TID) bool {
+				if i >= len(oracle) || !bytes.Equal(store.Key(tid, nil), oracle[i]) {
+					t.Fatalf("entry %d diverges from the sorted oracle", i)
+				}
+				i++
+				return true
+			})
+			if i != wantN {
+				t.Fatalf("scan enumerated %d of %d oracle keys", i, wantN)
+			}
+
+			// A crash before the rename may leave the torn temp file
+			// behind; salvage must hand back a clean prefix of the new
+			// image without ever erroring or fabricating entries.
+			tmp := path + ".tmp"
+			if _, statErr := os.Stat(tmp); statErr == nil {
+				newOracle := sortedOracle(keys, crashNextKeys)
+				j := 0
+				rep, err := persist.RecoverFile(tmp, persist.KindTree, func(k []byte, tid uint64) error {
+					if j >= len(newOracle) || !bytes.Equal(k, newOracle[j]) {
+						t.Fatalf("torn temp entry %d diverges from the new image", j)
+					}
+					j++
+					return nil
+				})
+				if err != nil {
+					t.Fatalf("torn temp file salvage errored: %v", err)
+				}
+				t.Logf("torn temp file: salvaged %d/%d entries, complete=%v",
+					rep.Entries, crashNextKeys, rep.Complete)
+			}
+		})
+	}
+}

@@ -1,0 +1,345 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/hotindex/hot/internal/chaos"
+)
+
+type entry struct {
+	key []byte
+	tid uint64
+}
+
+// genEntries returns n distinct entries in ascending key order with keys of
+// the given length (padded decimal counters, so any length ≥ 8 works).
+func genEntries(n, keyLen int) []entry {
+	es := make([]entry, n)
+	for i := range es {
+		k := []byte(fmt.Sprintf("%0*d", keyLen, i))
+		es[i] = entry{key: k, tid: uint64(i)*7 + 1}
+	}
+	return es
+}
+
+func buildSnap(t *testing.T, kind uint16, es []entry) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range es {
+		if err := w.WriteEntry(e.key, e.tid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func readAll(blob []byte, kind uint16) ([]entry, uint64, error) {
+	var got []entry
+	n, err := Read(bytes.NewReader(blob), kind, func(k []byte, tid uint64) error {
+		got = append(got, entry{key: append([]byte(nil), k...), tid: tid})
+		return nil
+	})
+	return got, n, err
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 100, 5000} {
+		es := genEntries(n, 12)
+		blob := buildSnap(t, KindTree, es)
+		got, count, err := readAll(blob, KindTree)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if count != uint64(n) || len(got) != n {
+			t.Fatalf("n=%d: count=%d len=%d", n, count, len(got))
+		}
+		for i, e := range es {
+			if !bytes.Equal(got[i].key, e.key) || got[i].tid != e.tid {
+				t.Fatalf("n=%d entry %d: got (%q,%d), want (%q,%d)",
+					n, i, got[i].key, got[i].tid, e.key, e.tid)
+			}
+		}
+	}
+}
+
+// TestLongKeys exercises multi-byte key-length varints: 300-byte and
+// 4000-byte keys, beyond the 1-byte varint range of 255.
+func TestLongKeys(t *testing.T) {
+	for _, keyLen := range []int{300, 4000} {
+		es := genEntries(64, keyLen)
+		blob := buildSnap(t, KindTree, es)
+		got, _, err := readAll(blob, KindTree)
+		if err != nil {
+			t.Fatalf("keyLen=%d: %v", keyLen, err)
+		}
+		if len(got) != len(es) {
+			t.Fatalf("keyLen=%d: got %d entries", keyLen, len(got))
+		}
+		for i := range es {
+			if !bytes.Equal(got[i].key, es[i].key) {
+				t.Fatalf("keyLen=%d entry %d mismatch", keyLen, i)
+			}
+		}
+	}
+}
+
+// TestMultiBlock forces several blocks and checks boundaries carry no
+// state errors (ascending-order checks span blocks).
+func TestMultiBlock(t *testing.T) {
+	es := genEntries(3000, 64) // ~200KB payload, several 32KB blocks
+	blob := buildSnap(t, KindTree, es)
+	got, _, err := readAll(blob, KindTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(es) {
+		t.Fatalf("got %d entries, want %d", len(got), len(es))
+	}
+}
+
+func TestWriterRejectsDisorder(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, KindTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteEntry([]byte("bbb"), 1); err != nil {
+		t.Fatal(err)
+	}
+	err = w.WriteEntry([]byte("aaa"), 2)
+	var fe *FormatError
+	if !errors.As(err, &fe) || fe.Kind != ErrCorrupt {
+		t.Fatalf("disorder not rejected: %v", err)
+	}
+	if err := w.WriteEntry([]byte("ccc"), 3); err == nil {
+		t.Fatal("writer kept accepting entries after failing")
+	}
+}
+
+func TestHeaderErrors(t *testing.T) {
+	es := genEntries(10, 8)
+	blob := buildSnap(t, KindTree, es)
+
+	// Bad magic.
+	bad := append([]byte(nil), blob...)
+	bad[0] ^= 0xFF
+	if _, _, err := readAll(bad, KindTree); !isKind(err, ErrBadMagic) {
+		t.Fatalf("bad magic: %v", err)
+	}
+
+	// Version skew (recompute the header CRC so only the version is wrong).
+	skew := append([]byte(nil), blob...)
+	binary.LittleEndian.PutUint16(skew[8:], Version+1)
+	binary.LittleEndian.PutUint32(skew[12:], crc32.Checksum(skew[:12], castagnoli))
+	_, _, err := readAll(skew, KindTree)
+	if !isKind(err, ErrVersionSkew) {
+		t.Fatalf("version skew: %v", err)
+	}
+	var fe *FormatError
+	errors.As(err, &fe)
+	if fe.Offset != 8 {
+		t.Fatalf("version skew offset = %d, want 8", fe.Offset)
+	}
+
+	// Wrong content kind.
+	if _, _, err := readAll(blob, KindMap); !isKind(err, ErrWrongKind) {
+		t.Fatalf("wrong kind: %v", err)
+	}
+
+	// Empty file.
+	if _, _, err := readAll(nil, KindTree); !isKind(err, ErrTruncated) {
+		t.Fatalf("empty file: %v", err)
+	}
+}
+
+func TestTrailerCountMismatch(t *testing.T) {
+	es := genEntries(10, 8)
+	blob := buildSnap(t, KindTree, es)
+	// The trailer is the last 16 bytes; rewrite its count and CRC.
+	tr := blob[len(blob)-trailerSize:]
+	binary.LittleEndian.PutUint64(tr[4:], 99)
+	binary.LittleEndian.PutUint32(tr[12:], crc32.Checksum(tr[4:12], castagnoli))
+	if _, _, err := readAll(blob, KindTree); !isKind(err, ErrCorrupt) {
+		t.Fatalf("count mismatch: %v", err)
+	}
+}
+
+func isKind(err error, k ErrKind) bool {
+	var fe *FormatError
+	return errors.As(err, &fe) && fe.Kind == k
+}
+
+// TestTruncationSweep cuts a snapshot at every byte offset: strict Read
+// must fail, Recover must salvage a clean prefix of the original entries
+// and report the damage, and neither may panic.
+func TestTruncationSweep(t *testing.T) {
+	es := genEntries(300, 16)
+	blob := buildSnap(t, KindTree, es)
+	for cut := 0; cut < len(blob); cut++ {
+		if _, _, err := readAll(blob[:cut], KindTree); err == nil {
+			t.Fatalf("cut=%d: strict read of truncated snapshot succeeded", cut)
+		}
+		var got []entry
+		rep, err := Recover(bytes.NewReader(blob[:cut]), KindTree, func(k []byte, tid uint64) error {
+			got = append(got, entry{key: append([]byte(nil), k...), tid: tid})
+			return nil
+		})
+		if cut >= headerSize && err != nil {
+			t.Fatalf("cut=%d: recover errored: %v", cut, err)
+		}
+		if rep.Complete {
+			t.Fatalf("cut=%d: truncated snapshot reported complete", cut)
+		}
+		if rep.Damage == nil {
+			t.Fatalf("cut=%d: no damage reported", cut)
+		}
+		if rep.Entries != uint64(len(got)) {
+			t.Fatalf("cut=%d: report says %d entries, delivered %d", cut, rep.Entries, len(got))
+		}
+		for i, e := range got {
+			if !bytes.Equal(e.key, es[i].key) || e.tid != es[i].tid {
+				t.Fatalf("cut=%d: salvaged entry %d is not a prefix of the original", cut, i)
+			}
+		}
+	}
+}
+
+// TestBitFlipSweep flips one byte at every offset: strict Read must always
+// fail (every unit is checksummed), and Recover must deliver only a prefix
+// of the true entries — never fabricated or reordered data.
+func TestBitFlipSweep(t *testing.T) {
+	es := genEntries(200, 16)
+	blob := buildSnap(t, KindTree, es)
+	mut := make([]byte, len(blob))
+	for off := 0; off < len(blob); off++ {
+		copy(mut, blob)
+		mut[off] ^= 0x01
+		if _, _, err := readAll(mut, KindTree); err == nil {
+			t.Fatalf("off=%d: strict read of bit-flipped snapshot succeeded", off)
+		}
+		var got []entry
+		rep, _ := Recover(bytes.NewReader(mut), KindTree, func(k []byte, tid uint64) error {
+			got = append(got, entry{key: append([]byte(nil), k...), tid: tid})
+			return nil
+		})
+		if rep.Complete {
+			t.Fatalf("off=%d: flipped snapshot reported complete", off)
+		}
+		if len(got) > len(es) {
+			t.Fatalf("off=%d: recovered %d entries from a %d-entry snapshot", off, len(got), len(es))
+		}
+		for i, e := range got {
+			if !bytes.Equal(e.key, es[i].key) || e.tid != es[i].tid {
+				t.Fatalf("off=%d: salvaged entry %d diverges from the original", off, i)
+			}
+		}
+	}
+}
+
+// TestSaveFileAtomic checks the durability protocol end to end: a
+// successful save replaces the file, and an injected fault at every I/O
+// point leaves either the previous snapshot (pre-rename points) or the
+// complete new one (post-rename) — never a mix, and never a stray temp
+// file for pre-rename faults.
+func TestSaveFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.hot")
+	prev := genEntries(50, 8)
+	next := genEntries(120, 8)
+
+	save := func(es []entry) error {
+		return SaveFile(path, KindTree, func(w *Writer) error {
+			for _, e := range es {
+				if err := w.WriteEntry(e.key, e.tid); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+	if err := save(prev); err != nil {
+		t.Fatal(err)
+	}
+
+	points := []struct {
+		p        chaos.Point
+		wantNext bool // after the fault, does path hold the new snapshot?
+	}{
+		{chaos.SnapWriteHeader, false},
+		{chaos.SnapWriteBlock, false},
+		{chaos.SnapTornWrite, false},
+		{chaos.SnapSync, false},
+		{chaos.SnapRename, false},
+		{chaos.SnapDirSync, true},
+	}
+	for _, tc := range points {
+		// Reset to the previous snapshot for each point.
+		if err := save(prev); err != nil {
+			t.Fatal(err)
+		}
+		reg := chaos.New(1)
+		reg.On(tc.p, 1, nil) // nil action: injected I/O error
+		reg.Arm()
+		err := save(next)
+		chaos.Disarm()
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("%v: save error = %v, want ErrInjected", tc.p, err)
+		}
+		if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+			t.Fatalf("%v: temp file left behind (stat err %v)", tc.p, err)
+		}
+		got, count, err := func() ([]entry, uint64, error) {
+			f, err := os.Open(path)
+			if err != nil {
+				return nil, 0, err
+			}
+			defer f.Close()
+			var got []entry
+			n, err := Read(f, KindTree, func(k []byte, tid uint64) error {
+				got = append(got, entry{key: append([]byte(nil), k...), tid: tid})
+				return nil
+			})
+			return got, n, err
+		}()
+		if err != nil {
+			t.Fatalf("%v: snapshot unreadable after fault: %v", tc.p, err)
+		}
+		want := prev
+		if tc.wantNext {
+			want = next
+		}
+		if count != uint64(len(want)) {
+			t.Fatalf("%v: %d entries after fault, want %d", tc.p, count, len(want))
+		}
+		for i := range want {
+			if !bytes.Equal(got[i].key, want[i].key) {
+				t.Fatalf("%v: entry %d mismatch", tc.p, i)
+			}
+		}
+	}
+}
+
+// TestRecoverComplete checks that Recover on an intact snapshot reports
+// completeness.
+func TestRecoverComplete(t *testing.T) {
+	es := genEntries(40, 8)
+	blob := buildSnap(t, KindUint64Set, es)
+	rep, err := Recover(bytes.NewReader(blob), KindUint64Set, func([]byte, uint64) error { return nil })
+	if err != nil || !rep.Complete || rep.Damage != nil || rep.Entries != 40 {
+		t.Fatalf("recover intact: rep=%+v err=%v", rep, err)
+	}
+}

@@ -1,0 +1,206 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// EntryFunc receives one snapshot entry. The key slice is only valid
+// during the call. Returning an error aborts the read and is returned
+// verbatim by the reader entry point.
+type EntryFunc func(key []byte, tid uint64) error
+
+// Read parses a snapshot from r, validating the header against wantKind,
+// every block CRC, the ascending key order and the trailer count, and
+// delivers each entry to fn. It returns the entry count, or the first
+// damage as a *FormatError carrying the byte offset. Entries are delivered
+// only from blocks that validated completely, so fn never observes bytes a
+// checksum has not vouched for.
+func Read(r io.Reader, wantKind uint16, fn EntryFunc) (uint64, error) {
+	rd := &reader{r: r, wantKind: wantKind}
+	count, damage, err := rd.run(fn)
+	if err != nil {
+		return count, err
+	}
+	if damage != nil {
+		return count, damage
+	}
+	return count, nil
+}
+
+// Recover parses like Read but salvages: instead of failing on the first
+// damage it stops there and reports every entry delivered from the valid
+// prefix. The returned error is non-nil only for failures outside the
+// file's content — an fn error, or an unusable header (nothing salvageable,
+// reported as the error AND in the report's Damage).
+func Recover(r io.Reader, wantKind uint16, fn EntryFunc) (RecoveryReport, error) {
+	rd := &reader{r: r, wantKind: wantKind}
+	count, damage, err := rd.run(fn)
+	rep := RecoveryReport{Entries: count, Complete: damage == nil && err == nil}
+	rep.Damage = damage
+	if err != nil {
+		return rep, err
+	}
+	if damage != nil && damage.Offset < headerSize+1 && count == 0 {
+		// Header-level damage: the file is not a snapshot at all (or an
+		// incompatible one); surface that as an error too so callers that
+		// ignore the report cannot mistake it for an empty index.
+		if damage.Kind == ErrBadMagic || damage.Kind == ErrVersionSkew || damage.Kind == ErrWrongKind {
+			return rep, damage
+		}
+	}
+	return rep, nil
+}
+
+// ReadFile is Read over the file at path.
+func ReadFile(path string, wantKind uint16, fn EntryFunc) (uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	return Read(f, wantKind, fn)
+}
+
+// RecoverFile is Recover over the file at path.
+func RecoverFile(path string, wantKind uint16, fn EntryFunc) (RecoveryReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return RecoveryReport{}, err
+	}
+	defer f.Close()
+	return Recover(f, wantKind, fn)
+}
+
+// reader holds one parse pass's state.
+type reader struct {
+	r        io.Reader
+	wantKind uint16
+	off      int64
+	prevKey  []byte
+	count    uint64
+	hasPrev  bool
+}
+
+// run parses the whole snapshot. It returns the delivered entry count, the
+// first damage found (nil for a clean file), and any out-of-band error
+// (fn failure). Read and Recover differ only in how they surface damage.
+func (rd *reader) run(fn EntryFunc) (uint64, *FormatError, error) {
+	if damage := rd.header(); damage != nil {
+		return 0, damage, nil
+	}
+	for {
+		done, damage, err := rd.unit(fn)
+		if damage != nil || err != nil || done {
+			return rd.count, damage, err
+		}
+	}
+}
+
+// header validates the 16-byte header.
+func (rd *reader) header() *FormatError {
+	var h [headerSize]byte
+	if damage := rd.readFull(h[:], "header"); damage != nil {
+		return damage
+	}
+	if !bytes.Equal(h[:8], Magic[:]) {
+		return formatErr(ErrBadMagic, 0, "got % x, want % x", h[:8], Magic[:])
+	}
+	if got, want := binary.LittleEndian.Uint32(h[12:]), crc32.Checksum(h[:12], castagnoli); got != want {
+		return formatErr(ErrChecksum, 0, "header CRC %#x, computed %#x", got, want)
+	}
+	if v := binary.LittleEndian.Uint16(h[8:]); v != Version {
+		return formatErr(ErrVersionSkew, 8, "snapshot version %d, reader supports %d", v, Version)
+	}
+	if k := binary.LittleEndian.Uint16(h[10:]); k != rd.wantKind {
+		return formatErr(ErrWrongKind, 10, "snapshot kind %d, want %d", k, rd.wantKind)
+	}
+	rd.off = headerSize
+	return nil
+}
+
+// unit parses one block or the trailer. done reports a clean trailer.
+func (rd *reader) unit(fn EntryFunc) (done bool, damage *FormatError, err error) {
+	unitOff := rd.off
+	var hdr [8]byte
+	if damage := rd.readFull(hdr[:], "block header"); damage != nil {
+		return false, damage, nil
+	}
+	length := binary.LittleEndian.Uint32(hdr[:4])
+	blockCRC := binary.LittleEndian.Uint32(hdr[4:])
+	if length == 0 {
+		// Trailer: [0 u32 | count u64 | crc32(count) u32]. hdr already
+		// holds the zero length and the count's first half.
+		var rest [8]byte
+		if damage := rd.readFull(rest[:], "trailer"); damage != nil {
+			return false, damage, nil
+		}
+		var cb [8]byte
+		copy(cb[:4], hdr[4:])
+		copy(cb[4:], rest[:4])
+		crc := binary.LittleEndian.Uint32(rest[4:])
+		if got := crc32.Checksum(cb[:], castagnoli); got != crc {
+			return false, formatErr(ErrChecksum, unitOff, "trailer CRC %#x, computed %#x", crc, got), nil
+		}
+		count := binary.LittleEndian.Uint64(cb[:])
+		if count != rd.count {
+			return false, formatErr(ErrCorrupt, unitOff, "trailer count %d, found %d entries", count, rd.count), nil
+		}
+		return true, nil, nil
+	}
+	if length > maxBlockLen {
+		return false, formatErr(ErrCorrupt, unitOff, "block payload %d exceeds cap %d", length, maxBlockLen), nil
+	}
+	payload := make([]byte, length)
+	if damage := rd.readFull(payload, "block payload"); damage != nil {
+		return false, damage, nil
+	}
+	if got := crc32.Checksum(payload, castagnoli); got != blockCRC {
+		return false, formatErr(ErrChecksum, unitOff, "block CRC %#x, computed %#x", blockCRC, got), nil
+	}
+	// The block checksums clean: parse and deliver its entries.
+	pos := 0
+	for pos < len(payload) {
+		entryOff := unitOff + 8 + int64(pos)
+		klen, n := binary.Uvarint(payload[pos:])
+		if n <= 0 || klen > MaxKeyLen {
+			return false, formatErr(ErrCorrupt, entryOff, "bad key length"), nil
+		}
+		pos += n
+		if pos+int(klen) > len(payload) {
+			return false, formatErr(ErrCorrupt, entryOff, "key runs past block end"), nil
+		}
+		key := payload[pos : pos+int(klen)]
+		pos += int(klen)
+		tid, n := binary.Uvarint(payload[pos:])
+		if n <= 0 || tid > MaxTID {
+			return false, formatErr(ErrCorrupt, entryOff, "bad TID"), nil
+		}
+		pos += n
+		if rd.hasPrev && bytes.Compare(rd.prevKey, key) >= 0 {
+			return false, formatErr(ErrCorrupt, entryOff, "keys not strictly ascending: %q then %q", rd.prevKey, key), nil
+		}
+		rd.prevKey = append(rd.prevKey[:0], key...)
+		rd.hasPrev = true
+		if err := fn(key, tid); err != nil {
+			return false, nil, err
+		}
+		rd.count++
+	}
+	return false, nil, nil
+}
+
+// readFull reads exactly len(p) bytes, converting any short read into a
+// typed truncation error at the current offset.
+func (rd *reader) readFull(p []byte, what string) *FormatError {
+	n, err := io.ReadFull(rd.r, p)
+	off := rd.off
+	rd.off += int64(n)
+	if err != nil {
+		return formatErr(ErrTruncated, off, "%s cut short after %d of %d bytes: %v", what, n, len(p), err)
+	}
+	return nil
+}

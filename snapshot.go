@@ -1,0 +1,350 @@
+package hot
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/hotindex/hot/internal/core"
+	"github.com/hotindex/hot/internal/persist"
+)
+
+// Snapshot persistence: every index type can save a versioned, checksummed
+// binary snapshot (internal/persist format: magic + header, per-block
+// CRC32, trailer with the authoritative entry count) and load it back.
+// SaveFile variants are crash-safe — temp file, fsync, atomic rename,
+// directory fsync — so a crash mid-save leaves the previous snapshot
+// intact. Load variants validate everything (checksums, key order, entry
+// counts) and return typed *SnapshotError values with exact byte offsets;
+// Recover variants additionally salvage the longest valid prefix of a
+// damaged file.
+
+// SnapshotError is the typed error the snapshot loaders return for a
+// damaged or incompatible file: the damage kind, the exact byte offset of
+// the damaged unit, and a description.
+type SnapshotError = persist.FormatError
+
+// SnapshotErrKind classifies a SnapshotError.
+type SnapshotErrKind = persist.ErrKind
+
+// SnapshotError kinds.
+const (
+	// SnapErrBadMagic: the file is not a HOT snapshot.
+	SnapErrBadMagic = persist.ErrBadMagic
+	// SnapErrVersionSkew: the snapshot was written by an incompatible
+	// format version.
+	SnapErrVersionSkew = persist.ErrVersionSkew
+	// SnapErrWrongKind: the snapshot holds a different index type (e.g. a
+	// Map snapshot loaded as a Uint64Set).
+	SnapErrWrongKind = persist.ErrWrongKind
+	// SnapErrTruncated: the file ends mid-structure (torn tail).
+	SnapErrTruncated = persist.ErrTruncated
+	// SnapErrChecksum: a block or trailer checksum mismatch (bit rot).
+	SnapErrChecksum = persist.ErrChecksum
+	// SnapErrCorrupt: structurally invalid contents despite clean
+	// checksums (out-of-order keys, bad lengths, count mismatch).
+	SnapErrCorrupt = persist.ErrCorrupt
+)
+
+// RecoveryReport describes what a Recover* loader salvaged: how many
+// entries were delivered from the valid prefix, whether the snapshot was in
+// fact complete, and the first damage found (nil when complete).
+type RecoveryReport = persist.RecoveryReport
+
+// ---- Tree ----
+
+// Save writes a snapshot of the tree — every (key, TID) entry in ascending
+// key order, keys resolved through the loader — to w. Use SaveFile for
+// crash-safe on-disk snapshots.
+func (t *Tree) Save(w io.Writer) error {
+	sw, err := persist.NewWriter(w, persist.KindTree)
+	if err != nil {
+		return err
+	}
+	if err := writeWalk(sw, t.t.Walk); err != nil {
+		return err
+	}
+	return sw.Close()
+}
+
+// SaveFile atomically writes a snapshot of the tree to path: the stream
+// goes to path+".tmp", is fsynced, renamed over path, and the directory is
+// fsynced. On any error path is left untouched.
+func (t *Tree) SaveFile(path string) error {
+	return persist.SaveFile(path, persist.KindTree, func(sw *persist.Writer) error {
+		return writeWalk(sw, t.t.Walk)
+	})
+}
+
+// LoadTree rebuilds a Tree from a snapshot, validating checksums, key
+// order and prefix-freeness as it streams entries, and returns a typed
+// *SnapshotError (with the byte offset of the damage) on any corruption.
+// The loader must resolve every TID stored in the snapshot, exactly as it
+// did when the snapshot was saved.
+func LoadTree(r io.Reader, loader Loader) (*Tree, error) {
+	t := New(loader)
+	if _, err := persist.Read(r, persist.KindTree, t.loadEntry); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// LoadTreeFile is LoadTree over the file at path.
+func LoadTreeFile(path string, loader Loader) (*Tree, error) {
+	t := New(loader)
+	if _, err := persist.ReadFile(path, persist.KindTree, t.loadEntry); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// RecoverTreeFile rebuilds a Tree from the longest valid prefix of a
+// possibly damaged snapshot. The report says how much was salvaged and what
+// damage stopped the read; the error is non-nil only when nothing could be
+// loaded at all (unreadable file, or not a tree snapshot).
+func RecoverTreeFile(path string, loader Loader) (*Tree, RecoveryReport, error) {
+	t := New(loader)
+	rep, err := persist.RecoverFile(path, persist.KindTree, t.loadEntry)
+	if err != nil {
+		return nil, rep, err
+	}
+	return t, rep, nil
+}
+
+// loadEntry inserts one snapshot entry, converting insertion rejections
+// (duplicate keys under zero-padding, i.e. a non-prefix-free key set) into
+// typed corruption errors instead of building a silently wrong tree.
+func (t *Tree) loadEntry(key []byte, tid TID) error {
+	if !t.t.Insert(key, tid) {
+		return &SnapshotError{Kind: persist.ErrCorrupt,
+			Detail: fmt.Sprintf("key %q not prefix-free under zero-padding", key)}
+	}
+	return nil
+}
+
+// writeWalk streams a trie walk into a snapshot writer, surfacing writer
+// errors (the walk callback cannot return one).
+func writeWalk(sw *persist.Writer, walk func(func(key []byte, tid core.TID) bool) int) error {
+	var werr error
+	walk(func(key []byte, tid core.TID) bool {
+		werr = sw.WriteEntry(key, tid)
+		return werr == nil
+	})
+	return werr
+}
+
+// ---- ConcurrentTree ----
+
+// Snapshot writes a point-in-time snapshot of the live tree to w without
+// blocking concurrent writers: the walk pins the current root under a
+// single epoch guard, so writers proceed copy-on-write (their retired
+// nodes are simply not reclaimed until the snapshot finishes). Entries
+// committed while the snapshot streams may or may not be included, exactly
+// like the paper's wait-free scans; what is included is always a
+// structurally consistent ascending key sequence.
+func (t *ConcurrentTree) Snapshot(w io.Writer) error {
+	sw, err := persist.NewWriter(w, persist.KindTree)
+	if err != nil {
+		return err
+	}
+	if err := writeWalk(sw, t.t.SnapshotWalk); err != nil {
+		return err
+	}
+	return sw.Close()
+}
+
+// SnapshotFile atomically writes a point-in-time snapshot of the live tree
+// to path (see Snapshot for the concurrency semantics and SaveFile for the
+// durability protocol).
+func (t *ConcurrentTree) SnapshotFile(path string) error {
+	return persist.SaveFile(path, persist.KindTree, func(sw *persist.Writer) error {
+		return writeWalk(sw, t.t.SnapshotWalk)
+	})
+}
+
+// LoadConcurrentTree rebuilds a ConcurrentTree from a snapshot (see
+// LoadTree; the load itself is single-threaded).
+func LoadConcurrentTree(r io.Reader, loader Loader) (*ConcurrentTree, error) {
+	t := NewConcurrent(loader)
+	_, err := persist.Read(r, persist.KindTree, func(key []byte, tid TID) error {
+		if !t.t.Insert(key, tid) {
+			return &SnapshotError{Kind: persist.ErrCorrupt,
+				Detail: fmt.Sprintf("key %q not prefix-free under zero-padding", key)}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// ---- Map ----
+
+// Save writes a snapshot of the map — every (key, value) pair in ascending
+// key order, keys in their original (unescaped) bytes — to w.
+func (m *Map) Save(w io.Writer) error {
+	sw, err := persist.NewWriter(w, persist.KindMap)
+	if err != nil {
+		return err
+	}
+	if err := m.writeEntries(sw); err != nil {
+		return err
+	}
+	return sw.Close()
+}
+
+// SaveFile atomically writes a snapshot of the map to path (see
+// Tree.SaveFile for the durability protocol).
+func (m *Map) SaveFile(path string) error {
+	return persist.SaveFile(path, persist.KindMap, m.writeEntries)
+}
+
+func (m *Map) writeEntries(sw *persist.Writer) error {
+	var werr error
+	m.Range(nil, -1, func(key []byte, val uint64) bool {
+		werr = sw.WriteEntry(key, val)
+		return werr == nil
+	})
+	return werr
+}
+
+// LoadMap rebuilds a Map from a snapshot, returning a typed
+// *SnapshotError on any corruption.
+func LoadMap(r io.Reader) (*Map, error) {
+	m := NewMap()
+	if _, err := persist.Read(r, persist.KindMap, m.loadEntry); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// LoadMapFile is LoadMap over the file at path.
+func LoadMapFile(path string) (*Map, error) {
+	m := NewMap()
+	if _, err := persist.ReadFile(path, persist.KindMap, m.loadEntry); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// RecoverMapFile rebuilds a Map from the longest valid prefix of a
+// possibly damaged snapshot (see RecoverTreeFile).
+func RecoverMapFile(path string) (*Map, RecoveryReport, error) {
+	m := NewMap()
+	rep, err := persist.RecoverFile(path, persist.KindMap, m.loadEntry)
+	if err != nil {
+		return nil, rep, err
+	}
+	return m, rep, nil
+}
+
+func (m *Map) loadEntry(key []byte, val uint64) error {
+	if len(key) > MaxMapKeyLen {
+		return &SnapshotError{Kind: persist.ErrCorrupt,
+			Detail: fmt.Sprintf("map key length %d exceeds MaxMapKeyLen %d", len(key), MaxMapKeyLen)}
+	}
+	if !m.Set(key, val) {
+		return &SnapshotError{Kind: persist.ErrCorrupt,
+			Detail: fmt.Sprintf("duplicate map key %q", key)}
+	}
+	return nil
+}
+
+// ---- Uint64Set ----
+
+// Save writes a snapshot of the set — every value as its 8-byte big-endian
+// key with the value embedded as the TID — to w.
+func (s *Uint64Set) Save(w io.Writer) error {
+	sw, err := persist.NewWriter(w, persist.KindUint64Set)
+	if err != nil {
+		return err
+	}
+	if err := writeWalk(sw, s.t.Walk); err != nil {
+		return err
+	}
+	return sw.Close()
+}
+
+// SaveFile atomically writes a snapshot of the set to path (see
+// Tree.SaveFile for the durability protocol).
+func (s *Uint64Set) SaveFile(path string) error {
+	return persist.SaveFile(path, persist.KindUint64Set, func(sw *persist.Writer) error {
+		return writeWalk(sw, s.t.Walk)
+	})
+}
+
+// LoadUint64Set rebuilds a Uint64Set from a snapshot, returning a typed
+// *SnapshotError on any corruption.
+func LoadUint64Set(r io.Reader) (*Uint64Set, error) {
+	s := NewUint64Set()
+	if _, err := persist.Read(r, persist.KindUint64Set, s.loadEntry); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// LoadUint64SetFile is LoadUint64Set over the file at path.
+func LoadUint64SetFile(path string) (*Uint64Set, error) {
+	s := NewUint64Set()
+	if _, err := persist.ReadFile(path, persist.KindUint64Set, s.loadEntry); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// RecoverUint64SetFile rebuilds a Uint64Set from the longest valid prefix
+// of a possibly damaged snapshot (see RecoverTreeFile).
+func RecoverUint64SetFile(path string) (*Uint64Set, RecoveryReport, error) {
+	s := NewUint64Set()
+	rep, err := persist.RecoverFile(path, persist.KindUint64Set, s.loadEntry)
+	if err != nil {
+		return nil, rep, err
+	}
+	return s, rep, nil
+}
+
+// loadEntry validates the embedded-key convention — the 8-byte big-endian
+// key must decode to exactly the stored TID — before inserting.
+func (s *Uint64Set) loadEntry(key []byte, tid TID) error {
+	if len(key) != 8 {
+		return &SnapshotError{Kind: persist.ErrCorrupt,
+			Detail: fmt.Sprintf("set key length %d, want 8", len(key))}
+	}
+	var v uint64
+	for _, b := range key {
+		v = v<<8 | uint64(b)
+	}
+	if v != tid {
+		return &SnapshotError{Kind: persist.ErrCorrupt,
+			Detail: fmt.Sprintf("set key decodes to %d, TID is %d", v, tid)}
+	}
+	if !s.Insert(v) {
+		return &SnapshotError{Kind: persist.ErrCorrupt,
+			Detail: fmt.Sprintf("duplicate set value %d", v)}
+	}
+	return nil
+}
+
+// ---- ConcurrentUint64Set ----
+
+// Snapshot writes a point-in-time snapshot of the live set to w without
+// blocking concurrent writers (see ConcurrentTree.Snapshot for the
+// semantics).
+func (s *ConcurrentUint64Set) Snapshot(w io.Writer) error {
+	sw, err := persist.NewWriter(w, persist.KindUint64Set)
+	if err != nil {
+		return err
+	}
+	if err := writeWalk(sw, s.t.SnapshotWalk); err != nil {
+		return err
+	}
+	return sw.Close()
+}
+
+// SnapshotFile atomically writes a point-in-time snapshot of the live set
+// to path (see ConcurrentTree.SnapshotFile).
+func (s *ConcurrentUint64Set) SnapshotFile(path string) error {
+	return persist.SaveFile(path, persist.KindUint64Set, func(sw *persist.Writer) error {
+		return writeWalk(sw, s.t.SnapshotWalk)
+	})
+}
