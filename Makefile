@@ -6,38 +6,46 @@ GO ?= go
 
 all: check race chaos crash
 
-# Tier-1: vet, build everything, run the full test suite.
+# Tier-1: formatting, vet, build everything, run the full test suite.
 check:
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed:"; echo "$$unformatted"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
 
-# Concurrency tier: the root package (concurrent snapshots), the ROWEX
-# writer path, epoch reclamation, the snapshot I/O layer and the armed
-# chaos tests under the race detector, twice (ordering flakes rarely repeat).
+# Concurrency tier: every package under the race detector, twice (ordering
+# flakes rarely repeat). This covers the root concurrent/sharded churn
+# tests, the ROWEX writer path, epoch reclamation and the snapshot layer.
 race:
-	$(GO) test -race -count=2 . ./internal/core/... ./internal/epoch/... ./internal/persist/...
+	$(GO) test -race -count=2 ./...
 
-# Chaos smoke: seeded concurrent churn with every injection point armed;
+# Chaos smoke: seeded concurrent churn with every injection point armed,
+# against both the single ConcurrentTree and the range-sharded writer path;
 # fails on any structural-invariant violation.
 chaos:
 	$(GO) run ./cmd/hot-chaos -seed 1 -ops 100000
+	$(GO) run ./cmd/hot-chaos -seed 1 -ops 100000 -shards 4
 
 # Crash matrix: a subprocess writer is killed at every snapshot I/O
 # injection point (fixed seed) and the parent must recover a verifiable
-# tree from what is left on disk.
+# tree from what is left on disk — for both the flat snapshot format and
+# the multiplexed sharded format.
 crash:
 	$(GO) test -run 'TestCrashMatrix' -count=1 -v ./internal/persist/
+	$(GO) test -run 'TestShardedCrashMatrix' -count=1 -v .
 
 # Short exploratory fuzz burst over each public-API fuzz target.
 # This list must track the Fuzz* functions in fuzz_test.go — add a line
-# here whenever a target is added there.
+# here whenever a target is added there (TestMakefileFuzzListCoversAllTargets
+# fails the build when the two drift apart).
 fuzz:
 	$(GO) test -fuzz FuzzTreeVerify -fuzztime 30s .
 	$(GO) test -fuzz FuzzMap -fuzztime 30s .
 	$(GO) test -fuzz FuzzUint64Set -fuzztime 30s .
 	$(GO) test -fuzz FuzzLookupBatch -fuzztime 30s .
 	$(GO) test -fuzz FuzzSnapshotLoad -fuzztime 30s .
+	$(GO) test -fuzz FuzzShardedSnapshotLoad -fuzztime 30s .
 	$(GO) test -fuzz FuzzSnapshotRoundTrip -fuzztime 30s .
 
 bench:
@@ -46,8 +54,11 @@ bench:
 # Machine-readable throughput snapshot: the Figure 8 core (workload C and
 # the load phase) at laptop scale, scalar and batched lookups, written as
 # JSON records {dataset, workload, dist, index, batch, mops, misses}.
+# The second run sweeps shard counts for the range-sharded tree (shards=0
+# is the unsharded baseline) into BENCH_4.json.
 bench-json:
 	$(GO) run ./cmd/hot-ycsb -n 200000 -ops 400000 -workloads C,load -indexes hot -batch 0,16 -json BENCH_2.json
+	$(GO) run ./cmd/hot-ycsb -n 200000 -ops 400000 -workloads load,A -datasets integer,url -indexes hot -shards 1,2,4,8 -json BENCH_4.json
 
 clean:
 	$(GO) clean -testcache

@@ -7,7 +7,14 @@
 // injected faults the index survived, alongside the writer-path
 // restart/backoff/validation and epoch-contention counters.
 //
+// With -shards N the same fault pressure is aimed at the range-sharded
+// writer path instead: every shard's ROWEX writers and epoch domain see
+// the injections, and between rounds each shard is verified individually
+// (structural invariants plus shard-range containment) while the
+// aggregate Len is checked against a full cross-shard merged scan oracle.
+//
 //	hot-chaos -seed 1 -ops 100000          # acceptance run
+//	hot-chaos -shards 8                    # sharded writer path
 //	hot-chaos -prob 0.05 -workers 16       # heavier fault pressure
 //	hot-chaos -disarmed                    # baseline without injections
 package main
@@ -36,6 +43,7 @@ func main() {
 		workers  = flag.Int("workers", defaultWorkers(), "concurrent worker goroutines")
 		rounds   = flag.Int("rounds", 8, "verification rounds (ops are split across them)")
 		prob     = flag.Float64("prob", 0.01, "per-hit injection probability")
+		shards   = flag.Int("shards", 0, "run against a range-sharded tree with this many shards (0 = single ConcurrentTree)")
 		disarmed = flag.Bool("disarmed", false, "run without arming the injection registry")
 	)
 	flag.Parse()
@@ -49,7 +57,12 @@ func main() {
 	}
 
 	store, keys := genKeys(*nkeys, *seed)
-	tr := hot.NewConcurrent(store.Key)
+	var tr index
+	if *shards > 0 {
+		tr = hot.NewShardedTree(store.Key, *shards, keys)
+	} else {
+		tr = hot.NewConcurrent(store.Key)
+	}
 
 	reg := chaos.New(*seed)
 	if !*disarmed {
@@ -64,8 +77,8 @@ func main() {
 		defer chaos.Disarm()
 	}
 
-	fmt.Printf("hot-chaos: seed=%d ops=%d keys=%d workers=%d rounds=%d prob=%g armed=%v\n",
-		*seed, *ops, *nkeys, *workers, *rounds, *prob, !*disarmed)
+	fmt.Printf("hot-chaos: seed=%d ops=%d keys=%d workers=%d rounds=%d prob=%g shards=%d armed=%v\n",
+		*seed, *ops, *nkeys, *workers, *rounds, *prob, *shards, !*disarmed)
 
 	var (
 		corruptions int
@@ -77,13 +90,30 @@ func main() {
 	for r := 0; r < *rounds; r++ {
 		runRound(tr, store, keys, *workers, perRound, *seed+int64(r)*997, &scanFaults)
 		// All workers joined: the trie is quiescent and must verify clean.
+		// On a sharded tree Verify covers every shard's structural
+		// invariants plus shard-range containment of every stored key.
 		if err := tr.Verify(); err != nil {
 			corruptions++
 			fmt.Printf("round %d: CORRUPTION: %v\n", r, err)
 			continue
 		}
+		// Quiescent scan oracle: a full ordered scan (the cross-shard k-way
+		// merge when sharded) must visit exactly Len() keys, strictly
+		// ascending.
+		if got, want := oracleScanCount(tr, store, *nkeys), tr.Len(); got != want {
+			corruptions++
+			fmt.Printf("round %d: CORRUPTION: full scan visited %d keys, Len()=%d\n", r, got, want)
+			continue
+		}
 		st := tr.OpStats()
 		fmt.Printf("round %d: len=%d height=%d  %s\n", r, tr.Len(), tr.Height(), st.Sub(prev))
+		if sh, ok := tr.(*hot.ShardedTree); ok {
+			fmt.Printf("  shard lens:")
+			for i := 0; i < sh.Shards(); i++ {
+				fmt.Printf(" %d", sh.ShardLen(i))
+			}
+			fmt.Println()
+		}
 		prev = st
 	}
 	if n := scanFaults.Load(); n > 0 {
@@ -109,6 +139,43 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("OK: zero corruption errors")
+}
+
+// index is the surface the chaos driver needs; hot.ConcurrentTree and
+// hot.ShardedTree both provide it.
+type index interface {
+	Upsert(k []byte, tid hot.TID) (hot.TID, bool)
+	Delete(k []byte) bool
+	Lookup(k []byte) (hot.TID, bool)
+	Scan(start []byte, max int, fn func(hot.TID) bool) int
+	Len() int
+	Height() int
+	Verify() error
+	OpStats() hot.OpStats
+	ReclaimStats() (uint64, int64)
+}
+
+// oracleScanCount scans the whole index in order, asserting strictly
+// ascending keys, and returns the number of entries visited (-1 on an
+// order violation). In a quiescent state this must equal Len().
+func oracleScanCount(tr index, store *tidstore.Store, nkeys int) int {
+	var prev []byte
+	count := 0
+	ordered := true
+	tr.Scan(nil, nkeys+1, func(tid hot.TID) bool {
+		got := store.Key(tid, nil)
+		if count > 0 && string(prev) >= string(got) {
+			ordered = false
+			return false
+		}
+		prev = append(prev[:0], got...)
+		count++
+		return true
+	})
+	if !ordered {
+		return -1
+	}
+	return count
 }
 
 // defaultWorkers keeps writer interleaving meaningful even on one CPU:
@@ -145,7 +212,7 @@ func genKeys(n int, seed int64) (*tidstore.Store, [][]byte) {
 // 45/25/20/10 mix of upserts, deletes, lookups and bounded ordered scans.
 // Scans double as wait-free-reader integrity probes: observed keys must be
 // strictly ascending.
-func runRound(tr *hot.ConcurrentTree, store *tidstore.Store, keys [][]byte,
+func runRound(tr index, store *tidstore.Store, keys [][]byte,
 	workers, ops int, seed int64, scanFaults *atomic.Uint64) {
 	var wg sync.WaitGroup
 	perWorker := ops / workers

@@ -32,6 +32,8 @@ type record struct {
 	Dist     string  `json:"dist"`
 	Index    string  `json:"index"`
 	Batch    int     `json:"batch"`
+	Shards   int     `json:"shards"`
+	Threads  int     `json:"threads"`
 	Mops     float64 `json:"mops"`
 	Misses   int     `json:"misses"`
 }
@@ -48,6 +50,8 @@ func main() {
 		latency   = flag.Bool("latency", false, "capture and print per-operation latency percentiles")
 		opstats   = flag.Bool("opstats", false, "print insertion-case and robustness counters after each configuration")
 		batch     = flag.String("batch", "0", "comma list of read batch sizes routed through LookupBatch (0 = scalar lookups)")
+		shards    = flag.String("shards", "0", "comma list of shard counts for the range-partitioned hot index (0 = unsharded; other indexes skip sharded configs)")
+		threads   = flag.Int("threads", 0, "load-phase writer goroutines for sharded configs (0 = one per shard)")
 		jsonPath  = flag.String("json", "", "additionally write results as a JSON array to this file")
 		seed      = flag.Int64("seed", 2018, "data/workload seed")
 	)
@@ -58,6 +62,12 @@ func main() {
 		v, err := strconv.Atoi(b)
 		die(err)
 		batches = append(batches, v)
+	}
+	var shardCounts []int
+	for _, s := range split(*shards) {
+		v, err := strconv.Atoi(s)
+		die(err)
+		shardCounts = append(shardCounts, v)
 	}
 
 	wNames := split(*workloads)
@@ -89,33 +99,53 @@ func main() {
 				}
 				for _, iname := range split(*indexes) {
 					for _, b := range batches {
-						inst, err := bench.New(iname, data.Store)
-						die(err)
-						r := data.Runner(inst, *n, *seed)
-						r.CaptureLatency = *latency
-						r.BatchLookups = b
-						var res ycsb.Result
-						if w.Name == "load" {
-							res = r.Load()
-						} else {
-							r.Load()
-							res = r.Run(w, dist, *ops)
-						}
-						fmt.Printf("%-9s %-26s %-8s %-9s %6d %10.3f %9d",
-							ds, w.Name+" ("+w.Description+")", dist, iname, b, res.Mops(), res.NotFound)
-						if res.Latency != nil {
-							fmt.Printf("   %s", res.Latency)
-						}
-						fmt.Println()
-						if *opstats {
-							if st, ok := inst.Idx.(interface{ OpStats() hot.OpStats }); ok {
-								fmt.Printf("%-9s   opstats: %s\n", "", st.OpStats())
+						for _, sc := range shardCounts {
+							if sc > 0 && iname != "hot" {
+								continue // only hot has a range-sharded variant
 							}
+							var inst bench.Instance
+							if sc > 0 {
+								t := hot.NewShardedTree(data.Store.Key, sc, data.Keys[:*n])
+								inst = bench.NewInstance(fmt.Sprintf("hot-s%d", sc), t,
+									func() int { return t.Memory().PaperBytes })
+							} else {
+								var err error
+								inst, err = bench.New(iname, data.Store)
+								die(err)
+							}
+							r := data.Runner(inst, *n, *seed)
+							r.CaptureLatency = *latency
+							r.BatchLookups = b
+							loadThreads := 1
+							if sc > 0 {
+								loadThreads = *threads
+								if loadThreads <= 0 {
+									loadThreads = sc
+								}
+							}
+							var res ycsb.Result
+							if w.Name == "load" {
+								res = r.LoadParallel(loadThreads)
+							} else {
+								r.LoadParallel(loadThreads)
+								res = r.Run(w, dist, *ops)
+							}
+							fmt.Printf("%-9s %-26s %-8s %-9s %6d %10.3f %9d",
+								ds, w.Name+" ("+w.Description+")", dist, inst.Name, b, res.Mops(), res.NotFound)
+							if res.Latency != nil {
+								fmt.Printf("   %s", res.Latency)
+							}
+							fmt.Println()
+							if *opstats {
+								if st, ok := inst.Idx.(interface{ OpStats() hot.OpStats }); ok {
+									fmt.Printf("%-9s   opstats: %s\n", "", st.OpStats())
+								}
+							}
+							records = append(records, record{
+								Dataset: ds, Workload: w.Name, Dist: dist.String(), Index: inst.Name,
+								Batch: b, Shards: sc, Threads: loadThreads, Mops: res.Mops(), Misses: res.NotFound,
+							})
 						}
-						records = append(records, record{
-							Dataset: ds, Workload: w.Name, Dist: dist.String(), Index: iname,
-							Batch: b, Mops: res.Mops(), Misses: res.NotFound,
-						})
 					}
 				}
 			}

@@ -4,6 +4,11 @@
 // embedded zero bytes) while keeping them in lexicographic order. The
 // store persists itself on exit (crash-safe snapshot) and reloads on the
 // next start, so a second run begins where the first one ended.
+//
+// The second half scales the same store out: the URL keys move into a
+// range-sharded concurrent tree (hot.ShardedTree) written by one goroutine
+// per shard, scanned across shard boundaries with the merged cursor, and
+// persisted as a single multiplexed sharded snapshot.
 package main
 
 import (
@@ -11,6 +16,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	hot "github.com/hotindex/hot"
@@ -98,4 +104,74 @@ func main() {
 	fi, _ := os.Stat(snap)
 	fmt.Printf("persisted %d keys (%d bytes) to %s in %v\n",
 		store.Len(), fi.Size(), snap, time.Since(start).Round(time.Millisecond))
+
+	// ---- Scaling writes: the same keyspace, range-sharded ----
+	//
+	// hot.Map is single-threaded. To scale writers, move the keys into a
+	// hot.ShardedTree: N range partitions, each an independent ROWEX writer
+	// and epoch domain, loaded by one goroutine per shard. The tree layer
+	// has no key escape, so the URL keys get a NUL terminator to stay
+	// prefix-free.
+	skeys := make([][]byte, 0, store.Len())
+	store.Range(nil, -1, func(k []byte, v uint64) bool {
+		skeys = append(skeys, append(append([]byte(nil), k...), 0))
+		return true
+	})
+	loader := func(tid hot.TID, _ []byte) []byte { return skeys[tid] }
+	const nShards = 4
+	tr := hot.NewShardedTree(loader, nShards, skeys)
+
+	// Route every key once, then give each shard exactly one writer, so no
+	// two goroutines ever touch the same synchronization domain.
+	buckets := make([][]int, tr.Shards())
+	for i, k := range skeys {
+		buckets[tr.Shard(k)] = append(buckets[tr.Shard(k)], i)
+	}
+	start = time.Now()
+	var wg sync.WaitGroup
+	for s := range buckets {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for _, i := range buckets[s] {
+				tr.Insert(skeys[i], hot.TID(i))
+			}
+		}(s)
+	}
+	wg.Wait()
+	fmt.Printf("sharded: loaded %d keys into %d shards in %v (shard lens:",
+		tr.Len(), tr.Shards(), time.Since(start).Round(time.Millisecond))
+	for i := 0; i < tr.Shards(); i++ {
+		fmt.Printf(" %d", tr.ShardLen(i))
+	}
+	fmt.Println(")")
+
+	// The merged cursor walks all shards as one globally ordered stream,
+	// crossing shard boundaries transparently.
+	fmt.Println("first 3 wiki entries via cross-shard cursor:")
+	c := tr.Iter([]byte("/wiki/"))
+	for i := 0; i < 3 && c.Valid(); i++ {
+		fmt.Printf("   %s = %d\n", c.Key()[:len(c.Key())-1], c.TID())
+		c.Next()
+	}
+
+	// One multiplexed, crash-safe snapshot file persists every shard:
+	// manifest section (the boundary table) plus one section per shard.
+	ssnap := filepath.Join(os.TempDir(), "hot-kvstore-sharded.hot")
+	if err := tr.SnapshotFile(ssnap); err != nil {
+		fmt.Println("sharded snapshot failed:", err)
+		os.Exit(1)
+	}
+	re, err := hot.LoadShardedTreeFile(ssnap, loader)
+	if err != nil {
+		fmt.Println("sharded reload failed:", err)
+		os.Exit(1)
+	}
+	if err := re.Verify(); err != nil {
+		fmt.Println("sharded verify failed:", err)
+		os.Exit(1)
+	}
+	sfi, _ := os.Stat(ssnap)
+	fmt.Printf("sharded snapshot round-trip: %d keys, %d shards, %d bytes, verified\n",
+		re.Len(), re.Shards(), sfi.Size())
 }

@@ -1,0 +1,59 @@
+package hot
+
+import (
+	"os"
+	"regexp"
+	"sort"
+	"testing"
+)
+
+// TestMakefileFuzzListCoversAllTargets guards against drift between the
+// Fuzz* functions defined in fuzz_test.go and the `make fuzz` recipe: every
+// target must get a burst line in the Makefile, and the Makefile must not
+// reference targets that no longer exist. Adding a fuzz target without
+// wiring it into `make fuzz` silently exempts it from CI exploration.
+func TestMakefileFuzzListCoversAllTargets(t *testing.T) {
+	src, err := os.ReadFile("fuzz_test.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk, err := os.ReadFile("Makefile")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	declRe := regexp.MustCompile(`(?m)^func (Fuzz\w+)\(`)
+	defined := map[string]bool{}
+	for _, m := range declRe.FindAllSubmatch(src, -1) {
+		defined[string(m[1])] = true
+	}
+	if len(defined) == 0 {
+		t.Fatal("no Fuzz targets found in fuzz_test.go")
+	}
+
+	recipeRe := regexp.MustCompile(`-fuzz (Fuzz\w+)`)
+	recipe := map[string]bool{}
+	for _, m := range recipeRe.FindAllSubmatch(mk, -1) {
+		recipe[string(m[1])] = true
+	}
+
+	var missing, stale []string
+	for name := range defined {
+		if !recipe[name] {
+			missing = append(missing, name)
+		}
+	}
+	for name := range recipe {
+		if !defined[name] {
+			stale = append(stale, name)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(stale)
+	if len(missing) > 0 {
+		t.Errorf("fuzz targets missing from the Makefile fuzz recipe: %v", missing)
+	}
+	if len(stale) > 0 {
+		t.Errorf("Makefile fuzz recipe names nonexistent targets: %v", stale)
+	}
+}

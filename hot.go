@@ -17,12 +17,21 @@
 //     index references its base table. ConcurrentTree adds the paper's
 //     ROWEX synchronization: wait-free readers, lock-only-what-you-modify
 //     writers.
+//   - ShardedTree range-partitions the key space across N independent
+//     ConcurrentTrees, each with its own ROWEX writer and epoch domain, so
+//     writers to different shards never contend — the write-scaling layer.
 //   - Map is the convenience layer for applications without a tuple store:
 //     it keeps its own key storage, accepts arbitrary byte keys (an
 //     order-preserving escape makes them prefix-free) and maps them to
 //     uint64 values.
 //   - Uint64Set stores 63-bit integers with the keys embedded directly in
-//     the TIDs (the paper's optimization for fixed-size keys ≤ 8 bytes).
+//     the TIDs (the paper's optimization for fixed-size keys ≤ 8 bytes);
+//     ConcurrentUint64Set and ShardedUint64Set are its synchronized and
+//     range-partitioned variants.
+//
+// All of them share one method surface — the Index interface — implemented
+// once in the shared surface layer (surface.go), so callers can swap
+// synchronization strategies without code changes.
 //
 // Keys are compared lexicographically; all range operations are in
 // ascending key order.
@@ -75,13 +84,19 @@ const (
 // The key set must be prefix-free under zero-padding (fixed-length keys
 // are; terminate variable-length keys, or use Map which handles arbitrary
 // keys).
+//
+// The shared index surface — Insert, Upsert, Lookup, LookupBatch, Delete,
+// Scan, Len, Height, Depths, Memory, OpStats, Verify — comes from the
+// embedded surface layer (see Index).
 type Tree struct {
+	base
 	t *core.Trie
 }
 
 // New returns an empty Tree resolving TIDs through loader.
 func New(loader Loader) *Tree {
-	return &Tree{t: core.New(core.Loader(loader))}
+	t := core.New(core.Loader(loader))
+	return &Tree{base: newBase(t), t: t}
 }
 
 // NewWithFanout returns an empty Tree with a maximum node fanout of k
@@ -89,144 +104,33 @@ func New(loader Loader) *Tree {
 // tree height for cheaper intra-node operations and exist mainly for
 // experimentation (see the fanout ablation benchmark).
 func NewWithFanout(loader Loader, k int) *Tree {
-	return &Tree{t: core.NewWithFanout(core.Loader(loader), k)}
+	t := core.NewWithFanout(core.Loader(loader), k)
+	return &Tree{base: newBase(t), t: t}
 }
-
-// Insert stores tid under key, reporting false (without modification) when
-// the key is already present. It panics if len(key) > MaxKeyLen or
-// tid > MaxTID.
-func (t *Tree) Insert(key []byte, tid TID) bool { return t.t.Insert(key, tid) }
-
-// Upsert stores tid under key, returning the previous TID when the key was
-// already present.
-func (t *Tree) Upsert(key []byte, tid TID) (old TID, replaced bool) {
-	return t.t.Upsert(key, tid)
-}
-
-// Lookup returns the TID stored under key.
-func (t *Tree) Lookup(key []byte) (TID, bool) { return t.t.Lookup(key) }
-
-// LookupBatch looks up all keys as one batch, storing each key's TID in the
-// corresponding out slot (0 when absent) and returning a mask of which keys
-// were found; len(out) must be at least len(keys). The descents advance
-// through the trie in lockstep, so the independent node reads overlap their
-// cache misses instead of serializing as repeated Lookup calls do —
-// substantially faster for point-lookup-heavy workloads that can amortize
-// batches of 8+ keys. The returned mask is scratch owned by the tree, valid
-// until the next LookupBatch call.
-func (t *Tree) LookupBatch(keys [][]byte, out []TID) []bool {
-	return t.t.LookupBatch(keys, out)
-}
-
-// Delete removes key, reporting whether it was present.
-func (t *Tree) Delete(key []byte) bool { return t.t.Delete(key) }
-
-// Scan invokes fn for up to max entries in ascending key order starting at
-// the first key ≥ start (nil start scans from the smallest key). It
-// returns the number of entries visited; fn returning false stops early.
-// fn must not modify the tree (single-threaded trees recycle replaced
-// nodes immediately; use ConcurrentTree when scans and writes overlap).
-func (t *Tree) Scan(start []byte, max int, fn func(TID) bool) int {
-	return t.t.Scan(start, max, fn)
-}
-
-// Len returns the number of stored keys.
-func (t *Tree) Len() int { return t.t.Len() }
-
-// Height returns the overall tree height in compound nodes (0 for trees
-// with fewer than two keys). Like a B-tree, the height grows only when a
-// new root is created.
-func (t *Tree) Height() int { return t.t.Height() }
-
-// Depths computes the leaf-depth distribution, the paper's balance metric.
-func (t *Tree) Depths() DepthStats { return t.t.Depths() }
-
-// Memory computes the index's memory footprint and node-layout census.
-func (t *Tree) Memory() MemoryStats { return t.t.Memory() }
-
-// OpStats reports how often each of the paper's four insertion cases fired
-// (normal insert, leaf-node pushdown, parent pull up, intermediate node
-// creation) plus root creations — the only operation that grows the
-// overall tree height.
-func (t *Tree) OpStats() OpStats { return t.t.OpStats() }
-
-// Verify checks the tree's structural invariants — fanout and height
-// bounds, discriminative-bit monotonicity, partial-key ordering and
-// canonical encoding, leaf key order and lookup self-consistency — and
-// returns nil or a *CorruptionError describing the first violation. It
-// walks every node and resolves every stored key, so it is intended for
-// integrity audits and tests, not per-operation use.
-func (t *Tree) Verify() error { return t.t.Verify() }
 
 // ConcurrentTree is a Height Optimized Trie synchronized with the paper's
 // ROWEX protocol: reads and scans are wait-free (they never lock, block or
 // restart); writers lock only the nodes they modify and replace them
 // copy-on-write, retiring obsolete nodes through epoch-based reclamation.
 // All methods are safe for concurrent use; the loader must be too.
+//
+// The shared index surface comes from the embedded surface layer (see
+// Index); ShardedTree composes N of these trees into one write-scalable
+// index.
 type ConcurrentTree struct {
+	base
 	t *core.ConcurrentTrie
 }
 
 // NewConcurrent returns an empty ConcurrentTree resolving TIDs through
 // loader.
 func NewConcurrent(loader Loader) *ConcurrentTree {
-	return &ConcurrentTree{t: core.NewConcurrent(core.Loader(loader))}
+	t := core.NewConcurrent(core.Loader(loader))
+	return &ConcurrentTree{base: newBase(t), t: t}
 }
-
-// Insert stores tid under key, reporting false when the key already exists.
-func (t *ConcurrentTree) Insert(key []byte, tid TID) bool { return t.t.Insert(key, tid) }
-
-// Upsert stores tid under key, returning the replaced TID if one existed.
-func (t *ConcurrentTree) Upsert(key []byte, tid TID) (old TID, replaced bool) {
-	return t.t.Upsert(key, tid)
-}
-
-// Lookup returns the TID stored under key. It is wait-free.
-func (t *ConcurrentTree) Lookup(key []byte) (TID, bool) { return t.t.Lookup(key) }
-
-// LookupBatch looks up all keys as one batch (see Tree.LookupBatch). The
-// whole batch observes a single root snapshot and is wait-free like Lookup.
-// Unlike Tree.LookupBatch the returned mask is owned by the caller.
-func (t *ConcurrentTree) LookupBatch(keys [][]byte, out []TID) []bool {
-	return t.t.LookupBatch(keys, out)
-}
-
-// Delete removes key, reporting whether it was present.
-func (t *ConcurrentTree) Delete(key []byte) bool { return t.t.Delete(key) }
-
-// Scan invokes fn for up to max entries in ascending key order starting at
-// the first key ≥ start. Concurrent writers may commit before or after any
-// step of the scan (the paper's wait-free reader semantics).
-func (t *ConcurrentTree) Scan(start []byte, max int, fn func(TID) bool) int {
-	return t.t.Scan(start, max, fn)
-}
-
-// Len returns the number of stored keys.
-func (t *ConcurrentTree) Len() int { return t.t.Len() }
-
-// Height returns the overall tree height in compound nodes.
-func (t *ConcurrentTree) Height() int { return t.t.Height() }
-
-// Depths computes the leaf-depth distribution. It walks the live tree and
-// should be called in quiescent states for stable numbers.
-func (t *ConcurrentTree) Depths() DepthStats { return t.t.Depths() }
-
-// Memory computes the memory footprint and node-layout census.
-func (t *ConcurrentTree) Memory() MemoryStats { return t.t.Memory() }
 
 // ReclaimStats reports epoch reclamation counters: how many obsolete
 // copy-on-write nodes have been reclaimed and how many are pending.
 func (t *ConcurrentTree) ReclaimStats() (freed uint64, pending int64) {
 	return t.t.ReclaimStats()
 }
-
-// OpStats reports the insertion-case counters (see Tree.OpStats) plus the
-// ROWEX robustness counters: writer restarts, parked backoffs, validation
-// failures and epoch pin-slot contention.
-func (t *ConcurrentTree) OpStats() OpStats { return t.t.OpStats() }
-
-// Verify checks the tree's structural invariants (see Tree.Verify),
-// additionally asserting that no reachable node is marked obsolete. It
-// must run in a quiescent state (no concurrent writers) for reliable
-// results; concurrent readers are always safe.
-func (t *ConcurrentTree) Verify() error { return t.t.Verify() }

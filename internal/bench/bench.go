@@ -47,6 +47,13 @@ func New(name string, store *tidstore.Store) (Instance, error) {
 	return Instance{}, fmt.Errorf("bench: unknown index %q (hot|art|btree|masstree)", name)
 }
 
+// NewInstance wraps an externally constructed index (e.g. the public
+// package's sharded tree, which internal packages cannot import without a
+// cycle through the root test files) as an Instance.
+func NewInstance(name string, idx ycsb.Index, paperBytes func() int) Instance {
+	return Instance{Name: name, Idx: idx, PaperBytes: paperBytes}
+}
+
 // Data is a generated data set registered in a tuple store, ready to feed
 // a ycsb.Runner.
 type Data struct {

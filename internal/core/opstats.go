@@ -34,6 +34,22 @@ func (s OpStats) Sub(prev OpStats) OpStats {
 	}
 }
 
+// Add returns s + other counter-wise: the aggregate activity of several
+// synchronization domains (the shard layer sums its per-shard tries).
+func (s OpStats) Add(other OpStats) OpStats {
+	return OpStats{
+		Normal:          s.Normal + other.Normal,
+		Pushdown:        s.Pushdown + other.Pushdown,
+		PullUp:          s.PullUp + other.PullUp,
+		Intermediate:    s.Intermediate + other.Intermediate,
+		NewRoot:         s.NewRoot + other.NewRoot,
+		Restarts:        s.Restarts + other.Restarts,
+		Backoffs:        s.Backoffs + other.Backoffs,
+		ValidationFails: s.ValidationFails + other.ValidationFails,
+		Contended:       s.Contended + other.Contended,
+	}
+}
+
 // String formats every counter in a fixed order, so the drivers
 // (cmd/hot-ycsb, cmd/hot-chaos) and tests report uniformly.
 func (s OpStats) String() string {

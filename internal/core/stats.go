@@ -24,6 +24,52 @@ type MemoryStats struct {
 	FanoutSum int
 }
 
+// Merge folds other into s: the combined leaf-depth distribution of
+// several disjoint tries (the shard layer merges its per-shard stats).
+func (s DepthStats) Merge(other DepthStats) DepthStats {
+	if other.Leaves == 0 {
+		return s
+	}
+	if s.Leaves == 0 {
+		return other
+	}
+	out := DepthStats{
+		Leaves: s.Leaves + other.Leaves,
+		Min:    s.Min,
+		Max:    s.Max,
+		Hist:   map[int]int{},
+	}
+	if other.Min < out.Min {
+		out.Min = other.Min
+	}
+	if other.Max > out.Max {
+		out.Max = other.Max
+	}
+	for d, n := range s.Hist {
+		out.Hist[d] += n
+	}
+	for d, n := range other.Hist {
+		out.Hist[d] += n
+	}
+	out.Mean = (s.Mean*float64(s.Leaves) + other.Mean*float64(other.Leaves)) / float64(out.Leaves)
+	return out
+}
+
+// Add returns m + other field-wise: the aggregate footprint of several
+// disjoint tries (the shard layer sums its per-shard stats).
+func (m MemoryStats) Add(other MemoryStats) MemoryStats {
+	out := MemoryStats{
+		Nodes:      m.Nodes + other.Nodes,
+		PaperBytes: m.PaperBytes + other.PaperBytes,
+		GoBytes:    m.GoBytes + other.GoBytes,
+		FanoutSum:  m.FanoutSum + other.FanoutSum,
+	}
+	for i := range out.Layouts {
+		out.Layouts[i] = m.Layouts[i] + other.Layouts[i]
+	}
+	return out
+}
+
 // BytesPerKey returns the paper-layout bytes per stored key.
 func (m MemoryStats) BytesPerKey(keys int) float64 {
 	if keys == 0 {

@@ -60,6 +60,14 @@ const (
 	// KindUint64Set marks a Uint64Set snapshot: 8-byte big-endian keys
 	// whose TID equals the decoded value.
 	KindUint64Set uint16 = 3
+	// KindShardManifest marks the manifest section of a sharded snapshot:
+	// the boundary keys of the range partitioning, each entry's TID its
+	// position in the boundary table. A sharded snapshot file is one
+	// manifest section followed by one data section per shard (trailer
+	// count + 1 shards), all concatenated in the same file; each section is
+	// a complete header/blocks/trailer stream of this format, so section
+	// damage is localized exactly like block damage within a section.
+	KindShardManifest uint16 = 4
 )
 
 const (

@@ -153,7 +153,27 @@ func (sw *Writer) fail(err error) error {
 // (it must not Close it). On any error — including injected chaos faults —
 // the temp file is removed and path is left untouched, so the previous
 // snapshot, if any, remains loadable.
-func SaveFile(path string, kind uint16, write func(w *Writer) error) (err error) {
+func SaveFile(path string, kind uint16, write func(w *Writer) error) error {
+	return AtomicFile(path, func(f io.Writer) error {
+		sw, err := NewWriter(f, kind)
+		if err != nil {
+			return err
+		}
+		if err := write(sw); err != nil {
+			return err
+		}
+		return sw.Close()
+	})
+}
+
+// AtomicFile runs SaveFile's crash-safe file protocol around an arbitrary
+// stream: write receives the temp file and may emit any number of
+// complete snapshot sections (sharded snapshots multiplex a manifest plus
+// one section per shard into one file this way). The tmp-write, fsync,
+// rename and directory-fsync steps — and their chaos injection points —
+// are shared with SaveFile, so multiplexed files get the identical
+// all-or-nothing durability.
+func AtomicFile(path string, write func(w io.Writer) error) (err error) {
 	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
@@ -165,14 +185,7 @@ func SaveFile(path string, kind uint16, write func(w *Writer) error) (err error)
 			os.Remove(tmp)
 		}
 	}()
-	sw, err := NewWriter(f, kind)
-	if err != nil {
-		return err
-	}
-	if err = write(sw); err != nil {
-		return err
-	}
-	if err = sw.Close(); err != nil {
+	if err = write(f); err != nil {
 		return err
 	}
 	if chaos.Fire(chaos.SnapSync) {

@@ -1,0 +1,96 @@
+package shard
+
+import "bytes"
+
+// Source is one ordered (key, TID) stream feeding the merge: a per-shard
+// cursor whose Key must stay valid until the next Next call on the same
+// source. Range-partitioned shards produce disjoint streams, but the merge
+// does not rely on that — overlapping sources (mid-rebalance states, tests)
+// merge correctly too.
+type Source interface {
+	Valid() bool
+	Key() []byte
+	TID() uint64
+	Next()
+}
+
+// Merge is a k-way merge cursor over ordered sources: a binary min-heap on
+// the sources' current keys, with the source index as tie-break so equal
+// keys surface in shard order. For the disjoint streams of a range-sharded
+// index at most one source is ever active per key range, so the heap stays
+// tiny and each step costs O(log k) comparisons of adjacent boundary keys.
+// The zero value is ready for Reset; reusing one Merge across seeks
+// performs no heap reallocation.
+type Merge struct {
+	h []mergeEntry
+}
+
+type mergeEntry struct {
+	src Source
+	idx int // source position, the equal-key tie-break
+}
+
+// Reset discards the current merge state and rebuilds the heap from the
+// valid entries of srcs (already positioned by the caller).
+func (m *Merge) Reset(srcs []Source) {
+	m.h = m.h[:0]
+	for i, s := range srcs {
+		if s.Valid() {
+			m.h = append(m.h, mergeEntry{src: s, idx: i})
+		}
+	}
+	for i := len(m.h)/2 - 1; i >= 0; i-- {
+		m.siftDown(i)
+	}
+}
+
+// Valid reports whether the merge is positioned on an entry.
+func (m *Merge) Valid() bool { return len(m.h) > 0 }
+
+// Key returns the current entry's key. Must only be called while Valid.
+func (m *Merge) Key() []byte { return m.h[0].src.Key() }
+
+// TID returns the current entry's TID. Must only be called while Valid.
+func (m *Merge) TID() uint64 { return m.h[0].src.TID() }
+
+// Next advances the merge to the next entry in global key order.
+func (m *Merge) Next() {
+	if len(m.h) == 0 {
+		return
+	}
+	m.h[0].src.Next()
+	if !m.h[0].src.Valid() {
+		last := len(m.h) - 1
+		m.h[0] = m.h[last]
+		m.h = m.h[:last]
+	}
+	if len(m.h) > 1 {
+		m.siftDown(0)
+	}
+}
+
+// less orders heap entries by current key, then source index.
+func (m *Merge) less(a, b mergeEntry) bool {
+	if c := bytes.Compare(a.src.Key(), b.src.Key()); c != 0 {
+		return c < 0
+	}
+	return a.idx < b.idx
+}
+
+func (m *Merge) siftDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(m.h) && m.less(m.h[l], m.h[small]) {
+			small = l
+		}
+		if r < len(m.h) && m.less(m.h[r], m.h[small]) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		m.h[i], m.h[small] = m.h[small], m.h[i]
+		i = small
+	}
+}

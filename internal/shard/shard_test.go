@@ -1,0 +1,216 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func u64(v uint64) []byte {
+	k := make([]byte, 8)
+	binary.BigEndian.PutUint64(k, v)
+	return k
+}
+
+func TestBoundariesQuantiles(t *testing.T) {
+	// A uniform sample must produce n-1 roughly even, strictly ascending
+	// boundaries that never alias the sample.
+	rng := rand.New(rand.NewSource(1))
+	sample := make([][]byte, 10000)
+	for i := range sample {
+		sample[i] = u64(rng.Uint64() >> 1)
+	}
+	for _, n := range []int{2, 4, 8, 32} {
+		bounds := Boundaries(n, sample)
+		if len(bounds) != n-1 {
+			t.Fatalf("n=%d: got %d boundaries", n, len(bounds))
+		}
+		for i := 1; i < len(bounds); i++ {
+			if bytes.Compare(bounds[i-1], bounds[i]) >= 0 {
+				t.Fatalf("n=%d: boundaries not strictly ascending at %d", n, i)
+			}
+		}
+		// Route the sample: every shard should own a meaningful slice.
+		counts := make([]int, n)
+		for _, k := range sample {
+			counts[Find(bounds, k)]++
+		}
+		for s, c := range counts {
+			if c < len(sample)/(4*n) {
+				t.Fatalf("n=%d: shard %d owns only %d of %d sampled keys", n, s, c, len(sample))
+			}
+		}
+	}
+}
+
+func TestBoundariesSkewFallsBack(t *testing.T) {
+	// Fewer distinct keys than shards: quantiles are impossible, the
+	// uniform first-byte split takes over.
+	sample := [][]byte{[]byte("aaa"), []byte("aaa"), []byte("aab")}
+	bounds := Boundaries(8, sample)
+	if len(bounds) == 0 {
+		t.Fatal("no boundaries from skewed sample")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bytes.Compare(bounds[i-1], bounds[i]) >= 0 {
+			t.Fatal("fallback boundaries not ascending")
+		}
+	}
+	// Nil sample: same fallback.
+	if got := Boundaries(4, nil); len(got) != 3 {
+		t.Fatalf("nil sample: %d boundaries, want 3", len(got))
+	}
+	// n=1 needs no boundaries at all.
+	if got := Boundaries(1, sample); got != nil {
+		t.Fatalf("n=1: got %v", got)
+	}
+}
+
+func TestBoundariesDoNotAliasSample(t *testing.T) {
+	sample := make([][]byte, 64)
+	for i := range sample {
+		sample[i] = u64(uint64(i) * 1000)
+	}
+	bounds := Boundaries(4, sample)
+	for i := range sample {
+		for j := range sample[i] {
+			sample[i][j] = 0xFF // clobber the sample
+		}
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bytes.Compare(bounds[i-1], bounds[i]) >= 0 {
+			t.Fatal("boundaries alias the sample storage")
+		}
+	}
+}
+
+func TestFindAndCheckBoundaryConvention(t *testing.T) {
+	bounds := [][]byte{[]byte("b"), []byte("m"), []byte("t")}
+	cases := []struct {
+		k    string
+		want int
+	}{
+		{"", 0}, {"a", 0}, {"azzz", 0},
+		{"b", 1}, // on the boundary: higher shard
+		{"bb", 1}, {"lzz", 1},
+		{"m", 2}, {"s", 2},
+		{"t", 3}, {"zz", 3},
+	}
+	for _, c := range cases {
+		if got := Find(bounds, []byte(c.k)); got != c.want {
+			t.Fatalf("Find(%q) = %d, want %d", c.k, got, c.want)
+		}
+		for i := 0; i <= len(bounds); i++ {
+			if got := Check(bounds, i, []byte(c.k)); got != (i == c.want) {
+				t.Fatalf("Check(%d, %q) = %v, Find says %d", i, c.k, got, c.want)
+			}
+		}
+	}
+	// Find against Check must agree on random keys too.
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		k := u64(rng.Uint64() >> 1)[:1+rng.Intn(7)]
+		s := Find(bounds, k)
+		if !Check(bounds, s, k) {
+			t.Fatalf("Find(%q)=%d but Check rejects it", k, s)
+		}
+	}
+}
+
+// sliceSource adapts a sorted (key, tid) slice to the Source interface.
+type sliceSource struct {
+	keys [][]byte
+	tids []uint64
+	pos  int
+}
+
+func (s *sliceSource) Valid() bool { return s.pos < len(s.keys) }
+func (s *sliceSource) Key() []byte { return s.keys[s.pos] }
+func (s *sliceSource) TID() uint64 { return s.tids[s.pos] }
+func (s *sliceSource) Next()       { s.pos++ }
+
+func TestMergeAgainstSortOracle(t *testing.T) {
+	// Scatter random keys across k sources (sorted within each), merge,
+	// and compare with sorting the union — including duplicate keys across
+	// sources, which must surface in source order.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		nSrc := 1 + rng.Intn(6)
+		srcs := make([]Source, nSrc)
+		type pair struct {
+			key []byte
+			tid uint64
+			src int
+		}
+		var all []pair
+		for si := 0; si < nSrc; si++ {
+			n := rng.Intn(40)
+			keys := make([][]byte, n)
+			tids := make([]uint64, n)
+			for i := range keys {
+				keys[i] = u64(uint64(rng.Intn(64))) // small space: forces duplicates
+				tids[i] = uint64(si*1000 + i)
+			}
+			sort.Slice(keys, func(i, j int) bool { return bytes.Compare(keys[i], keys[j]) < 0 })
+			// Dedupe within a source (sources are strictly ascending).
+			outK, outT := keys[:0], tids[:0]
+			for i := range keys {
+				if i > 0 && bytes.Equal(keys[i-1], keys[i]) {
+					continue
+				}
+				outK = append(outK, keys[i])
+				outT = append(outT, tids[len(outK)-1])
+			}
+			srcs[si] = &sliceSource{keys: outK, tids: outT}
+			for i := range outK {
+				all = append(all, pair{outK[i], outT[i], si})
+			}
+		}
+		sort.SliceStable(all, func(i, j int) bool {
+			if c := bytes.Compare(all[i].key, all[j].key); c != 0 {
+				return c < 0
+			}
+			return all[i].src < all[j].src
+		})
+		var m Merge
+		m.Reset(srcs)
+		for i, want := range all {
+			if !m.Valid() {
+				t.Fatalf("trial %d: merge exhausted at %d of %d", trial, i, len(all))
+			}
+			if !bytes.Equal(m.Key(), want.key) || m.TID() != want.tid {
+				t.Fatalf("trial %d entry %d: got (%x, %d), want (%x, %d)",
+					trial, i, m.Key(), m.TID(), want.key, want.tid)
+			}
+			m.Next()
+		}
+		if m.Valid() {
+			t.Fatalf("trial %d: merge has extra entries", trial)
+		}
+	}
+}
+
+func TestMergeReuseAcrossResets(t *testing.T) {
+	// A Merge must be fully reusable: Reset with new sources after
+	// exhaustion, including resetting to zero sources.
+	var m Merge
+	m.Reset(nil)
+	if m.Valid() {
+		t.Fatal("empty merge claims validity")
+	}
+	for round := 0; round < 3; round++ {
+		s := &sliceSource{keys: [][]byte{[]byte("a"), []byte("b")}, tids: []uint64{1, 2}}
+		m.Reset([]Source{s})
+		var got []string
+		for m.Valid() {
+			got = append(got, string(m.Key()))
+			m.Next()
+		}
+		if fmt.Sprint(got) != "[a b]" {
+			t.Fatalf("round %d: %v", round, got)
+		}
+	}
+}

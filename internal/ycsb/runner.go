@@ -3,6 +3,8 @@ package ycsb
 import (
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -21,6 +23,16 @@ type Index interface {
 // the returned mask says which keys were found.
 type BatchIndex interface {
 	LookupBatch(keys [][]byte, out []uint64) []bool
+}
+
+// Sharded is optionally implemented by range-partitioned indexes (the
+// contract matches hot.ShardedTree): Shard routes a key to its partition
+// and Shards reports the partition count. LoadParallel uses it to give
+// every partition a dedicated writer, so concurrent loaders never contend
+// on a shared synchronization domain.
+type Sharded interface {
+	Shard(k []byte) int
+	Shards() int
 }
 
 // Result is one benchmark phase's outcome.
@@ -84,6 +96,54 @@ func (r *Runner) Load() Result {
 			panic(fmt.Sprintf("ycsb: load insert %d failed (duplicate key?)", i))
 		}
 	}
+	return Result{Ops: r.nLoad, Elapsed: time.Since(start)}
+}
+
+// LoadParallel runs the insert-only load phase from workers goroutines.
+// The index must be safe for concurrent inserts. When it is Sharded, the
+// load keys are first bucketed by shard and each bucket is driven by
+// exactly one worker at a time (workers steal whole buckets), so no two
+// goroutines ever write the same shard's synchronization domain;
+// otherwise the keys are striped across the workers. The timed region
+// includes the bucketing — routing is part of the sharded write path.
+func (r *Runner) LoadParallel(workers int) Result {
+	if workers <= 1 {
+		return r.Load()
+	}
+	start := time.Now()
+	var buckets [][]int
+	if sh, ok := r.Idx.(Sharded); ok && sh.Shards() > 1 {
+		buckets = make([][]int, sh.Shards())
+		for i := 0; i < r.nLoad; i++ {
+			s := sh.Shard(r.Keys[i])
+			buckets[s] = append(buckets[s], i)
+		}
+	} else {
+		buckets = make([][]int, workers)
+		for i := 0; i < r.nLoad; i++ {
+			buckets[i%workers] = append(buckets[i%workers], i)
+		}
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				b := int(next.Add(1)) - 1
+				if b >= len(buckets) {
+					return
+				}
+				for _, i := range buckets[b] {
+					if !r.Idx.Insert(r.Keys[i], r.TIDs[i]) {
+						panic(fmt.Sprintf("ycsb: load insert %d failed (duplicate key?)", i))
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
 	return Result{Ops: r.nLoad, Elapsed: time.Since(start)}
 }
 

@@ -18,10 +18,11 @@ import (
 // safe for concurrent use. Because the escape can double a key's length,
 // Map keys are limited to MaxMapKeyLen bytes.
 type Map struct {
-	t    *core.Trie
-	keys arena
-	vals []uint64
-	buf  []byte
+	statsBase // shared Len/Height/Memory/Verify surface (key arena not included in Memory)
+	t         *core.Trie
+	keys      arena
+	vals      []uint64
+	buf       []byte
 
 	// LookupBatch scratch: escaped keys back to back in bflat, delimited
 	// by boffs, resliced into bkeys; btids receives the trie's TIDs.
@@ -59,6 +60,7 @@ const MaxMapKeyLen = (MaxKeyLen - 2) / 2
 func NewMap() *Map {
 	m := &Map{vals: make([]uint64, 0, 16), buf: make([]byte, 0, 64)}
 	m.t = core.New(func(tid core.TID, _ []byte) []byte { return m.keys.key(tid) })
+	m.statsBase = statsBase{m.t}
 	return m
 }
 
@@ -149,9 +151,6 @@ func (m *Map) Delete(key []byte) bool {
 	return m.t.Delete(ek)
 }
 
-// Len returns the number of stored keys.
-func (m *Map) Len() int { return m.t.Len() }
-
 // Range invokes fn for up to max entries with key ≥ start in ascending key
 // order (nil start ranges from the smallest key; max < 0 means unbounded).
 // The key slice passed to fn is only valid during the call; fn must not
@@ -187,14 +186,3 @@ func unescapeKey(dst, ek []byte) []byte {
 	}
 	return dst
 }
-
-// Height returns the underlying trie's height.
-func (m *Map) Height() int { return m.t.Height() }
-
-// Verify checks the underlying trie's structural invariants (see
-// Tree.Verify), returning nil or a *CorruptionError.
-func (m *Map) Verify() error { return m.t.Verify() }
-
-// Memory returns the underlying trie's memory statistics (key arena not
-// included).
-func (m *Map) Memory() MemoryStats { return m.t.Memory() }

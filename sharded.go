@@ -1,0 +1,449 @@
+package hot
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/hotindex/hot/internal/core"
+	"github.com/hotindex/hot/internal/shard"
+	"github.com/hotindex/hot/internal/tidstore"
+)
+
+// ShardedTree is a range-partitioned Height Optimized Trie: the key space
+// is split at N-1 boundary keys into N shards, each a full ROWEX-
+// synchronized concurrent trie with its own writer locks and its own epoch
+// reclamation domain. Writers to different shards share no synchronization
+// state at all — no common locks, no common epoch slots, no common
+// counters — so insert/update/delete throughput scales with the number of
+// concurrently written shards instead of flattening against one tree's
+// synchronization domain. Readers are wait-free exactly as on
+// ConcurrentTree.
+//
+// The tree satisfies the same unified Index surface as Tree and
+// ConcurrentTree: point operations route to the owning shard, LookupBatch
+// buckets the batch per shard and runs the memory-level-parallel kernel
+// per bucket, ordered scans and cursors merge the per-shard streams back
+// into one globally ordered stream, and the statistics and Verify methods
+// aggregate across shards. Snapshots multiplex all shards into one
+// crash-safe file (see Snapshot and LoadShardedTreeFile).
+//
+// Boundaries are fixed at construction from a sampled key table; a key
+// equal to a boundary routes to the shard above it.
+type ShardedTree struct {
+	loader Loader
+	shards []*core.ConcurrentTrie
+	bounds [][]byte // len(shards)-1 ascending boundary keys
+}
+
+// NewShardedTree returns an empty sharded tree over at most shards range
+// partitions, with boundaries chosen from the quantiles of the sample key
+// table (callers typically pass the keys they are about to load, or any
+// representative subset; the sample is strided down internally, so passing
+// millions of keys is fine). A nil or too-small sample falls back to a
+// uniform split of the first key byte; heavily skewed samples may yield
+// fewer than shards partitions (see Shards). The loader must be safe for
+// concurrent use.
+func NewShardedTree(loader Loader, shards int, sample [][]byte) *ShardedTree {
+	if loader == nil {
+		panic("hot: nil Loader")
+	}
+	if shards < 1 {
+		panic("hot: shard count must be >= 1")
+	}
+	return newShardedFromBounds(loader, shard.Boundaries(shards, sample))
+}
+
+// newShardedFromBounds builds the shard set for an explicit boundary
+// table, the constructor the snapshot loaders use.
+func newShardedFromBounds(loader Loader, bounds [][]byte) *ShardedTree {
+	t := &ShardedTree{loader: loader, bounds: bounds}
+	t.shards = make([]*core.ConcurrentTrie, len(bounds)+1)
+	for i := range t.shards {
+		t.shards[i] = core.NewConcurrent(core.Loader(loader))
+	}
+	return t
+}
+
+// Shards returns the number of range partitions.
+func (t *ShardedTree) Shards() int { return len(t.shards) }
+
+// Shard returns the index of the shard owning key: the number of boundary
+// keys ≤ key. Load drivers use it to give every shard a dedicated writer.
+func (t *ShardedTree) Shard(key []byte) int { return shard.Find(t.bounds, key) }
+
+// ShardLen returns the number of keys stored in shard i.
+func (t *ShardedTree) ShardLen(i int) int { return t.shards[i].Len() }
+
+// Boundaries returns a copy of the boundary key table: boundary i is the
+// inclusive lower bound of shard i+1.
+func (t *ShardedTree) Boundaries() [][]byte {
+	out := make([][]byte, len(t.bounds))
+	for i, b := range t.bounds {
+		out[i] = append([]byte(nil), b...)
+	}
+	return out
+}
+
+// Insert stores tid under key in the owning shard, reporting false when
+// the key already exists.
+func (t *ShardedTree) Insert(key []byte, tid TID) bool {
+	return t.shards[shard.Find(t.bounds, key)].Insert(key, tid)
+}
+
+// Upsert stores tid under key in the owning shard, returning the replaced
+// TID if one existed.
+func (t *ShardedTree) Upsert(key []byte, tid TID) (old TID, replaced bool) {
+	return t.shards[shard.Find(t.bounds, key)].Upsert(key, tid)
+}
+
+// Lookup returns the TID stored under key. It is wait-free.
+func (t *ShardedTree) Lookup(key []byte) (TID, bool) {
+	return t.shards[shard.Find(t.bounds, key)].Lookup(key)
+}
+
+// Delete removes key from the owning shard, reporting whether it was
+// present.
+func (t *ShardedTree) Delete(key []byte) bool {
+	return t.shards[shard.Find(t.bounds, key)].Delete(key)
+}
+
+// LookupBatch looks up all keys as one batch (see Tree.LookupBatch): the
+// batch is bucketed per shard and each bucket runs the memory-level-
+// parallel descent kernel against its shard, so the cache misses of the
+// independent descents overlap within every bucket. Each bucket observes a
+// single root snapshot of its shard and is wait-free like Lookup. The
+// returned mask is owned by the caller.
+func (t *ShardedTree) LookupBatch(keys [][]byte, out []TID) []bool {
+	n := len(keys)
+	if len(out) < n {
+		panic("hot: LookupBatch out slice shorter than keys")
+	}
+	if len(t.shards) == 1 {
+		return t.shards[0].LookupBatch(keys, out)
+	}
+	// Bucket by shard: counting sort of the key indices, preserving the
+	// original order within every bucket.
+	sel := make([]int, n)
+	off := make([]int, len(t.shards)+1)
+	for i, k := range keys {
+		s := shard.Find(t.bounds, k)
+		sel[i] = s
+		off[s+1]++
+	}
+	for s := 0; s < len(t.shards); s++ {
+		off[s+1] += off[s]
+	}
+	order := make([]int, n)
+	pos := append([]int(nil), off[:len(t.shards)]...)
+	for i, s := range sel {
+		order[pos[s]] = i
+		pos[s]++
+	}
+	bkeys := make([][]byte, n)
+	bout := make([]TID, n)
+	for j, oi := range order {
+		bkeys[j] = keys[oi]
+	}
+	found := make([]bool, n)
+	for s := 0; s < len(t.shards); s++ {
+		lo, hi := off[s], off[s+1]
+		if lo == hi {
+			continue
+		}
+		bfound := t.shards[s].LookupBatch(bkeys[lo:hi], bout[lo:hi])
+		for j := lo; j < hi; j++ {
+			oi := order[j]
+			out[oi] = bout[j]
+			found[oi] = bfound[j-lo]
+		}
+	}
+	return found
+}
+
+// Scan invokes fn for up to max entries in ascending key order across all
+// shards, starting at the first key ≥ start. The per-shard streams are
+// k-way merged, so the output is byte-identical to a single tree holding
+// the union of the shards; concurrent writers may commit before or after
+// any step (wait-free reader semantics per shard).
+func (t *ShardedTree) Scan(start []byte, max int, fn func(TID) bool) int {
+	if max <= 0 {
+		return 0
+	}
+	var c ShardedCursor
+	t.SeekCursor(&c, start)
+	n := 0
+	for c.Valid() && n < max {
+		n++
+		if !fn(c.TID()) {
+			break
+		}
+		c.Next()
+	}
+	return n
+}
+
+// Len returns the total number of stored keys across all shards.
+func (t *ShardedTree) Len() int {
+	n := 0
+	for _, s := range t.shards {
+		n += s.Len()
+	}
+	return n
+}
+
+// Height returns the maximum shard height in compound nodes.
+func (t *ShardedTree) Height() int {
+	h := 0
+	for _, s := range t.shards {
+		if sh := s.Height(); sh > h {
+			h = sh
+		}
+	}
+	return h
+}
+
+// Depths computes the leaf-depth distribution merged across all shards.
+func (t *ShardedTree) Depths() DepthStats {
+	var d DepthStats
+	for _, s := range t.shards {
+		d = d.Merge(s.Depths())
+	}
+	return d
+}
+
+// Memory computes the aggregate memory footprint and node-layout census of
+// all shards (the boundary table is negligible and not counted).
+func (t *ShardedTree) Memory() MemoryStats {
+	var m MemoryStats
+	for _, s := range t.shards {
+		m = m.Add(s.Memory())
+	}
+	return m
+}
+
+// OpStats returns the insertion-case and ROWEX robustness counters summed
+// across all shards.
+func (t *ShardedTree) OpStats() OpStats {
+	var o OpStats
+	for _, s := range t.shards {
+		o = o.Add(s.OpStats())
+	}
+	return o
+}
+
+// ReclaimStats reports the epoch reclamation counters summed across all
+// shard domains.
+func (t *ShardedTree) ReclaimStats() (freed uint64, pending int64) {
+	for _, s := range t.shards {
+		f, p := s.ReclaimStats()
+		freed += f
+		pending += p
+	}
+	return freed, pending
+}
+
+// Verify checks every shard's structural invariants (see Tree.Verify) and
+// the shard layer's own invariant: every key stored in a shard lies inside
+// the shard's boundary range. Errors are wrapped with the offending shard
+// index; the underlying *CorruptionError remains available via errors.As.
+// Like ConcurrentTree.Verify it must run in a quiescent state.
+func (t *ShardedTree) Verify() error {
+	for i, s := range t.shards {
+		if err := s.Verify(); err != nil {
+			return fmt.Errorf("hot: shard %d: %w", i, err)
+		}
+		var bad error
+		s.SnapshotWalk(func(k []byte, tid TID) bool {
+			if !shard.Check(t.bounds, i, k) {
+				bad = fmt.Errorf("hot: shard %d: key %q outside shard range", i, k)
+				return false
+			}
+			return true
+		})
+		if bad != nil {
+			return bad
+		}
+	}
+	return nil
+}
+
+// ---- cursors ----
+
+// shardSource adapts one shard's iterator into a keyed merge source: it
+// resolves the current TID's key through the loader into a per-source
+// scratch buffer, so the merge can compare the heads of all shards.
+type shardSource struct {
+	loader Loader
+	it     core.Iterator
+	buf    []byte
+	key    []byte
+}
+
+func (s *shardSource) Valid() bool { return s.it.Valid() }
+func (s *shardSource) Key() []byte { return s.key }
+func (s *shardSource) TID() uint64 { return s.it.TID() }
+func (s *shardSource) Next() {
+	s.it.Next()
+	s.resolve()
+}
+
+func (s *shardSource) resolve() {
+	if s.it.Valid() {
+		if s.buf == nil {
+			s.buf = make([]byte, 0, 64)
+		}
+		s.key = s.loader(s.it.TID(), s.buf[:0])
+	}
+}
+
+// ShardedCursor iterates a ShardedTree's entries in ascending key order
+// across all shards, the pull-based counterpart of ShardedTree.Scan: a
+// k-way merge of the per-shard cursors. Like ConcurrentTree's cursor it
+// stays usable while other goroutines modify the tree, observing each node
+// atomically. Obtain one with ShardedTree.Iter or reposition one with
+// ShardedTree.SeekCursor.
+type ShardedCursor struct {
+	srcs []shardSource
+	refs []shard.Source
+	m    shard.Merge
+}
+
+// Valid reports whether the cursor is positioned on an entry.
+func (c *ShardedCursor) Valid() bool { return c.m.Valid() }
+
+// TID returns the entry under the cursor. It must only be called while
+// Valid reports true.
+func (c *ShardedCursor) TID() TID { return c.m.TID() }
+
+// Key returns the key under the cursor, resolved through the loader. The
+// slice is only valid until the next Next or SeekCursor call. It must only
+// be called while Valid reports true.
+func (c *ShardedCursor) Key() []byte { return c.m.Key() }
+
+// Next advances to the next entry in global key order.
+func (c *ShardedCursor) Next() { c.m.Next() }
+
+// Iter returns a cursor positioned at the first key ≥ start (nil start:
+// the smallest key across all shards).
+func (t *ShardedTree) Iter(start []byte) *ShardedCursor {
+	c := &ShardedCursor{}
+	t.SeekCursor(c, start)
+	return c
+}
+
+// SeekCursor repositions c at the first key ≥ start, reusing the cursor's
+// per-shard source storage. The cursor may be zero-valued or previously
+// exhausted. Shards whose whole range sorts below start are skipped
+// outright; the shard owning start is seeked at start and every higher
+// shard at its own lower bound, which together yield exactly the global
+// ascending stream of keys ≥ start — including a start equal to a shard
+// boundary, which lands on the owning (higher) shard's first key.
+func (t *ShardedTree) SeekCursor(c *ShardedCursor, start []byte) {
+	if cap(c.srcs) < len(t.shards) {
+		c.srcs = make([]shardSource, len(t.shards))
+	}
+	c.srcs = c.srcs[:len(t.shards)]
+	first := 0
+	if start != nil {
+		first = shard.Find(t.bounds, start)
+	}
+	c.refs = c.refs[:0]
+	for i := first; i < len(t.shards); i++ {
+		s := &c.srcs[i]
+		s.loader = t.loader
+		var from []byte
+		if i == first {
+			from = start
+		}
+		s.it = t.shards[i].Iter(from)
+		s.resolve()
+		if s.Valid() {
+			c.refs = append(c.refs, s)
+		}
+	}
+	c.m.Reset(c.refs)
+}
+
+// ---- ShardedUint64Set ----
+
+// ShardedUint64Set is an ordered set of 63-bit integers range-partitioned
+// across independent ROWEX shard domains — Uint64Set's write-scaling
+// variant, built on ShardedTree with the paper's embedded-key
+// optimization (the 8-byte big-endian key is the TID). All methods are
+// safe for concurrent use.
+type ShardedUint64Set struct {
+	t *ShardedTree
+}
+
+// NewShardedUint64Set returns an empty sharded integer set over at most
+// shards range partitions, with boundaries sampled from the values in
+// sample (see NewShardedTree).
+func NewShardedUint64Set(shards int, sample []uint64) *ShardedUint64Set {
+	skeys := make([][]byte, len(sample))
+	flat := make([]byte, 8*len(sample))
+	for i, v := range sample {
+		binary.BigEndian.PutUint64(flat[8*i:], v)
+		skeys[i] = flat[8*i : 8*i+8]
+	}
+	return &ShardedUint64Set{t: NewShardedTree(tidstore.Uint64Key, shards, skeys)}
+}
+
+// Insert adds v (< 2^63), reporting false if already present.
+func (s *ShardedUint64Set) Insert(v uint64) bool {
+	var b [8]byte
+	return s.t.Insert(u64key(v, &b), v)
+}
+
+// Contains reports whether v is in the set. It is wait-free.
+func (s *ShardedUint64Set) Contains(v uint64) bool {
+	var b [8]byte
+	_, ok := s.t.Lookup(u64key(v, &b))
+	return ok
+}
+
+// LookupBatch reports membership of all values as one batch, bucketed per
+// shard (see ShardedTree.LookupBatch). The returned mask is owned by the
+// caller.
+func (s *ShardedUint64Set) LookupBatch(vs []uint64) []bool {
+	n := len(vs)
+	flat := make([]byte, 8*n)
+	keys := make([][]byte, n)
+	tids := make([]uint64, n)
+	for i, v := range vs {
+		binary.BigEndian.PutUint64(flat[8*i:], v)
+		keys[i] = flat[8*i : 8*i+8]
+	}
+	return s.t.LookupBatch(keys, tids)
+}
+
+// Delete removes v, reporting whether it was present.
+func (s *ShardedUint64Set) Delete(v uint64) bool {
+	var b [8]byte
+	return s.t.Delete(u64key(v, &b))
+}
+
+// Len returns the set's cardinality across all shards.
+func (s *ShardedUint64Set) Len() int { return s.t.Len() }
+
+// Shards returns the number of range partitions.
+func (s *ShardedUint64Set) Shards() int { return s.t.Shards() }
+
+// Ascend invokes fn for up to max values ≥ from in ascending order across
+// all shards (max < 0 means unbounded).
+func (s *ShardedUint64Set) Ascend(from uint64, max int, fn func(uint64) bool) int {
+	var b [8]byte
+	if max < 0 {
+		max = s.t.Len()
+	}
+	return s.t.Scan(u64key(from, &b), max, fn)
+}
+
+// Height returns the maximum shard height.
+func (s *ShardedUint64Set) Height() int { return s.t.Height() }
+
+// Memory computes the aggregate memory statistics of all shards.
+func (s *ShardedUint64Set) Memory() MemoryStats { return s.t.Memory() }
+
+// Verify checks every shard's structural invariants and the shard-range
+// invariant (see ShardedTree.Verify); it must run in a quiescent state.
+func (s *ShardedUint64Set) Verify() error { return s.t.Verify() }

@@ -1,0 +1,277 @@
+package hot
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/hotindex/hot/internal/persist"
+	"github.com/hotindex/hot/internal/shard"
+	"github.com/hotindex/hot/internal/tidstore"
+)
+
+// Sharded snapshot persistence: a ShardedTree multiplexes its whole state
+// into ONE crash-safe file — a manifest section holding the boundary key
+// table (kind KindShardManifest, entry i's TID is its boundary position)
+// followed by one complete snapshot section per shard, each a full
+// header/blocks/trailer stream of the internal/persist format. Sections
+// carry their own checksums, so damage is localized to the section it
+// hits: the Recover loaders rebuild every shard before the first damaged
+// byte and report exactly what was lost. SnapshotFile uses the same
+// tmp+fsync+rename protocol as every other SaveFile in this package, so a
+// crash mid-save never clobbers the previous snapshot.
+
+// writeSections streams the manifest plus one data section per shard.
+func (t *ShardedTree) writeSections(w io.Writer, kind uint16) error {
+	mw, err := persist.NewWriter(w, persist.KindShardManifest)
+	if err != nil {
+		return err
+	}
+	for i, b := range t.bounds {
+		if err := mw.WriteEntry(b, uint64(i)); err != nil {
+			return err
+		}
+	}
+	if err := mw.Close(); err != nil {
+		return err
+	}
+	for i := range t.shards {
+		sw, err := persist.NewWriter(w, kind)
+		if err != nil {
+			return err
+		}
+		if err := writeWalk(sw, t.shards[i].SnapshotWalk); err != nil {
+			return err
+		}
+		if err := sw.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Snapshot writes a point-in-time snapshot of the live sharded tree to w
+// without blocking concurrent writers: each shard section pins its shard's
+// root under an epoch guard exactly like ConcurrentTree.Snapshot. The
+// sections are taken one after another, so the file is per-shard
+// consistent; entries committed while the snapshot streams may or may not
+// be included (wait-free reader semantics).
+func (t *ShardedTree) Snapshot(w io.Writer) error {
+	return t.writeSections(w, persist.KindTree)
+}
+
+// SnapshotFile atomically writes a point-in-time snapshot of the live
+// sharded tree to path: manifest and all shard sections stream to
+// path+".tmp", which is fsynced, renamed over path, and the directory is
+// fsynced. On any error path is left untouched.
+func (t *ShardedTree) SnapshotFile(path string) error {
+	return persist.AtomicFile(path, func(w io.Writer) error {
+		return t.writeSections(w, persist.KindTree)
+	})
+}
+
+// loadShardEntry inserts one snapshot entry into shard i, converting
+// misrouted keys (a key whose bytes belong to a different shard's range —
+// a manifest/section mismatch) and non-prefix-free keys into typed
+// corruption errors.
+func (t *ShardedTree) loadShardEntry(i int, key []byte, tid TID) error {
+	if !shard.Check(t.bounds, i, key) {
+		return &SnapshotError{Kind: persist.ErrCorrupt,
+			Detail: fmt.Sprintf("key %q belongs to shard %d but was stored in shard section %d",
+				key, shard.Find(t.bounds, key), i)}
+	}
+	if !t.shards[i].Insert(key, tid) {
+		return &SnapshotError{Kind: persist.ErrCorrupt,
+			Detail: fmt.Sprintf("key %q not prefix-free under zero-padding", key)}
+	}
+	return nil
+}
+
+// countingReader tracks the absolute byte offset of a sequential read so
+// per-section damage offsets can be reported as absolute file offsets.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// absolutize rebases a section-relative *FormatError offset to the
+// absolute file offset of the section at base.
+func absolutize(err error, base int64) {
+	var fe *persist.FormatError
+	if errors.As(err, &fe) {
+		fe.Offset += base
+	}
+}
+
+// readSharded parses one multiplexed sharded snapshot: the manifest, then
+// one kind-section per shard, entries validated by check (may be nil) and
+// routed into the shard whose section delivered them. In salvage mode a
+// damaged or corrupt section stops the load and returns the tree built
+// from everything before the damage (later shards stay empty), with the
+// report describing the loss; in strict mode any damage is an error. A
+// damaged manifest is always an error — without the boundary table there
+// is no tree to build.
+func readSharded(r io.Reader, kind uint16, loader Loader, check func(key []byte, tid TID) error, salvage bool) (*ShardedTree, RecoveryReport, error) {
+	cr := &countingReader{r: r}
+	var rep RecoveryReport
+	var bounds [][]byte
+	_, err := persist.Read(cr, persist.KindShardManifest, func(key []byte, tid TID) error {
+		if tid != uint64(len(bounds)) {
+			return &SnapshotError{Kind: persist.ErrCorrupt,
+				Detail: fmt.Sprintf("manifest boundary %d carries TID %d", len(bounds), tid)}
+		}
+		bounds = append(bounds, append([]byte(nil), key...))
+		return nil
+	})
+	if err != nil {
+		errors.As(err, &rep.Damage)
+		return nil, rep, err
+	}
+	t := newShardedFromBounds(loader, bounds)
+	for i := range t.shards {
+		base := cr.n
+		n, err := persist.Read(cr, kind, func(key []byte, tid TID) error {
+			if check != nil {
+				if cerr := check(key, tid); cerr != nil {
+					return cerr
+				}
+			}
+			return t.loadShardEntry(i, key, tid)
+		})
+		rep.Entries += n
+		if err != nil {
+			absolutize(err, base)
+			errors.As(err, &rep.Damage)
+			if salvage {
+				return t, rep, nil
+			}
+			return nil, rep, err
+		}
+	}
+	rep.Complete = true
+	return t, rep, nil
+}
+
+// LoadShardedTree rebuilds a ShardedTree from a sharded snapshot,
+// restoring the original shard boundaries, validating checksums, key
+// order, per-shard key routing and prefix-freeness as it streams, and
+// returning a typed *SnapshotError (with the absolute byte offset of the
+// damage) on any corruption. The loader must resolve every TID stored in
+// the snapshot, exactly as it did when the snapshot was saved.
+func LoadShardedTree(r io.Reader, loader Loader) (*ShardedTree, error) {
+	if loader == nil {
+		panic("hot: nil Loader")
+	}
+	t, _, err := readSharded(r, persist.KindTree, loader, nil, false)
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// LoadShardedTreeFile is LoadShardedTree over the file at path.
+func LoadShardedTreeFile(path string, loader Loader) (*ShardedTree, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadShardedTree(f, loader)
+}
+
+// RecoverShardedTreeFile rebuilds a ShardedTree from the longest valid
+// prefix of a possibly damaged sharded snapshot: every shard section
+// before the first damage is restored completely, the damaged section
+// contributes its valid block prefix, and later shards are left empty.
+// The report says how much was salvaged and what damage stopped the read;
+// the error is non-nil only when nothing could be loaded at all (an
+// unreadable file or manifest).
+func RecoverShardedTreeFile(path string, loader Loader) (*ShardedTree, RecoveryReport, error) {
+	if loader == nil {
+		panic("hot: nil Loader")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, RecoveryReport{}, err
+	}
+	defer f.Close()
+	return readSharded(f, persist.KindTree, loader, nil, true)
+}
+
+// ---- ShardedUint64Set ----
+
+// checkSetEntry validates the embedded-key convention for sharded set
+// sections: the 8-byte big-endian key must decode to exactly the stored
+// TID.
+func checkSetEntry(key []byte, tid TID) error {
+	if len(key) != 8 {
+		return &SnapshotError{Kind: persist.ErrCorrupt,
+			Detail: fmt.Sprintf("set key length %d, want 8", len(key))}
+	}
+	var v uint64
+	for _, b := range key {
+		v = v<<8 | uint64(b)
+	}
+	if v != tid {
+		return &SnapshotError{Kind: persist.ErrCorrupt,
+			Detail: fmt.Sprintf("set key decodes to %d, TID is %d", v, tid)}
+	}
+	return nil
+}
+
+// Snapshot writes a point-in-time snapshot of the live sharded set to w
+// without blocking concurrent writers (see ShardedTree.Snapshot).
+func (s *ShardedUint64Set) Snapshot(w io.Writer) error {
+	return s.t.writeSections(w, persist.KindUint64Set)
+}
+
+// SnapshotFile atomically writes a point-in-time snapshot of the live
+// sharded set to path (see ShardedTree.SnapshotFile).
+func (s *ShardedUint64Set) SnapshotFile(path string) error {
+	return persist.AtomicFile(path, func(w io.Writer) error {
+		return s.t.writeSections(w, persist.KindUint64Set)
+	})
+}
+
+// LoadShardedUint64Set rebuilds a ShardedUint64Set from a sharded
+// snapshot, returning a typed *SnapshotError on any corruption.
+func LoadShardedUint64Set(r io.Reader) (*ShardedUint64Set, error) {
+	t, _, err := readSharded(r, persist.KindUint64Set, tidstore.Uint64Key, checkSetEntry, false)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedUint64Set{t: t}, nil
+}
+
+// LoadShardedUint64SetFile is LoadShardedUint64Set over the file at path.
+func LoadShardedUint64SetFile(path string) (*ShardedUint64Set, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadShardedUint64Set(f)
+}
+
+// RecoverShardedUint64SetFile rebuilds a ShardedUint64Set from the longest
+// valid prefix of a possibly damaged sharded snapshot (see
+// RecoverShardedTreeFile).
+func RecoverShardedUint64SetFile(path string) (*ShardedUint64Set, RecoveryReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, RecoveryReport{}, err
+	}
+	defer f.Close()
+	t, rep, err := readSharded(f, persist.KindUint64Set, tidstore.Uint64Key, checkSetEntry, true)
+	if err != nil {
+		return nil, rep, err
+	}
+	return &ShardedUint64Set{t: t}, rep, nil
+}

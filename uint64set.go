@@ -13,8 +13,9 @@ import (
 // so the set needs no tuple store at all. Not safe for concurrent use; see
 // ConcurrentUint64Set.
 type Uint64Set struct {
-	t   *core.Trie
-	buf [8]byte
+	statsBase // shared Len/Height/Memory/Verify surface
+	t         *core.Trie
+	buf       [8]byte
 
 	// LookupBatch scratch: big-endian encodings back to back in bflat,
 	// resliced into bkeys; btids receives the trie's TIDs.
@@ -25,7 +26,8 @@ type Uint64Set struct {
 
 // NewUint64Set returns an empty integer set.
 func NewUint64Set() *Uint64Set {
-	return &Uint64Set{t: core.New(tidstore.Uint64Key)}
+	t := core.New(tidstore.Uint64Key)
+	return &Uint64Set{statsBase: statsBase{t}, t: t}
 }
 
 func (s *Uint64Set) key(v uint64) []byte {
@@ -68,9 +70,6 @@ func (s *Uint64Set) LookupBatch(vs []uint64) []bool {
 // Delete removes v, reporting whether it was present.
 func (s *Uint64Set) Delete(v uint64) bool { return s.t.Delete(s.key(v)) }
 
-// Len returns the set's cardinality.
-func (s *Uint64Set) Len() int { return s.t.Len() }
-
 // Ascend invokes fn for up to max values ≥ from in ascending order,
 // returning the number visited (max < 0 means unbounded).
 func (s *Uint64Set) Ascend(from uint64, max int, fn func(uint64) bool) int {
@@ -91,25 +90,17 @@ func (s *Uint64Set) Min() (uint64, bool) {
 	return v, found
 }
 
-// Height returns the underlying trie height.
-func (s *Uint64Set) Height() int { return s.t.Height() }
-
-// Verify checks the underlying trie's structural invariants (see
-// Tree.Verify), returning nil or a *CorruptionError.
-func (s *Uint64Set) Verify() error { return s.t.Verify() }
-
-// Memory returns the underlying trie's memory statistics.
-func (s *Uint64Set) Memory() MemoryStats { return s.t.Memory() }
-
 // ConcurrentUint64Set is Uint64Set over the ROWEX-synchronized trie; all
 // methods are safe for concurrent use.
 type ConcurrentUint64Set struct {
-	t *core.ConcurrentTrie
+	statsBase // shared Len/Height/Memory/Verify surface
+	t         *core.ConcurrentTrie
 }
 
 // NewConcurrentUint64Set returns an empty concurrent integer set.
 func NewConcurrentUint64Set() *ConcurrentUint64Set {
-	return &ConcurrentUint64Set{t: core.NewConcurrent(tidstore.Uint64Key)}
+	t := core.NewConcurrent(tidstore.Uint64Key)
+	return &ConcurrentUint64Set{statsBase: statsBase{t}, t: t}
 }
 
 func u64key(v uint64, buf *[8]byte) []byte {
@@ -151,9 +142,6 @@ func (s *ConcurrentUint64Set) Delete(v uint64) bool {
 	return s.t.Delete(u64key(v, &b))
 }
 
-// Len returns the set's cardinality.
-func (s *ConcurrentUint64Set) Len() int { return s.t.Len() }
-
 // Ascend invokes fn for up to max values ≥ from in ascending order.
 func (s *ConcurrentUint64Set) Ascend(from uint64, max int, fn func(uint64) bool) int {
 	var b [8]byte
@@ -162,7 +150,3 @@ func (s *ConcurrentUint64Set) Ascend(from uint64, max int, fn func(uint64) bool)
 	}
 	return s.t.Scan(u64key(from, &b), max, fn)
 }
-
-// Verify checks the underlying trie's structural invariants (see
-// ConcurrentTree.Verify); it must run in a quiescent state.
-func (s *ConcurrentUint64Set) Verify() error { return s.t.Verify() }
