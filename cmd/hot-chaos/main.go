@@ -12,6 +12,10 @@
 // the injections, and between rounds each shard is verified individually
 // (structural invariants plus shard-range containment) while the
 // aggregate Len is checked against a full cross-shard merged scan oracle.
+// Sharded runs additionally route half of the mutations through the
+// asynchronous submission-queue path (UpsertAsync/DeleteAsync) with the
+// queue-push and writer-handoff fault points armed, and Flush the queues
+// before each round's verification.
 //
 //	hot-chaos -seed 1 -ops 100000          # acceptance run
 //	hot-chaos -shards 8                    # sharded writer path
@@ -73,6 +77,8 @@ func main() {
 		reg.On(chaos.RowexBeforeUnlock, *prob, chaos.Yield(1))
 		reg.On(chaos.EpochEnter, *prob, chaos.Yield(1))
 		reg.On(chaos.EpochAdvance, *prob, chaos.Sleep(50*time.Microsecond))
+		reg.On(chaos.ShardQueuePush, *prob, chaos.Yield(2))
+		reg.On(chaos.ShardWriterHandoff, *prob, chaos.Yield(2))
 		reg.Arm()
 		defer chaos.Disarm()
 	}
@@ -89,6 +95,9 @@ func main() {
 	perRound := *ops / *rounds
 	for r := 0; r < *rounds; r++ {
 		runRound(tr, store, keys, *workers, perRound, *seed+int64(r)*997, &scanFaults)
+		if ai, ok := tr.(asyncIndex); ok {
+			ai.Flush() // drain the submission queues before verification
+		}
 		// All workers joined: the trie is quiescent and must verify clean.
 		// On a sharded tree Verify covers every shard's structural
 		// invariants plus shard-range containment of every stored key.
@@ -139,6 +148,14 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("OK: zero corruption errors")
+}
+
+// asyncIndex is the submission-queue surface; only hot.ShardedTree
+// provides it, so single-tree runs stay all-synchronous.
+type asyncIndex interface {
+	UpsertAsync(k []byte, tid hot.TID)
+	DeleteAsync(k []byte)
+	Flush() (applied, rejected uint64)
 }
 
 // index is the surface the chaos driver needs; hot.ConcurrentTree and
@@ -210,10 +227,14 @@ func genKeys(n int, seed int64) (*tidstore.Store, [][]byte) {
 
 // runRound fires ops operations at the trie from workers goroutines: a
 // 45/25/20/10 mix of upserts, deletes, lookups and bounded ordered scans.
-// Scans double as wait-free-reader integrity probes: observed keys must be
-// strictly ascending.
+// On a sharded tree half the mutations go through the async submission
+// queues; upserts always write the key's canonical TID, so sync/async
+// reorderings never change a stored value and the lookup probe stays
+// valid. Scans double as wait-free-reader integrity probes: observed keys
+// must be strictly ascending.
 func runRound(tr index, store *tidstore.Store, keys [][]byte,
 	workers, ops int, seed int64, scanFaults *atomic.Uint64) {
+	ai, _ := tr.(asyncIndex)
 	var wg sync.WaitGroup
 	perWorker := ops / workers
 	if perWorker == 0 {
@@ -229,8 +250,12 @@ func runRound(tr index, store *tidstore.Store, keys [][]byte,
 				ki := rng.Intn(len(keys))
 				k := keys[ki]
 				switch c := rng.Intn(100); {
+				case c < 22 && ai != nil:
+					ai.UpsertAsync(k, hot.TID(ki))
 				case c < 45:
 					tr.Upsert(k, hot.TID(ki))
+				case c < 58 && ai != nil:
+					ai.DeleteAsync(k)
 				case c < 70:
 					tr.Delete(k)
 				case c < 90:

@@ -34,6 +34,7 @@ type record struct {
 	Batch    int     `json:"batch"`
 	Shards   int     `json:"shards"`
 	Threads  int     `json:"threads"`
+	Async    int     `json:"async"`
 	Mops     float64 `json:"mops"`
 	Misses   int     `json:"misses"`
 }
@@ -51,7 +52,8 @@ func main() {
 		opstats   = flag.Bool("opstats", false, "print insertion-case and robustness counters after each configuration")
 		batch     = flag.String("batch", "0", "comma list of read batch sizes routed through LookupBatch (0 = scalar lookups)")
 		shards    = flag.String("shards", "0", "comma list of shard counts for the range-partitioned hot index (0 = unsharded; other indexes skip sharded configs)")
-		threads   = flag.Int("threads", 0, "load-phase writer goroutines for sharded configs (0 = one per shard)")
+		threads   = flag.Int("threads", 0, "client goroutines for sharded configs, load and transaction phases (0 = one per shard)")
+		async     = flag.String("async", "0", "comma list of 0/1: route writes through the sharded tree's submission-queue path (1 requires a sharded hot config)")
 		jsonPath  = flag.String("json", "", "additionally write results as a JSON array to this file")
 		seed      = flag.Int64("seed", 2018, "data/workload seed")
 	)
@@ -69,16 +71,39 @@ func main() {
 		die(err)
 		shardCounts = append(shardCounts, v)
 	}
+	var asyncModes []bool
+	for _, a := range split(*async) {
+		switch a {
+		case "0":
+			asyncModes = append(asyncModes, false)
+		case "1":
+			asyncModes = append(asyncModes, true)
+		default:
+			die(fmt.Errorf("-async accepts a comma list of 0 and 1, got %q", a))
+		}
+	}
 
 	wNames := split(*workloads)
 	dNames := split(*dists)
+	distsSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "dists" {
+			distsSet = true
+		}
+	})
 	if *all {
 		wNames = []string{"A", "B", "C", "D", "E", "F"}
 		dNames = []string{"uniform", "zipf"}
 	}
+	// Every distribution name is validated up front: an unknown name is a
+	// hard error before any load phase runs, never a silent substitution.
+	for _, dname := range dNames {
+		_, err := ycsb.ParseDistribution(dname)
+		die(err)
+	}
 
 	fmt.Printf("load %d keys, %d txn ops per configuration\n", *n, *ops)
-	fmt.Printf("%-9s %-26s %-8s %-9s %6s %10s %9s\n", "dataset", "workload", "dist", "index", "batch", "mops", "misses")
+	fmt.Printf("%-9s %-26s %-8s %-10s %6s %10s %9s\n", "dataset", "workload", "dist", "index", "batch", "mops", "misses")
 
 	for _, ds := range split(*datasets) {
 		kind, err := dataset.ParseKind(ds)
@@ -94,8 +119,10 @@ func main() {
 			for _, dname := range dNames {
 				dist, err := ycsb.ParseDistribution(dname)
 				die(err)
-				if w.Name == "D" && !*all {
-					dist = ycsb.Latest // paper: D is latest-read
+				if w.Name == "D" && !*all && !distsSet {
+					// Paper default: D is latest-read. An explicit -dists
+					// always wins — no silent substitution.
+					dist = ycsb.Latest
 				}
 				for _, iname := range split(*indexes) {
 					for _, b := range batches {
@@ -103,48 +130,66 @@ func main() {
 							if sc > 0 && iname != "hot" {
 								continue // only hot has a range-sharded variant
 							}
-							var inst bench.Instance
-							if sc > 0 {
-								t := hot.NewShardedTree(data.Store.Key, sc, data.Keys[:*n])
-								inst = bench.NewInstance(fmt.Sprintf("hot-s%d", sc), t,
-									func() int { return t.Memory().PaperBytes })
-							} else {
-								var err error
-								inst, err = bench.New(iname, data.Store)
-								die(err)
-							}
-							r := data.Runner(inst, *n, *seed)
-							r.CaptureLatency = *latency
-							r.BatchLookups = b
-							loadThreads := 1
-							if sc > 0 {
-								loadThreads = *threads
-								if loadThreads <= 0 {
-									loadThreads = sc
+							for _, am := range asyncModes {
+								if am && sc == 0 {
+									continue // only the sharded tree has submission queues
 								}
-							}
-							var res ycsb.Result
-							if w.Name == "load" {
-								res = r.LoadParallel(loadThreads)
-							} else {
-								r.LoadParallel(loadThreads)
-								res = r.Run(w, dist, *ops)
-							}
-							fmt.Printf("%-9s %-26s %-8s %-9s %6d %10.3f %9d",
-								ds, w.Name+" ("+w.Description+")", dist, inst.Name, b, res.Mops(), res.NotFound)
-							if res.Latency != nil {
-								fmt.Printf("   %s", res.Latency)
-							}
-							fmt.Println()
-							if *opstats {
-								if st, ok := inst.Idx.(interface{ OpStats() hot.OpStats }); ok {
-									fmt.Printf("%-9s   opstats: %s\n", "", st.OpStats())
+								var inst bench.Instance
+								if sc > 0 {
+									t := hot.NewShardedTree(data.Store.Key, sc, data.Keys[:*n])
+									inst = bench.NewInstance(fmt.Sprintf("hot-s%d", sc), t,
+										func() int { return t.Memory().PaperBytes })
+								} else {
+									var err error
+									inst, err = bench.New(iname, data.Store)
+									die(err)
 								}
+								r := data.Runner(inst, *n, *seed)
+								r.CaptureLatency = *latency
+								r.BatchLookups = b
+								r.Async = am
+								loadThreads := 1
+								if sc > 0 {
+									loadThreads = *threads
+									if loadThreads <= 0 {
+										loadThreads = sc
+									}
+								}
+								var res ycsb.Result
+								if w.Name == "load" {
+									res = r.LoadParallel(loadThreads)
+								} else {
+									r.LoadParallel(loadThreads)
+									// loadThreads > 1 only for sharded
+									// configs — the only index safe for
+									// concurrent transaction clients.
+									res = r.RunParallel(w, dist, *ops, loadThreads)
+								}
+								name := inst.Name
+								if am {
+									name += "+q"
+								}
+								fmt.Printf("%-9s %-26s %-8s %-10s %6d %10.3f %9d",
+									ds, w.Name+" ("+w.Description+")", dist, name, b, res.Mops(), res.NotFound)
+								if res.Latency != nil {
+									fmt.Printf("   %s", res.Latency)
+								}
+								fmt.Println()
+								if *opstats {
+									if st, ok := inst.Idx.(interface{ OpStats() hot.OpStats }); ok {
+										fmt.Printf("%-9s   opstats: %s\n", "", st.OpStats())
+									}
+								}
+								asyncRec := 0
+								if am {
+									asyncRec = 1
+								}
+								records = append(records, record{
+									Dataset: ds, Workload: w.Name, Dist: dist.String(), Index: name,
+									Batch: b, Shards: sc, Threads: loadThreads, Async: asyncRec,
+									Mops: res.Mops(), Misses: res.NotFound,
+								})
 							}
-							records = append(records, record{
-								Dataset: ds, Workload: w.Name, Dist: dist.String(), Index: inst.Name,
-								Batch: b, Shards: sc, Threads: loadThreads, Mops: res.Mops(), Misses: res.NotFound,
-							})
 						}
 					}
 				}

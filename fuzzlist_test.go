@@ -2,8 +2,10 @@ package hot
 
 import (
 	"os"
+	"path/filepath"
 	"regexp"
 	"sort"
+	"strings"
 	"testing"
 )
 
@@ -55,5 +57,42 @@ func TestMakefileFuzzListCoversAllTargets(t *testing.T) {
 	}
 	if len(stale) > 0 {
 		t.Errorf("Makefile fuzz recipe names nonexistent targets: %v", stale)
+	}
+}
+
+// TestCIWorkflowCoversAllTiers guards against drift between the Makefile's
+// `all` target and the hosted CI pipeline: every verification tier that
+// `make all` runs locally must appear as a `make <tier>` step in
+// .github/workflows/ci.yml. Dropping a tier from the workflow would
+// silently stop gating merges on it.
+func TestCIWorkflowCoversAllTiers(t *testing.T) {
+	mk, err := os.ReadFile("Makefile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	allRe := regexp.MustCompile(`(?m)^all:\s*(.+)$`)
+	m := allRe.FindSubmatch(mk)
+	if m == nil {
+		t.Fatal("no `all:` target found in the Makefile")
+	}
+	tiers := strings.Fields(string(m[1]))
+	if len(tiers) == 0 {
+		t.Fatal("the Makefile `all` target lists no tiers")
+	}
+
+	wf, err := os.ReadFile(filepath.Join(".github", "workflows", "ci.yml"))
+	if err != nil {
+		t.Fatalf("CI workflow missing: %v", err)
+	}
+	var missing []string
+	for _, tier := range tiers {
+		stepRe := regexp.MustCompile(`(?m)run:\s*make\s+` + regexp.QuoteMeta(tier) + `\b`)
+		if !stepRe.Match(wf) {
+			missing = append(missing, tier)
+		}
+	}
+	sort.Strings(missing)
+	if len(missing) > 0 {
+		t.Errorf("make all tiers with no `make <tier>` step in .github/workflows/ci.yml: %v", missing)
 	}
 }

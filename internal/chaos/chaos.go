@@ -81,6 +81,23 @@ const (
 	// durable.
 	SnapDirSync
 
+	// Shard submission-queue fault points (the sharded async write path).
+	// Armed yields here force the protocol's narrow races — deposits
+	// overlapping a writer handoff, stolen drains, full-ring retries — to
+	// occur at high frequency.
+
+	// ShardQueuePush fires after an async op is deposited into a busy
+	// shard's submission ring but before the depositor re-checks the writer
+	// token: delaying here leaves a published op whose drainer may already
+	// have released (the lost-wakeup race the token re-check closes, and
+	// the state stolen drains harvest).
+	ShardQueuePush
+	// ShardWriterHandoff fires after a shard's drainer releases the writer
+	// token but before it re-checks the ring for late deposits: delaying
+	// here leaves a free token next to a non-empty ring, the state both the
+	// handoff re-check and work stealing must recover from.
+	ShardWriterHandoff
+
 	// NumPoints is the number of named injection points.
 	NumPoints = int(iota)
 )
@@ -99,6 +116,8 @@ var pointNames = [NumPoints]string{
 	"snap/sync",
 	"snap/rename",
 	"snap/dir-sync",
+	"shard/queue-push",
+	"shard/writer-handoff",
 }
 
 // String returns the point's catalog name.

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/hotindex/hot/internal/dataset"
+	"github.com/hotindex/hot/internal/tidstore"
+)
+
+// TestWriterBatch checks that the amortized batch writer is operationally
+// identical to the per-op writer path: same return values, same contents,
+// same structural invariants — including reuse of one batch across End
+// boundaries and interleaving with synchronous writers.
+func TestWriterBatch(t *testing.T) {
+	keys := dataset.Generate(dataset.Integer, 30000, 11)
+	s := &tidstore.Store{}
+	tids := make([]TID, len(keys))
+	for i, k := range keys {
+		tids[i] = s.Add(k)
+	}
+	tr := NewConcurrent(s.Key)
+
+	b := tr.BeginBatch()
+	for i, k := range keys {
+		if !b.Insert(k, tids[i]) {
+			t.Fatalf("batched insert %d rejected", i)
+		}
+		if i%512 == 511 {
+			b.End() // exercise reuse across slice boundaries
+		}
+	}
+	if b.Insert(keys[0], tids[0]) {
+		t.Fatal("batched duplicate insert succeeded")
+	}
+	if old, replaced := b.Upsert(keys[1], tids[1]); !replaced || old != tids[1] {
+		t.Fatalf("batched upsert = (%d, %v)", old, replaced)
+	}
+	if !b.Delete(keys[2]) || b.Delete(keys[2]) {
+		t.Fatal("batched delete did not remove exactly once")
+	}
+	b.End()
+
+	if got, want := tr.Len(), len(keys)-1; got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+	if err := tr.Verify(); err != nil {
+		t.Fatalf("Verify after batched writes: %v", err)
+	}
+
+	// Batched and synchronous writers racing on the same trie: the batch's
+	// held pin must not deadlock the per-op path, and restarts inside the
+	// batch must stay correct.
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		wb := tr.BeginBatch()
+		for lap := 0; lap < 4; lap++ {
+			for i := 0; i < 4096; i++ {
+				wb.Upsert(keys[i], tids[i])
+			}
+			wb.End()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for lap := 0; lap < 4; lap++ {
+			for i := 0; i < 4096; i++ {
+				tr.Upsert(keys[i], tids[i])
+			}
+		}
+	}()
+	wg.Wait()
+	if err := tr.Verify(); err != nil {
+		t.Fatalf("Verify after mixed batch/sync churn: %v", err)
+	}
+	for i := 3; i < 64; i++ {
+		if tid, ok := tr.Lookup(keys[i]); !ok || tid != tids[i] {
+			t.Fatalf("key %d: Lookup = (%d, %v)", i, tid, ok)
+		}
+	}
+}

@@ -17,9 +17,20 @@ type OpStats struct {
 	Backoffs        uint64 // restarts that escalated to a parked sleep
 	ValidationFails uint64 // step-(c) validation failures under locks
 	Contended       uint64 // epoch Enter sweeps finding no free pin slot
+
+	// Submission-queue counters of the sharded async write path; always
+	// zero on unsharded tries. QueueDepth is a point-in-time gauge (ops
+	// currently queued across all shards), the rest are cumulative.
+	Enqueued   uint64 // async ops deposited into a busy shard's ring
+	Steals     uint64 // drains a worker ran for a shard other than its target
+	Drains     uint64 // drain batch slices executed under a writer token
+	Drained    uint64 // async ops applied from rings (avg batch = Drained/Drains)
+	QueueFull  uint64 // deposits rejected by a full ring
+	QueueDepth uint64 // ops queued right now (gauge, not cumulative)
 }
 
 // Sub returns s - prev counter-wise: the activity between two snapshots.
+// QueueDepth is a gauge, not a counter, and passes through unsubtracted.
 func (s OpStats) Sub(prev OpStats) OpStats {
 	return OpStats{
 		Normal:          s.Normal - prev.Normal,
@@ -31,6 +42,12 @@ func (s OpStats) Sub(prev OpStats) OpStats {
 		Backoffs:        s.Backoffs - prev.Backoffs,
 		ValidationFails: s.ValidationFails - prev.ValidationFails,
 		Contended:       s.Contended - prev.Contended,
+		Enqueued:        s.Enqueued - prev.Enqueued,
+		Steals:          s.Steals - prev.Steals,
+		Drains:          s.Drains - prev.Drains,
+		Drained:         s.Drained - prev.Drained,
+		QueueFull:       s.QueueFull - prev.QueueFull,
+		QueueDepth:      s.QueueDepth,
 	}
 }
 
@@ -47,17 +64,30 @@ func (s OpStats) Add(other OpStats) OpStats {
 		Backoffs:        s.Backoffs + other.Backoffs,
 		ValidationFails: s.ValidationFails + other.ValidationFails,
 		Contended:       s.Contended + other.Contended,
+		Enqueued:        s.Enqueued + other.Enqueued,
+		Steals:          s.Steals + other.Steals,
+		Drains:          s.Drains + other.Drains,
+		Drained:         s.Drained + other.Drained,
+		QueueFull:       s.QueueFull + other.QueueFull,
+		QueueDepth:      s.QueueDepth + other.QueueDepth,
 	}
 }
 
 // String formats every counter in a fixed order, so the drivers
-// (cmd/hot-ycsb, cmd/hot-chaos) and tests report uniformly.
+// (cmd/hot-ycsb, cmd/hot-chaos) and tests report uniformly. The
+// submission-queue block is appended only when the async path was used, so
+// unsharded reports stay unchanged.
 func (s OpStats) String() string {
-	return fmt.Sprintf(
+	out := fmt.Sprintf(
 		"normal=%d pushdown=%d pullup=%d intermediate=%d newroot=%d "+
 			"restarts=%d backoffs=%d validationfails=%d contended=%d",
 		s.Normal, s.Pushdown, s.PullUp, s.Intermediate, s.NewRoot,
 		s.Restarts, s.Backoffs, s.ValidationFails, s.Contended)
+	if s.Enqueued|s.Steals|s.Drains|s.Drained|s.QueueFull|s.QueueDepth != 0 {
+		out += fmt.Sprintf(" enqueued=%d steals=%d drains=%d drained=%d queuefull=%d queuedepth=%d",
+			s.Enqueued, s.Steals, s.Drains, s.Drained, s.QueueFull, s.QueueDepth)
+	}
+	return out
 }
 
 // OpStats returns the insertion-case counters. The robustness counters are

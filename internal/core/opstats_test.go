@@ -64,3 +64,31 @@ func TestOpStatsStringAndSub(t *testing.T) {
 		t.Fatalf("String() = %q, want %q", got, want)
 	}
 }
+
+func TestOpStatsQueueCounters(t *testing.T) {
+	a := OpStats{Normal: 1, Enqueued: 10, Steals: 3, Drains: 4, Drained: 9,
+		QueueFull: 2, QueueDepth: 5}
+	b := OpStats{Enqueued: 4, Drains: 1, Drained: 2, QueueDepth: 7}
+	d := a.Sub(b)
+	// Counters subtract; QueueDepth is a gauge and passes through.
+	if d.Enqueued != 6 || d.Steals != 3 || d.Drains != 3 || d.Drained != 7 ||
+		d.QueueFull != 2 || d.QueueDepth != 5 {
+		t.Fatalf("Sub = %+v", d)
+	}
+	sum := a.Add(b)
+	if sum.Enqueued != 14 || sum.Drained != 11 || sum.QueueDepth != 12 {
+		t.Fatalf("Add = %+v", sum)
+	}
+	want := "normal=1 pushdown=0 pullup=0 intermediate=0 newroot=0 " +
+		"restarts=0 backoffs=0 validationfails=0 contended=0 " +
+		"enqueued=10 steals=3 drains=4 drained=9 queuefull=2 queuedepth=5"
+	if got := a.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+	// The queue block stays out of unsharded reports.
+	plain := OpStats{Normal: 2}
+	if got, want := plain.String(), "normal=2 pushdown=0 pullup=0 intermediate=0 newroot=0 "+
+		"restarts=0 backoffs=0 validationfails=0 contended=0"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

@@ -189,6 +189,97 @@ func (t *ConcurrentTrie) Delete(k []byte) bool {
 	}
 }
 
+// WriterBatch amortizes the per-write epoch protocol over a run of writes
+// issued by one goroutine: the epoch is pinned once lazily and held across
+// consecutive successful writes, and the reclamation-advance check runs
+// once at End instead of per operation. The sharded index's submission-
+// queue drains use it to apply a backlog slice with the shard's epoch
+// already warm. The batch is single-goroutine state; it must be closed
+// with End and must not be held across blocking calls — a held pin stalls
+// epoch advance, so batches are expected to be short (a drain slice). A
+// restart unpins for the backoff's duration, keeping restart storms from
+// blocking reclamation.
+type WriterBatch struct {
+	t       *ConcurrentTrie
+	g       epoch.Guard
+	pinned  bool
+	mutated bool
+}
+
+// BeginBatch opens an amortized writer batch; no epoch is pinned until the
+// first write.
+func (t *ConcurrentTrie) BeginBatch() WriterBatch { return WriterBatch{t: t} }
+
+func (b *WriterBatch) pin() {
+	if !b.pinned {
+		b.g = b.t.gc.Enter()
+		b.pinned = true
+	}
+}
+
+func (b *WriterBatch) unpin() {
+	if b.pinned {
+		b.g.Exit()
+		b.pinned = false
+	}
+}
+
+// Insert is the batched analogue of ConcurrentTrie.Insert.
+func (b *WriterBatch) Insert(k []byte, tid TID) bool {
+	inserted, _, _ := b.write(k, tid, false)
+	return inserted
+}
+
+// Upsert is the batched analogue of ConcurrentTrie.Upsert.
+func (b *WriterBatch) Upsert(k []byte, tid TID) (old TID, replaced bool) {
+	_, old, replaced = b.write(k, tid, true)
+	return old, replaced
+}
+
+func (b *WriterBatch) write(k []byte, tid TID, upsert bool) (inserted bool, old TID, replaced bool) {
+	checkKey(k)
+	checkTID(tid)
+	for attempt := 0; ; attempt++ {
+		b.pin()
+		inserted, old, replaced, ok := b.t.tryWrite(k, tid, upsert)
+		if ok {
+			if attempt > 0 || inserted || replaced {
+				b.mutated = true
+			}
+			return inserted, old, replaced
+		}
+		b.unpin() // let reclamation advance while we back off
+		b.t.restartBackoff(attempt)
+	}
+}
+
+// Delete is the batched analogue of ConcurrentTrie.Delete.
+func (b *WriterBatch) Delete(k []byte) bool {
+	checkKey(k)
+	for attempt := 0; ; attempt++ {
+		b.pin()
+		deleted, ok := b.t.tryDelete(k)
+		if ok {
+			if deleted {
+				b.mutated = true
+			}
+			return deleted
+		}
+		b.unpin()
+		b.t.restartBackoff(attempt)
+	}
+}
+
+// End releases the batch's epoch pin and runs the deferred reclamation-
+// advance check. The batch may be reused after End.
+func (b *WriterBatch) End() {
+	b.unpin()
+	if b.mutated {
+		b.t.maybeAdvance()
+		b.mutated = false
+	}
+}
+
 func (t *ConcurrentTrie) tryDelete(k []byte) (deleted, ok bool) {
 	rb := t.root.Load()
 	if rb.n == nil {

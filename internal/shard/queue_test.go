@@ -1,0 +1,147 @@
+package shard
+
+import (
+	"encoding/binary"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestQueueCapacityExact(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 3}, {4, 4}, {5, 5}, {1000, 1000},
+	} {
+		q := NewQueue(tc.ask)
+		if got := q.Cap(); got != tc.want {
+			t.Errorf("NewQueue(%d).Cap() = %d, want %d", tc.ask, got, tc.want)
+			continue
+		}
+		// The logical capacity is exact: want pushes succeed, one more fails.
+		for i := 0; i < tc.want; i++ {
+			if !q.TryPush(Op{TID: uint64(i)}) {
+				t.Errorf("NewQueue(%d): push %d failed below capacity", tc.ask, i)
+			}
+		}
+		if q.TryPush(Op{TID: 0xBAD}) {
+			t.Errorf("NewQueue(%d): push succeeded at capacity %d", tc.ask, tc.want)
+		}
+	}
+}
+
+func TestQueueFIFOSingleThreaded(t *testing.T) {
+	q := NewQueue(8)
+	if _, ok := q.TryPop(); ok {
+		t.Fatal("pop from empty queue succeeded")
+	}
+	for lap := 0; lap < 3; lap++ { // cross the ring boundary repeatedly
+		for i := 0; i < 8; i++ {
+			if !q.TryPush(Op{TID: uint64(lap*8 + i), Kind: OpUpsert}) {
+				t.Fatalf("lap %d: push %d failed on non-full queue", lap, i)
+			}
+		}
+		if q.TryPush(Op{TID: 999}) {
+			t.Fatalf("lap %d: push succeeded on full queue", lap)
+		}
+		if q.Len() != 8 {
+			t.Fatalf("lap %d: Len = %d, want 8", lap, q.Len())
+		}
+		for i := 0; i < 8; i++ {
+			op, ok := q.TryPop()
+			if !ok || op.TID != uint64(lap*8+i) {
+				t.Fatalf("lap %d: pop %d = %+v ok=%v, want TID %d", lap, i, op, ok, lap*8+i)
+			}
+		}
+		if !q.Empty() {
+			t.Fatalf("lap %d: queue not empty after draining", lap)
+		}
+	}
+}
+
+// TestQueueCapacityOne pins the degenerate single-slot ring: every push
+// must alternate with a pop, and a full single-slot ring must reject
+// deposits rather than overwrite.
+func TestQueueCapacityOne(t *testing.T) {
+	q := NewQueue(1)
+	if q.Cap() != 1 {
+		t.Fatalf("Cap = %d, want 1", q.Cap())
+	}
+	for i := 0; i < 100; i++ {
+		if !q.TryPush(Op{TID: uint64(i)}) {
+			t.Fatalf("push %d failed on empty single-slot ring", i)
+		}
+		if q.TryPush(Op{TID: 0xBAD}) {
+			t.Fatalf("push %d succeeded on full single-slot ring", i)
+		}
+		op, ok := q.TryPop()
+		if !ok || op.TID != uint64(i) {
+			t.Fatalf("pop %d = %+v ok=%v", i, op, ok)
+		}
+	}
+}
+
+// TestQueueMPSC hammers the ring from many producers against one consumer
+// and checks that every op arrives exactly once with its payload intact.
+// Run under -race this doubles as the memory-model check of the
+// publish/consume protocol.
+func TestQueueMPSC(t *testing.T) {
+	const (
+		producers = 8
+		perProd   = 2000
+	)
+	q := NewQueue(64)
+	var wg sync.WaitGroup
+	var pushed atomic.Uint64
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				v := uint64(p*perProd + i)
+				k := make([]byte, 8)
+				binary.BigEndian.PutUint64(k, v)
+				for !q.TryPush(Op{Key: k, TID: v, Kind: OpKind(v % 3)}) {
+					runtime.Gosched() // full: let the consumer catch up
+				}
+				pushed.Add(1)
+			}
+		}(p)
+	}
+	seen := make([]bool, producers*perProd)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		got := 0
+		for got < producers*perProd {
+			op, ok := q.TryPop()
+			if !ok {
+				runtime.Gosched()
+				continue
+			}
+			if binary.BigEndian.Uint64(op.Key) != op.TID {
+				panic("op payload torn: key does not match TID")
+			}
+			if op.Kind != OpKind(op.TID%3) {
+				panic("op payload torn: kind does not match TID")
+			}
+			if seen[op.TID] {
+				panic("op delivered twice")
+			}
+			seen[op.TID] = true
+			got++
+		}
+	}()
+	wg.Wait()
+	<-done
+	if pushed.Load() != producers*perProd {
+		t.Fatalf("pushed %d ops, want %d", pushed.Load(), producers*perProd)
+	}
+	for v, ok := range seen {
+		if !ok {
+			t.Fatalf("op %d lost", v)
+		}
+	}
+	if !q.Empty() {
+		t.Fatalf("queue not empty after drain: Len=%d", q.Len())
+	}
+}

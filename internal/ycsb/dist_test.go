@@ -1,0 +1,52 @@
+package ycsb
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseDistribution pins the distribution-name table: every
+// conventional name resolves (and round-trips through String), and unknown
+// names are hard errors whose message lists the valid options — the
+// hot-ycsb driver relies on that error instead of silently substituting a
+// default.
+func TestParseDistribution(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Distribution
+		ok   bool
+	}{
+		{"uniform", Uniform, true},
+		{"zipf", Zipfian, true},
+		{"latest", Latest, true},
+		{"", 0, false},
+		{"zipfian", 0, false}, // the YCSB spelling is not an alias
+		{"Uniform", 0, false}, // names are case-sensitive
+		{"hotspot", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseDistribution(c.in)
+		if c.ok {
+			if err != nil {
+				t.Errorf("ParseDistribution(%q): unexpected error %v", c.in, err)
+				continue
+			}
+			if got != c.want {
+				t.Errorf("ParseDistribution(%q) = %v, want %v", c.in, got, c.want)
+			}
+			if rt, err := ParseDistribution(got.String()); err != nil || rt != got {
+				t.Errorf("%v does not round-trip through String: %v %v", got, rt, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("ParseDistribution(%q) = %v, want error", c.in, got)
+			continue
+		}
+		for _, name := range []string{"uniform", "zipf", "latest"} {
+			if !strings.Contains(err.Error(), name) {
+				t.Errorf("ParseDistribution(%q) error %q does not list option %q", c.in, err, name)
+			}
+		}
+	}
+}

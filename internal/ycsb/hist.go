@@ -39,6 +39,18 @@ func (h *Histogram) Record(d time.Duration) {
 	}
 }
 
+// Merge folds o's observations into h (used to combine the per-worker
+// histograms of a parallel transaction phase).
+func (h *Histogram) Merge(o *Histogram) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.n += o.n
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
 // N returns the number of observations.
 func (h *Histogram) N() uint64 { return h.n }
 

@@ -35,6 +35,17 @@ type Sharded interface {
 	Shards() int
 }
 
+// AsyncIndex is optionally implemented by indexes with an asynchronous
+// write path (the contract matches hot.ShardedTree): InsertAsync and
+// UpsertAsync submit without waiting for application, and Flush blocks
+// until every prior submission has applied, returning the cumulative
+// applied/rejected totals so callers can check deltas across phases.
+type AsyncIndex interface {
+	InsertAsync(k []byte, tid uint64)
+	UpsertAsync(k []byte, tid uint64)
+	Flush() (applied, rejected uint64)
+}
+
 // Result is one benchmark phase's outcome.
 type Result struct {
 	Ops      int
@@ -74,8 +85,16 @@ type Runner struct {
 	// capture enabled, the read that fills a batch absorbs the whole
 	// flush in its recorded latency.
 	BatchLookups int
-	seed         int64
-	nLoad        int
+	// Async routes writes through AsyncIndex when the index implements it
+	// (ignored otherwise): LoadParallel stripes InsertAsync submissions
+	// across the workers instead of bucketing by shard, and Run submits
+	// updates and read-modify-writes through UpsertAsync. Transaction-phase
+	// inserts stay synchronous — the picker domain grows with each insert,
+	// so the key must be resident before a later read can target it. Every
+	// timed phase ends with a Flush inside the timed region.
+	Async bool
+	seed  int64
+	nLoad int
 }
 
 // NewRunner builds a runner; loadN keys are inserted by Load, the rest
@@ -90,6 +109,15 @@ func NewRunner(idx Index, keys [][]byte, tids []uint64, loadN int, seed int64) *
 // Load runs the insert-only load phase (keys arrive in generation order,
 // which is random for all data sets).
 func (r *Runner) Load() Result {
+	if ai, ok := r.asyncIdx(); ok {
+		_, rej0 := ai.Flush()
+		start := time.Now()
+		for i := 0; i < r.nLoad; i++ {
+			ai.InsertAsync(r.Keys[i], r.TIDs[i])
+		}
+		elapsed := r.flushLoad(ai, rej0, start)
+		return Result{Ops: r.nLoad, Elapsed: elapsed}
+	}
 	start := time.Now()
 	for i := 0; i < r.nLoad; i++ {
 		if !r.Idx.Insert(r.Keys[i], r.TIDs[i]) {
@@ -97,6 +125,28 @@ func (r *Runner) Load() Result {
 		}
 	}
 	return Result{Ops: r.nLoad, Elapsed: time.Since(start)}
+}
+
+// asyncIdx returns the index's async write surface when Async is requested
+// and the index provides one.
+func (r *Runner) asyncIdx() (AsyncIndex, bool) {
+	if !r.Async {
+		return nil, false
+	}
+	ai, ok := r.Idx.(AsyncIndex)
+	return ai, ok
+}
+
+// flushLoad completes an async load phase: the Flush barrier is part of the
+// timed region, and load keys are unique so any rejected delta means the
+// submission path lost or duplicated an op.
+func (r *Runner) flushLoad(ai AsyncIndex, rej0 uint64, start time.Time) time.Duration {
+	_, rej := ai.Flush()
+	elapsed := time.Since(start)
+	if rej != rej0 {
+		panic(fmt.Sprintf("ycsb: async load rejected %d inserts (duplicate keys?)", rej-rej0))
+	}
+	return elapsed
 }
 
 // LoadParallel runs the insert-only load phase from workers goroutines.
@@ -109,6 +159,26 @@ func (r *Runner) Load() Result {
 func (r *Runner) LoadParallel(workers int) Result {
 	if workers <= 1 {
 		return r.Load()
+	}
+	if ai, ok := r.asyncIdx(); ok {
+		// Async path: no bucketing — workers submit a plain stripe of the
+		// key stream and the per-shard submission queues absorb the
+		// cross-shard collisions that bucketing exists to avoid.
+		_, rej0 := ai.Flush()
+		start := time.Now()
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < r.nLoad; i += workers {
+					ai.InsertAsync(r.Keys[i], r.TIDs[i])
+				}
+			}(w)
+		}
+		wg.Wait()
+		elapsed := r.flushLoad(ai, rej0, start)
+		return Result{Ops: r.nLoad, Elapsed: elapsed}
 	}
 	start := time.Now()
 	var buckets [][]int
@@ -147,12 +217,126 @@ func (r *Runner) LoadParallel(workers int) Result {
 	return Result{Ops: r.nLoad, Elapsed: time.Since(start)}
 }
 
+// RunParallel executes ops transaction-phase operations of workload w from
+// workers concurrent client goroutines — the standard YCSB client model,
+// and the only way the write convoy that the sharded tree's submission
+// queues address actually forms. The index must be safe for the workload's
+// concurrent operations. Each worker draws from its own seeded generator
+// and picker over the load-phase domain; unlike Run, transaction-phase
+// inserts claim reserve keys from a shared counter and do not grow the
+// pickers' domains, so later reads never target a possibly-in-flight
+// insert (which also lets Async mode submit them through InsertAsync).
+// With Async set, updates, read-modify-writes and inserts go through the
+// AsyncIndex surface and the phase ends with a Flush inside the timed
+// region. BatchLookups is ignored — parallel reads are issued scalar.
+func (r *Runner) RunParallel(w Workload, dist Distribution, ops, workers int) Result {
+	if workers <= 1 {
+		return r.Run(w, dist, ops)
+	}
+	ai, _ := r.asyncIdx()
+	var nextIns atomic.Int64
+	nextIns.Store(int64(r.nLoad))
+	perWorker := ops / workers
+	if perWorker == 0 {
+		perWorker = 1
+	}
+	results := make([]Result, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(r.seed + int64(wk)*7919))
+			picker := NewPicker(dist, r.nLoad)
+			res := &results[wk]
+			res.Ops = perWorker
+			if r.CaptureLatency {
+				res.Latency = &Histogram{}
+			}
+			sink := uint64(0)
+			var opStart time.Time
+			for i := 0; i < perWorker; i++ {
+				if res.Latency != nil {
+					opStart = time.Now()
+				}
+				switch w.pick(rng.Float64()) {
+				case OpRead:
+					idx := picker.Next(rng)
+					tid, ok := r.Idx.Lookup(r.Keys[idx])
+					if !ok {
+						res.NotFound++
+					}
+					sink += tid
+				case OpUpdate:
+					idx := picker.Next(rng)
+					if ai != nil {
+						ai.UpsertAsync(r.Keys[idx], r.TIDs[idx])
+					} else {
+						r.Idx.Upsert(r.Keys[idx], r.TIDs[idx])
+					}
+				case OpInsert:
+					if j := nextIns.Add(1) - 1; int(j) < len(r.Keys) {
+						if ai != nil {
+							ai.InsertAsync(r.Keys[j], r.TIDs[j])
+						} else {
+							r.Idx.Insert(r.Keys[j], r.TIDs[j])
+						}
+					}
+				case OpScan:
+					idx := picker.Next(rng)
+					n := 1 + rng.Intn(w.MaxScanLen)
+					res.Scanned += r.Idx.Scan(r.Keys[idx], n, func(tid uint64) bool {
+						sink += tid
+						return true
+					})
+				case OpRMW:
+					idx := picker.Next(rng)
+					tid, ok := r.Idx.Lookup(r.Keys[idx])
+					if !ok {
+						res.NotFound++
+					}
+					if ai != nil {
+						ai.UpsertAsync(r.Keys[idx], tid)
+					} else {
+						r.Idx.Upsert(r.Keys[idx], tid)
+					}
+				}
+				if res.Latency != nil {
+					res.Latency.Record(time.Since(opStart))
+				}
+			}
+			if sink == 0x12345678DEADBEEF {
+				fmt.Println() // defeat dead-code elimination of the lookups
+			}
+		}(wk)
+	}
+	wg.Wait()
+	if ai != nil {
+		ai.Flush()
+	}
+	total := Result{Elapsed: time.Since(start)}
+	if r.CaptureLatency {
+		total.Latency = &Histogram{}
+	}
+	for i := range results {
+		total.Ops += results[i].Ops
+		total.NotFound += results[i].NotFound
+		total.Scanned += results[i].Scanned
+		if total.Latency != nil && results[i].Latency != nil {
+			total.Latency.Merge(results[i].Latency)
+		}
+	}
+	return total
+}
+
 // Run executes ops transaction-phase operations of workload w under the
 // given request distribution.
 func (r *Runner) Run(w Workload, dist Distribution, ops int) Result {
 	rng := rand.New(rand.NewSource(r.seed))
 	picker := NewPicker(dist, r.nLoad)
 	inserted := r.nLoad
+	asyncIdx, _ := r.asyncIdx()
 	res := Result{Ops: ops}
 	if r.CaptureLatency {
 		res.Latency = &Histogram{}
@@ -219,7 +403,11 @@ func (r *Runner) Run(w Workload, dist Distribution, ops int) Result {
 			if idx >= inserted {
 				idx = inserted - 1
 			}
-			r.Idx.Upsert(r.Keys[idx], r.TIDs[idx])
+			if asyncIdx != nil {
+				asyncIdx.UpsertAsync(r.Keys[idx], r.TIDs[idx])
+			} else {
+				r.Idx.Upsert(r.Keys[idx], r.TIDs[idx])
+			}
 		case OpInsert:
 			if batch > 0 {
 				flush()
@@ -251,7 +439,11 @@ func (r *Runner) Run(w Workload, dist Distribution, ops int) Result {
 			if !ok {
 				res.NotFound++
 			}
-			r.Idx.Upsert(r.Keys[idx], tid)
+			if asyncIdx != nil {
+				asyncIdx.UpsertAsync(r.Keys[idx], tid)
+			} else {
+				r.Idx.Upsert(r.Keys[idx], tid)
+			}
 		}
 		if res.Latency != nil {
 			res.Latency.Record(time.Since(opStart))
@@ -259,6 +451,9 @@ func (r *Runner) Run(w Workload, dist Distribution, ops int) Result {
 	}
 	if batch > 0 {
 		flush()
+	}
+	if asyncIdx != nil {
+		asyncIdx.Flush() // completion barrier: async updates count only once applied
 	}
 	res.Elapsed = time.Since(start)
 	if sink == 0x12345678DEADBEEF {

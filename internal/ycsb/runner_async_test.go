@@ -1,0 +1,91 @@
+package ycsb_test
+
+import (
+	"testing"
+
+	"github.com/hotindex/hot"
+	"github.com/hotindex/hot/internal/dataset"
+	"github.com/hotindex/hot/internal/tidstore"
+	"github.com/hotindex/hot/internal/ycsb"
+)
+
+// TestRunnerAsync drives the runner's asynchronous write path end to end
+// against the range-sharded tree: a striped (unbucketed) parallel async
+// load followed by a zipfian update-heavy transaction phase with async
+// upserts, checked against the tuple store as oracle.
+func TestRunnerAsync(t *testing.T) {
+	const n, reserve = 20000, 2048
+	keys := dataset.Generate(dataset.Integer, n+reserve, 7)
+	store := &tidstore.Store{}
+	tids := make([]uint64, len(keys))
+	for i, k := range keys {
+		tids[i] = store.Add(k)
+	}
+	tr := hot.NewShardedTree(store.Key, 4, keys[:n])
+
+	r := ycsb.NewRunner(tr, keys, tids, n, 7)
+	r.Async = true
+	if res := r.LoadParallel(4); res.Ops != n {
+		t.Fatalf("async load: %v", res)
+	}
+	if tr.AsyncPending() != 0 {
+		t.Fatalf("pending async ops after load flush: %d", tr.AsyncPending())
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len after async load = %d, want %d", tr.Len(), n)
+	}
+
+	w, err := ycsb.ByName("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.Run(w, ycsb.Zipfian, 40000)
+	if res.NotFound != 0 {
+		t.Fatalf("transaction phase: %d reads missed", res.NotFound)
+	}
+	if tr.AsyncPending() != 0 {
+		t.Fatalf("pending async ops after Run flush: %d", tr.AsyncPending())
+	}
+	if err := tr.Verify(); err != nil {
+		t.Fatalf("Verify after async phases: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		tid, ok := tr.Lookup(keys[i])
+		if !ok || tid != tids[i] {
+			t.Fatalf("key %d: Lookup = (%d, %v), want (%d, true)", i, tid, ok, tids[i])
+		}
+	}
+	st := tr.OpStats()
+	t.Logf("opstats after async run: %s", st)
+
+	// Parallel transaction phase: concurrent clients with async updates
+	// and async reserve-key inserts (workload D has a 5% insert mix).
+	d, err := ycsb.ByName("D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res = r.RunParallel(d, ycsb.Latest, 40000, 8)
+	if res.NotFound != 0 {
+		t.Fatalf("parallel transaction phase: %d reads missed", res.NotFound)
+	}
+	if tr.AsyncPending() != 0 {
+		t.Fatalf("pending async ops after RunParallel: %d", tr.AsyncPending())
+	}
+	if err := tr.Verify(); err != nil {
+		t.Fatalf("Verify after RunParallel: %v", err)
+	}
+
+	// Async against an index without the async surface silently stays on
+	// the synchronous path — same contents, no panic.
+	sync := hot.New(store.Key)
+	rs := ycsb.NewRunner(syncAdapter{sync}, keys, tids, n, 7)
+	rs.Async = true
+	rs.LoadParallel(1)
+	if sync.Len() != n {
+		t.Fatalf("sync fallback load: Len = %d, want %d", sync.Len(), n)
+	}
+}
+
+// syncAdapter exposes the single-writer Tree under the benchmark's Index
+// interface (hot.Tree matches it directly).
+type syncAdapter struct{ *hot.Tree }

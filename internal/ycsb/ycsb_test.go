@@ -169,14 +169,4 @@ func TestRunnerEndToEnd(t *testing.T) {
 	}
 }
 
-func TestParseDistribution(t *testing.T) {
-	for _, d := range []Distribution{Uniform, Zipfian, Latest} {
-		got, err := ParseDistribution(d.String())
-		if err != nil || got != d {
-			t.Errorf("ParseDistribution(%v) = %v, %v", d, got, err)
-		}
-	}
-	if _, err := ParseDistribution("normal"); err == nil {
-		t.Error("no error for unknown distribution")
-	}
-}
+// ParseDistribution is covered by the table test in dist_test.go.

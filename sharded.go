@@ -33,6 +33,7 @@ type ShardedTree struct {
 	loader Loader
 	shards []*core.ConcurrentTrie
 	bounds [][]byte // len(shards)-1 ascending boundary keys
+	async  *asyncState
 }
 
 // NewShardedTree returns an empty sharded tree over at most shards range
@@ -61,6 +62,7 @@ func newShardedFromBounds(loader Loader, bounds [][]byte) *ShardedTree {
 	for i := range t.shards {
 		t.shards[i] = core.NewConcurrent(core.Loader(loader))
 	}
+	t.async = newAsyncState(len(t.shards), defaultQueueCapacity)
 	return t
 }
 
@@ -222,12 +224,15 @@ func (t *ShardedTree) Memory() MemoryStats {
 }
 
 // OpStats returns the insertion-case and ROWEX robustness counters summed
-// across all shards.
+// across all shards, plus the async submission-queue counters (deposits,
+// stolen drains, drain batches, full-ring rejections and the current queue
+// depth across all shards).
 func (t *ShardedTree) OpStats() OpStats {
 	var o OpStats
 	for _, s := range t.shards {
 		o = o.Add(s.OpStats())
 	}
+	t.async.queueOpStats(&o)
 	return o
 }
 
@@ -440,6 +445,10 @@ func (s *ShardedUint64Set) Ascend(from uint64, max int, fn func(uint64) bool) in
 
 // Height returns the maximum shard height.
 func (s *ShardedUint64Set) Height() int { return s.t.Height() }
+
+// OpStats reports the aggregated per-shard insertion-case, robustness and
+// submission-queue counters (see ShardedTree.OpStats).
+func (s *ShardedUint64Set) OpStats() OpStats { return s.t.OpStats() }
 
 // Memory computes the aggregate memory statistics of all shards.
 func (s *ShardedUint64Set) Memory() MemoryStats { return s.t.Memory() }

@@ -1,0 +1,400 @@
+package hot
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"github.com/hotindex/hot/internal/chaos"
+	"github.com/hotindex/hot/internal/core"
+	"github.com/hotindex/hot/internal/shard"
+)
+
+// This file is the asynchronous write path of the sharded index types: a
+// per-shard bounded MPSC submission queue (internal/shard.Queue) drained in
+// batches by whichever goroutine holds the shard's writer token — a
+// flat-combining layer over the per-shard ROWEX writers.
+//
+// The problem it solves: a zipfian insert stream convoys all writers on the
+// hot shard's node locks, so adding workers stops adding throughput (the
+// contention wall of the paper's Section 6.5 scalability experiment). With
+// the submission queues, exactly one goroutine at a time writes a given
+// shard: everyone else deposits into the shard's ring in O(1) and moves on,
+// and the current writer applies the backlog in batches while it already
+// holds the shard's locks warm. A worker that finds its target ring full
+// does not block — it steals a drain for some other backlogged shard first,
+// so all workers stay busy even when one shard absorbs most of the stream.
+//
+// Ordering: ops submitted by one goroutine to one shard apply in submission
+// order (same key ⇒ same shard ⇒ per-key FIFO per submitter). Ops from
+// different goroutines, or a mix of async and synchronous writes to the
+// same key, are unordered unless externally synchronized. Readers may
+// observe an async op any time after submission — applying is eager, Flush
+// is a completion barrier, not a publication point.
+
+// asyncShard is one shard's submission state: the ring, the writer token
+// that elects the single current drainer, and the shard's own
+// submitted/applied/rejected accounting — per-shard so the per-op hot path
+// never touches a tree-global cache line shared with other shards'
+// appliers.
+type asyncShard struct {
+	q         *shard.Queue
+	submitted atomic.Uint64 // ops accepted by the *Async methods for this shard
+	applied   atomic.Uint64 // ops applied to this shard
+	rejected  atomic.Uint64 // applied ops that were no-ops (dup insert / absent delete)
+	busy      atomic.Bool   // writer token: held by the shard's current drainer
+	_         [23]byte      // pad to a cache line: no false sharing between shards
+}
+
+// asyncState is the ShardedTree-wide submission bookkeeping. The remaining
+// shared counters sit on slow paths only (ring deposits, steals, slices).
+type asyncState struct {
+	ws []asyncShard
+
+	enqueued  atomic.Uint64 // deposits into a busy shard's ring
+	steals    atomic.Uint64 // drains run for a shard other than the worker's target
+	drains    atomic.Uint64 // drain batch slices executed
+	drained   atomic.Uint64 // ops applied from rings
+	queueFull atomic.Uint64 // deposits rejected by a full ring
+}
+
+// defaultQueueCapacity is the per-shard ring size NewShardedTree starts
+// with; SetAsyncQueueCapacity resizes it.
+const defaultQueueCapacity = 1024
+
+// drainSlice caps how many queued ops a drainer applies per batch before
+// handing the token off; Drains counts these slices. The effective slice is
+// also bounded by half the ring capacity (minimum 1), so a drain never runs
+// a backlogged ring dry in one hold — the handoff windows are what let
+// stealers and late depositors take over a hot shard's drain.
+const drainSlice = 64
+
+func (w *asyncShard) sliceLen() int {
+	n := drainSlice
+	if c := w.q.Cap() / 2; c < n {
+		n = c
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func newAsyncState(shards, capacity int) *asyncState {
+	a := &asyncState{ws: make([]asyncShard, shards)}
+	for i := range a.ws {
+		a.ws[i].q = shard.NewQueue(capacity)
+	}
+	return a
+}
+
+// pending reports submitted-but-unapplied ops.
+func (a *asyncState) pending() uint64 {
+	var p uint64
+	for i := range a.ws {
+		// applied is incremented after submitted, so read it first: the
+		// difference can transiently overestimate but never underestimate.
+		ap := a.ws[i].applied.Load()
+		p += a.ws[i].submitted.Load() - ap
+	}
+	return p
+}
+
+// SetAsyncQueueCapacity resizes every shard's submission ring to hold
+// capacity ops (minimum 1). It must be called in an async-quiescent state —
+// no in-flight *Async ops (Flush first); it panics otherwise.
+func (t *ShardedTree) SetAsyncQueueCapacity(capacity int) {
+	a := t.async
+	if a.pending() != 0 {
+		panic("hot: SetAsyncQueueCapacity with async ops in flight (Flush first)")
+	}
+	for i := range a.ws {
+		a.ws[i].q = shard.NewQueue(capacity)
+	}
+}
+
+// AsyncQueueCapacity returns the per-shard submission ring capacity.
+func (t *ShardedTree) AsyncQueueCapacity() int { return t.async.ws[0].q.Cap() }
+
+// InsertAsync submits an asynchronous Insert of tid under key. It returns
+// once the op is applied or deposited in the owning shard's submission
+// queue; Flush waits for application. A duplicate key makes the op a no-op
+// counted in Flush's rejected total (the async analogue of Insert returning
+// false). The key slice must remain valid and unmodified until Flush.
+func (t *ShardedTree) InsertAsync(key []byte, tid TID) {
+	checkAsync(key, tid)
+	t.submitAsync(shard.Op{Key: key, TID: tid, Kind: shard.OpInsert})
+}
+
+// UpsertAsync submits an asynchronous Upsert of tid under key: inserted or
+// overwritten, never rejected. The key slice must remain valid and
+// unmodified until Flush.
+func (t *ShardedTree) UpsertAsync(key []byte, tid TID) {
+	checkAsync(key, tid)
+	t.submitAsync(shard.Op{Key: key, TID: tid, Kind: shard.OpUpsert})
+}
+
+// DeleteAsync submits an asynchronous Delete of key. Deleting an absent key
+// makes the op a no-op counted in Flush's rejected total. The key slice
+// must remain valid and unmodified until Flush.
+func (t *ShardedTree) DeleteAsync(key []byte) {
+	checkAsync(key, 0)
+	t.submitAsync(shard.Op{Key: key, Kind: shard.OpDelete})
+}
+
+// checkAsync validates async submissions eagerly, so malformed ops panic on
+// the submitting goroutine like their synchronous counterparts instead of
+// on whichever goroutine happens to drain them.
+func checkAsync(key []byte, tid TID) {
+	if len(key) > MaxKeyLen {
+		panic("hot: key exceeds MaxKeyLen")
+	}
+	if tid > MaxTID {
+		panic("hot: TID exceeds MaxTID")
+	}
+}
+
+// Flush is the async completion barrier: it drives every submission queue
+// dry, helping drain backlogged shards itself, and returns once every op
+// submitted before the call has been applied. It returns the cumulative
+// totals since construction: applied counts ops applied to their shard,
+// rejected the subset that were no-ops (duplicate inserts, absent deletes)
+// — callers track deltas across phases. Concurrent submitters may race new
+// ops past a Flush; each caller is guaranteed completion of its own
+// submissions only.
+func (t *ShardedTree) Flush() (applied, rejected uint64) {
+	a := t.async
+	targets := make([]uint64, len(a.ws))
+	for i := range a.ws {
+		targets[i] = a.ws[i].submitted.Load()
+	}
+	for spin := 0; ; {
+		done, helped := true, false
+		for s := range a.ws {
+			w := &a.ws[s]
+			if w.applied.Load() >= targets[s] {
+				continue
+			}
+			done = false
+			if !w.q.Empty() && w.busy.CompareAndSwap(false, true) {
+				t.drainLocked(s, w)
+				helped = true
+			}
+		}
+		if done {
+			break
+		}
+		if helped {
+			spin = 0
+			continue
+		}
+		// Nothing to help with: ops are in flight on other goroutines
+		// (mid-apply, or mid-deposit before their ring write is visible).
+		spin++
+		if spin < 64 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(10 * time.Microsecond)
+		}
+	}
+	for i := range a.ws {
+		applied += a.ws[i].applied.Load()
+		rejected += a.ws[i].rejected.Load()
+	}
+	return applied, rejected
+}
+
+// AsyncPending reports how many submitted async ops have not been applied
+// yet (queued or mid-apply) — the live backlog Flush would wait for.
+func (t *ShardedTree) AsyncPending() int { return int(t.async.pending()) }
+
+// submitAsync routes op to its shard and either applies it directly (fast
+// path: idle shard), deposits it into the shard's ring, or — when the ring
+// is full — steals a drain for another backlogged shard and retries.
+func (t *ShardedTree) submitAsync(op shard.Op) {
+	a := t.async
+	s := shard.Find(t.bounds, op.Key)
+	w := &a.ws[s]
+	w.submitted.Add(1)
+	for attempt := 0; ; attempt++ {
+		// Fast path: the shard is idle and has no backlog — become its
+		// writer and apply directly. The empty check keeps FIFO order with
+		// ops this goroutine already queued.
+		if w.q.Empty() && w.busy.CompareAndSwap(false, true) {
+			t.applyOp(s, op)
+			t.drainLocked(s, w)
+			return
+		}
+		if w.q.TryPush(op) {
+			a.enqueued.Add(1)
+			chaos.Fire(chaos.ShardQueuePush)
+			// Lost-wakeup guard: the writer may have drained and released
+			// between our token check and the deposit. If the token is free
+			// now, take it and drain our own deposit.
+			if w.busy.CompareAndSwap(false, true) {
+				t.drainLocked(s, w)
+			}
+			return
+		}
+		a.queueFull.Add(1)
+		// Ring full. If the token is free the backlog has no drainer (every
+		// producer lost the same race) — drain it ourselves, then retry.
+		if w.busy.CompareAndSwap(false, true) {
+			t.drainLocked(s, w)
+			continue
+		}
+		// The shard is backlogged with an active writer: steal a drain for
+		// some other shard instead of blocking, then retry the deposit.
+		if t.stealOne(s) {
+			continue
+		}
+		// Nothing to steal anywhere: bounded backoff, then retry.
+		if attempt < 8 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(2 * time.Microsecond)
+		}
+	}
+}
+
+// drainLocked applies the shard's queued backlog in drainSlice batches,
+// handing the writer token off after every slice so no goroutine monopolizes
+// a hot shard: a still-backlogged ring is re-acquired immediately unless
+// another worker — a stealer, a depositing producer's lost-wakeup guard, or
+// Flush — takes the token over first, in which case that worker continues
+// the drain. The final release re-checks the ring, so a deposit that raced
+// the release is never stranded. Callers must hold w.busy.
+func (t *ShardedTree) drainLocked(s int, w *asyncShard) {
+	a := t.async
+	slice := w.sliceLen()
+	for {
+		n := 0
+		b := t.shards[s].BeginBatch()
+		for n < slice {
+			op, ok := w.q.TryPop()
+			if !ok {
+				break
+			}
+			t.applyBatched(s, &b, op)
+			n++
+		}
+		b.End()
+		if n > 0 {
+			a.drains.Add(1)
+			a.drained.Add(uint64(n))
+		}
+		w.busy.Store(false)
+		chaos.Fire(chaos.ShardWriterHandoff)
+		if w.q.Empty() || !w.busy.CompareAndSwap(false, true) {
+			return
+		}
+		// Backlog remains and we won the token back: next slice.
+	}
+}
+
+// stealOne scans the other shards for a backlogged ring with a free writer
+// token, drains the first one found and reports whether it helped.
+func (t *ShardedTree) stealOne(except int) bool {
+	a := t.async
+	for i := 1; i < len(a.ws); i++ {
+		s := except + i
+		if s >= len(a.ws) {
+			s -= len(a.ws)
+		}
+		w := &a.ws[s]
+		if !w.q.Empty() && w.busy.CompareAndSwap(false, true) {
+			a.steals.Add(1)
+			t.drainLocked(s, w)
+			return true
+		}
+	}
+	return false
+}
+
+// applyOp applies one submission to shard s and accounts its completion.
+func (t *ShardedTree) applyOp(s int, op shard.Op) {
+	w := &t.async.ws[s]
+	switch op.Kind {
+	case shard.OpInsert:
+		if !t.shards[s].Insert(op.Key, op.TID) {
+			w.rejected.Add(1)
+		}
+	case shard.OpUpsert:
+		t.shards[s].Upsert(op.Key, op.TID)
+	case shard.OpDelete:
+		if !t.shards[s].Delete(op.Key) {
+			w.rejected.Add(1)
+		}
+	}
+	w.applied.Add(1)
+}
+
+// applyBatched applies one drained submission to shard s through the
+// slice's shared writer batch, so the whole slice pays for a single epoch
+// pin and a single reclamation-advance check.
+func (t *ShardedTree) applyBatched(s int, b *core.WriterBatch, op shard.Op) {
+	w := &t.async.ws[s]
+	switch op.Kind {
+	case shard.OpInsert:
+		if !b.Insert(op.Key, op.TID) {
+			w.rejected.Add(1)
+		}
+	case shard.OpUpsert:
+		b.Upsert(op.Key, op.TID)
+	case shard.OpDelete:
+		if !b.Delete(op.Key) {
+			w.rejected.Add(1)
+		}
+	}
+	w.applied.Add(1)
+}
+
+// queueOpStats folds the submission-queue counters into an aggregated
+// OpStats snapshot.
+func (a *asyncState) queueOpStats(o *OpStats) {
+	o.Enqueued = a.enqueued.Load()
+	o.Steals = a.steals.Load()
+	o.Drains = a.drains.Load()
+	o.Drained = a.drained.Load()
+	o.QueueFull = a.queueFull.Load()
+	depth := 0
+	for i := range a.ws {
+		depth += a.ws[i].q.Len()
+	}
+	o.QueueDepth = uint64(depth)
+}
+
+// ---- ShardedUint64Set async surface ----
+
+// InsertAsync submits an asynchronous insert of v (< 2^63); a value already
+// present becomes a rejected no-op (see ShardedTree.InsertAsync).
+func (s *ShardedUint64Set) InsertAsync(v uint64) {
+	s.t.InsertAsync(u64keyAlloc(v), v)
+}
+
+// DeleteAsync submits an asynchronous delete of v; an absent value becomes
+// a rejected no-op.
+func (s *ShardedUint64Set) DeleteAsync(v uint64) {
+	s.t.DeleteAsync(u64keyAlloc(v))
+}
+
+// Flush waits for every previously submitted async op to apply, returning
+// the cumulative applied/rejected totals (see ShardedTree.Flush).
+func (s *ShardedUint64Set) Flush() (applied, rejected uint64) { return s.t.Flush() }
+
+// AsyncPending reports the live async backlog (see ShardedTree.AsyncPending).
+func (s *ShardedUint64Set) AsyncPending() int { return s.t.AsyncPending() }
+
+// SetAsyncQueueCapacity resizes the per-shard submission rings (see
+// ShardedTree.SetAsyncQueueCapacity).
+func (s *ShardedUint64Set) SetAsyncQueueCapacity(capacity int) {
+	s.t.SetAsyncQueueCapacity(capacity)
+}
+
+// u64keyAlloc heap-allocates the 8-byte big-endian key of v: async ops hold
+// their key until applied, so the stack buffer trick of the sync path does
+// not apply.
+func u64keyAlloc(v uint64) []byte {
+	b := make([]byte, 8)
+	return u64key(v, (*[8]byte)(b))
+}
