@@ -9,7 +9,7 @@ GO ?= go
 # FUZZTIME=20s to fit its time box.
 FUZZTIME ?= 30s
 
-.PHONY: all ci check race chaos crash fuzz bench bench-json clean
+.PHONY: all ci check race chaos crash wal fuzz bench bench-json clean
 
 all: check race chaos crash
 
@@ -46,10 +46,21 @@ chaos:
 # Crash matrix: a subprocess writer is killed at every snapshot I/O
 # injection point (fixed seed) and the parent must recover a verifiable
 # tree from what is left on disk — for both the flat snapshot format and
-# the multiplexed sharded format.
+# the multiplexed sharded format. The WAL matrix additionally kills a
+# durable writer at every log I/O point (append, torn write, fsync,
+# rotate, recovery-time truncation) plus every snapshot point mid-
+# checkpoint, and requires recovery of every acknowledged write; it runs
+# under -race because group commit is the one multi-goroutine WAL path.
 crash:
 	$(GO) test -run 'TestCrashMatrix' -count=1 -v ./internal/persist/
 	$(GO) test -run 'TestShardedCrashMatrix' -count=1 -v .
+	$(GO) test -race -run 'TestWALCrashMatrix' -count=1 -v .
+
+# Quick durability smoke: the WAL unit surface (framing, group commit,
+# damage sweeps, injection) and the durable round-trip/recovery tests.
+wal:
+	$(GO) test -run 'TestWAL' -count=1 ./internal/persist/
+	$(GO) test -run 'TestDurable|TestWALCrashMatrix' -count=1 .
 
 # Short exploratory fuzz burst over each public-API fuzz target.
 # This list must track the Fuzz* functions in fuzz_test.go — add a line
@@ -63,6 +74,7 @@ fuzz:
 	$(GO) test -fuzz FuzzSnapshotLoad -fuzztime $(FUZZTIME) .
 	$(GO) test -fuzz FuzzShardedSnapshotLoad -fuzztime $(FUZZTIME) .
 	$(GO) test -fuzz FuzzSnapshotRoundTrip -fuzztime $(FUZZTIME) .
+	$(GO) test -fuzz FuzzWALReplay -fuzztime $(FUZZTIME) .
 
 bench:
 	$(GO) test -bench . -benchtime 1s -run - .
@@ -72,11 +84,14 @@ bench:
 # JSON records {dataset, workload, dist, index, batch, mops, misses}.
 # The second run sweeps shard counts for the range-sharded tree (shards=0
 # is the unsharded baseline) into BENCH_4.json; the third sweeps the
-# zipfian submission-queue before/after (async=0 vs 1) into BENCH_5.json.
+# zipfian submission-queue before/after (async=0 vs 1) into BENCH_5.json;
+# the fourth measures WAL overhead (wal=0 vs 1, sync and async writers)
+# into BENCH_6.json.
 bench-json:
 	$(GO) run ./cmd/hot-ycsb -n 200000 -ops 400000 -workloads C,load -indexes hot -batch 0,16 -json BENCH_2.json
 	$(GO) run ./cmd/hot-ycsb -n 200000 -ops 400000 -workloads load,A -datasets integer,url -indexes hot -shards 1,2,4,8 -json BENCH_4.json
 	$(GO) run ./cmd/hot-ycsb -n 200000 -ops 400000 -workloads load,A -datasets integer,url -dists zipf -indexes hot -shards 8 -async 0,1 -json BENCH_5.json
+	$(GO) run ./cmd/hot-ycsb -n 200000 -ops 400000 -workloads load,A -datasets integer -indexes hot -shards 8 -async 0,1 -wal 0,1 -json BENCH_6.json
 
 clean:
 	$(GO) clean -testcache

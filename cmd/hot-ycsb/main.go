@@ -35,6 +35,7 @@ type record struct {
 	Shards   int     `json:"shards"`
 	Threads  int     `json:"threads"`
 	Async    int     `json:"async"`
+	Wal      int     `json:"wal"`
 	Mops     float64 `json:"mops"`
 	Misses   int     `json:"misses"`
 }
@@ -54,6 +55,7 @@ func main() {
 		shards    = flag.String("shards", "0", "comma list of shard counts for the range-partitioned hot index (0 = unsharded; other indexes skip sharded configs)")
 		threads   = flag.Int("threads", 0, "client goroutines for sharded configs, load and transaction phases (0 = one per shard)")
 		async     = flag.String("async", "0", "comma list of 0/1: route writes through the sharded tree's submission-queue path (1 requires a sharded hot config)")
+		wal       = flag.String("wal", "0", "comma list of 0/1: open the sharded hot index in durable (write-ahead-logged) mode in a temp dir (1 requires a sharded hot config)")
 		jsonPath  = flag.String("json", "", "additionally write results as a JSON array to this file")
 		seed      = flag.Int64("seed", 2018, "data/workload seed")
 	)
@@ -80,6 +82,17 @@ func main() {
 			asyncModes = append(asyncModes, true)
 		default:
 			die(fmt.Errorf("-async accepts a comma list of 0 and 1, got %q", a))
+		}
+	}
+	var walModes []bool
+	for _, w := range split(*wal) {
+		switch w {
+		case "0":
+			walModes = append(walModes, false)
+		case "1":
+			walModes = append(walModes, true)
+		default:
+			die(fmt.Errorf("-wal accepts a comma list of 0 and 1, got %q", w))
 		}
 	}
 
@@ -134,61 +147,88 @@ func main() {
 								if am && sc == 0 {
 									continue // only the sharded tree has submission queues
 								}
-								var inst bench.Instance
-								if sc > 0 {
-									t := hot.NewShardedTree(data.Store.Key, sc, data.Keys[:*n])
-									inst = bench.NewInstance(fmt.Sprintf("hot-s%d", sc), t,
-										func() int { return t.Memory().PaperBytes })
-								} else {
-									var err error
-									inst, err = bench.New(iname, data.Store)
-									die(err)
-								}
-								r := data.Runner(inst, *n, *seed)
-								r.CaptureLatency = *latency
-								r.BatchLookups = b
-								r.Async = am
-								loadThreads := 1
-								if sc > 0 {
-									loadThreads = *threads
-									if loadThreads <= 0 {
-										loadThreads = sc
+								for _, wm := range walModes {
+									if wm && sc == 0 {
+										continue // durable mode exists only for the sharded tree
+									}
+									var inst bench.Instance
+									var durable *hot.ShardedTree
+									var walDir string
+									if sc > 0 {
+										var t *hot.ShardedTree
+										if wm {
+											var err error
+											walDir, err = os.MkdirTemp("", "hot-ycsb-wal-*")
+											die(err)
+											t, _, err = hot.OpenDurableShardedTree(walDir, data.Store.Key, sc, data.Keys[:*n], hot.DurableOptions{})
+											die(err)
+											durable = t
+										} else {
+											t = hot.NewShardedTree(data.Store.Key, sc, data.Keys[:*n])
+										}
+										inst = bench.NewInstance(fmt.Sprintf("hot-s%d", sc), t,
+											func() int { return t.Memory().PaperBytes })
+									} else {
+										var err error
+										inst, err = bench.New(iname, data.Store)
+										die(err)
+									}
+									r := data.Runner(inst, *n, *seed)
+									r.CaptureLatency = *latency
+									r.BatchLookups = b
+									r.Async = am
+									loadThreads := 1
+									if sc > 0 {
+										loadThreads = *threads
+										if loadThreads <= 0 {
+											loadThreads = sc
+										}
+									}
+									var res ycsb.Result
+									if w.Name == "load" {
+										res = r.LoadParallel(loadThreads)
+									} else {
+										r.LoadParallel(loadThreads)
+										// loadThreads > 1 only for sharded
+										// configs — the only index safe for
+										// concurrent transaction clients.
+										res = r.RunParallel(w, dist, *ops, loadThreads)
+									}
+									name := inst.Name
+									if am {
+										name += "+q"
+									}
+									if wm {
+										name += "+wal"
+									}
+									fmt.Printf("%-9s %-26s %-8s %-10s %6d %10.3f %9d",
+										ds, w.Name+" ("+w.Description+")", dist, name, b, res.Mops(), res.NotFound)
+									if res.Latency != nil {
+										fmt.Printf("   %s", res.Latency)
+									}
+									fmt.Println()
+									if *opstats {
+										if st, ok := inst.Idx.(interface{ OpStats() hot.OpStats }); ok {
+											fmt.Printf("%-9s   opstats: %s\n", "", st.OpStats())
+										}
+									}
+									asyncRec, walRec := 0, 0
+									if am {
+										asyncRec = 1
+									}
+									if wm {
+										walRec = 1
+									}
+									records = append(records, record{
+										Dataset: ds, Workload: w.Name, Dist: dist.String(), Index: name,
+										Batch: b, Shards: sc, Threads: loadThreads, Async: asyncRec, Wal: walRec,
+										Mops: res.Mops(), Misses: res.NotFound,
+									})
+									if durable != nil {
+										die(durable.Close())
+										die(os.RemoveAll(walDir))
 									}
 								}
-								var res ycsb.Result
-								if w.Name == "load" {
-									res = r.LoadParallel(loadThreads)
-								} else {
-									r.LoadParallel(loadThreads)
-									// loadThreads > 1 only for sharded
-									// configs — the only index safe for
-									// concurrent transaction clients.
-									res = r.RunParallel(w, dist, *ops, loadThreads)
-								}
-								name := inst.Name
-								if am {
-									name += "+q"
-								}
-								fmt.Printf("%-9s %-26s %-8s %-10s %6d %10.3f %9d",
-									ds, w.Name+" ("+w.Description+")", dist, name, b, res.Mops(), res.NotFound)
-								if res.Latency != nil {
-									fmt.Printf("   %s", res.Latency)
-								}
-								fmt.Println()
-								if *opstats {
-									if st, ok := inst.Idx.(interface{ OpStats() hot.OpStats }); ok {
-										fmt.Printf("%-9s   opstats: %s\n", "", st.OpStats())
-									}
-								}
-								asyncRec := 0
-								if am {
-									asyncRec = 1
-								}
-								records = append(records, record{
-									Dataset: ds, Workload: w.Name, Dist: dist.String(), Index: name,
-									Batch: b, Shards: sc, Threads: loadThreads, Async: asyncRec,
-									Mops: res.Mops(), Misses: res.NotFound,
-								})
 							}
 						}
 					}

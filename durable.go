@@ -1,0 +1,290 @@
+package hot
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"github.com/hotindex/hot/internal/persist"
+)
+
+// Durable mode: an opt-in write-ahead log under the in-memory index, so a
+// crash — at any instruction — loses no acknowledged write. Every mutation
+// is appended to an append-only log (internal/persist WAL format: per-
+// record CRC32-C, monotonic LSNs) before it is applied, and acknowledged
+// only after a group-committed fsync. Checkpoints bound replay time: a
+// snapshot save records the checkpoint LSN and rotates the log behind it,
+// and recovery is "load the newest valid snapshot, then replay the log
+// tail", tolerant of torn tails and bit rot exactly like snapshot Recover.
+//
+// What "acknowledged" means:
+//
+//   - Synchronous writes (Insert/Upsert/Delete, DurableMap.Set): durable
+//     when the call returns.
+//   - Asynchronous writes (InsertAsync/...): durable when Flush returns —
+//     each drain slice commits with one shared fsync before its ops count
+//     as applied, so the Flush barrier is also a durability barrier. Ops
+//     still queued when the process dies were never acknowledged and may
+//     be lost.
+//
+// A durable index that cannot reach its log can no longer honor that
+// contract, so the plain write methods panic on log I/O errors (the error
+// is sticky: the first failed append or fsync poisons the log). Checkpoint
+// and Close return errors normally.
+
+// DurableOptions tunes an index opened in durable mode.
+type DurableOptions struct {
+	// GroupCommitDelay is the fsync accumulation window: a commit leader
+	// waits this long before its fsync so concurrent writers share it —
+	// higher throughput at the cost of that much acknowledgement latency.
+	// Zero syncs immediately (every sync write pays its own fsync unless a
+	// concurrent commit is already in flight to piggyback on).
+	GroupCommitDelay time.Duration
+}
+
+// RecoveryInfo reports what an OpenDurable* constructor restored: how much
+// came from the snapshot, how much was replayed from the logs, and any
+// damage that was tolerated along the way (torn tails cut off, corrupt
+// records discarded). Zero damage fields mean a clean recovery.
+type RecoveryInfo struct {
+	// SnapshotEntries is the number of entries restored from the snapshot.
+	SnapshotEntries uint64
+	// SnapshotDamage is the damage that truncated the snapshot load, nil
+	// when the snapshot was complete or absent.
+	SnapshotDamage *SnapshotError
+	// WALRecords is the number of log records replayed across all logs.
+	WALRecords uint64
+	// WALDamaged is the number of logs whose tail was cut off as torn or
+	// corrupt (the damage is expected after a crash: the tail records were
+	// never acknowledged).
+	WALDamaged int
+	// WALDamage is the first log damage encountered, nil when every log
+	// was clean.
+	WALDamage *SnapshotError
+}
+
+// durableSnapName is the snapshot file inside a durable directory.
+const durableSnapName = "snap.hot"
+
+// errNotDurable is returned by durability-only methods on an index that
+// was not opened in durable mode.
+var errNotDurable = errors.New("hot: index not opened in durable mode")
+
+// resumeWAL opens the log at path for appending, replaying its valid
+// record prefix through fn first. A missing log is created fresh (base 0);
+// a torn or corrupt tail — including records fn itself rejects — is cut
+// off at the last valid record; a log whose header is unsalvageable is
+// recreated empty. The returned report carries what was replayed and any
+// damage tolerated.
+func resumeWAL(path string, fn persist.WALEntryFunc, delay time.Duration) (*persist.WAL, persist.WALReplayReport, error) {
+	if _, err := os.Stat(path); err != nil {
+		if os.IsNotExist(err) {
+			w, cerr := persist.CreateWAL(path, 0, delay)
+			return w, persist.WALReplayReport{}, cerr
+		}
+		return nil, persist.WALReplayReport{}, err
+	}
+	rep, rerr := persist.ReplayWALFile(path, fn)
+	if rerr != nil {
+		var fe *persist.FormatError
+		if !errors.As(rerr, &fe) {
+			return nil, rep, rerr // I/O failure, not log damage
+		}
+		// fn-level rejection (a record that is structurally valid but
+		// inconsistent with this index) or an unusable header: both cut
+		// the log at the last record fn accepted.
+		if rep.Damage == nil {
+			rep.Damage = fe
+		}
+	}
+	w, err := persist.ContinueWAL(path, rep, delay)
+	if err != nil {
+		var fe *persist.FormatError
+		if !errors.As(err, &fe) {
+			return nil, rep, err
+		}
+		// Not even the header survived: nothing was replayable, so a
+		// fresh log loses nothing further.
+		w, err = persist.CreateWAL(path, 0, delay)
+		if err != nil {
+			return nil, rep, err
+		}
+	}
+	return w, rep, nil
+}
+
+// noteWALDamage folds one log's replay report into the recovery summary.
+func (info *RecoveryInfo) noteWALDamage(rep persist.WALReplayReport) {
+	info.WALRecords += rep.Records
+	if rep.Damage != nil {
+		info.WALDamaged++
+		if info.WALDamage == nil {
+			info.WALDamage = rep.Damage
+		}
+	}
+}
+
+// ---- DurableMap ----
+
+// DurableMap is Map with a write-ahead log under it — the single-tree
+// durable variant (see the package durability comment above for the
+// acknowledgement contract). Every Set and Delete is logged and fsynced
+// before it returns; Checkpoint snapshots the map and truncates the log;
+// reopening the same directory recovers every acknowledged write after a
+// crash at any point. Unlike Map, DurableMap is safe for concurrent use
+// (a single mutex orders all operations; the group-committed fsync
+// dominates write cost anyway).
+type DurableMap struct {
+	mu   sync.Mutex
+	m    *Map
+	wal  *persist.WAL
+	dir  string
+	ckpt sync.Mutex // serializes Checkpoint against itself
+}
+
+// OpenDurableMap opens (or creates) the durable map stored in dir:
+// `snap.hot` (the newest checkpoint snapshot) plus `wal.log` (the write-
+// ahead log of everything since). Recovery loads the snapshot — salvaging
+// the longest valid prefix if it is damaged — then replays the log's valid
+// record prefix, truncating any torn tail.
+func OpenDurableMap(dir string, opts DurableOptions) (*DurableMap, RecoveryInfo, error) {
+	var info RecoveryInfo
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, info, err
+	}
+	m := NewMap()
+	snap := filepath.Join(dir, durableSnapName)
+	if _, err := os.Stat(snap); err == nil {
+		mm, rep, lerr := RecoverMapFile(snap)
+		if lerr != nil {
+			return nil, info, lerr
+		}
+		m = mm
+		info.SnapshotEntries = rep.Entries
+		if !rep.Complete {
+			info.SnapshotDamage = rep.Damage
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, info, err
+	}
+	w, rep, err := resumeWAL(filepath.Join(dir, "wal.log"), func(op persist.WalOp, key []byte, tid uint64) error {
+		if len(key) > MaxMapKeyLen {
+			return &SnapshotError{Kind: persist.ErrCorrupt,
+				Detail: fmt.Sprintf("log record key length %d exceeds MaxMapKeyLen %d", len(key), MaxMapKeyLen)}
+		}
+		switch op {
+		case persist.WalInsert:
+			if _, ok := m.Get(key); !ok {
+				m.Set(key, tid)
+			}
+		case persist.WalUpsert:
+			m.Set(key, tid)
+		case persist.WalDelete:
+			m.Delete(key)
+		}
+		return nil
+	}, opts.GroupCommitDelay)
+	if err != nil {
+		return nil, info, err
+	}
+	info.noteWALDamage(rep)
+	return &DurableMap{m: m, wal: w, dir: dir}, info, nil
+}
+
+// append logs one operation, panicking on log failure (see the durability
+// contract above).
+func (dm *DurableMap) append(op persist.WalOp, key []byte, val uint64) uint64 {
+	lsn, err := dm.wal.Append(op, key, val)
+	if err != nil {
+		panic(fmt.Sprintf("hot: durable map write-ahead append failed: %v", err))
+	}
+	return lsn
+}
+
+func (dm *DurableMap) commit(lsn uint64) {
+	if err := dm.wal.Commit(lsn); err != nil {
+		panic(fmt.Sprintf("hot: durable map log commit failed: %v", err))
+	}
+}
+
+// Set durably stores val under key, replacing any existing value: the
+// write is logged and group-commit fsynced before Set returns. It reports
+// whether the key was newly inserted.
+func (dm *DurableMap) Set(key []byte, val uint64) bool {
+	if len(key) > MaxMapKeyLen {
+		panic(fmt.Sprintf("hot: Map key length %d exceeds MaxMapKeyLen %d", len(key), MaxMapKeyLen))
+	}
+	dm.mu.Lock()
+	lsn := dm.append(persist.WalUpsert, key, val)
+	ok := dm.m.Set(key, val)
+	dm.mu.Unlock()
+	dm.commit(lsn)
+	return ok
+}
+
+// Delete durably removes key, reporting whether it was present.
+func (dm *DurableMap) Delete(key []byte) bool {
+	dm.mu.Lock()
+	lsn := dm.append(persist.WalDelete, key, 0)
+	ok := dm.m.Delete(key)
+	dm.mu.Unlock()
+	dm.commit(lsn)
+	return ok
+}
+
+// Get returns the value stored under key.
+func (dm *DurableMap) Get(key []byte) (uint64, bool) {
+	dm.mu.Lock()
+	defer dm.mu.Unlock()
+	return dm.m.Get(key)
+}
+
+// Range invokes fn for up to max entries with key ≥ start in ascending key
+// order (see Map.Range). The map is locked for the duration.
+func (dm *DurableMap) Range(start []byte, max int, fn func(key []byte, val uint64) bool) int {
+	dm.mu.Lock()
+	defer dm.mu.Unlock()
+	return dm.m.Range(start, max, fn)
+}
+
+// Len returns the number of stored keys.
+func (dm *DurableMap) Len() int {
+	dm.mu.Lock()
+	defer dm.mu.Unlock()
+	return dm.m.Len()
+}
+
+// Verify checks the underlying trie's structural invariants.
+func (dm *DurableMap) Verify() error {
+	dm.mu.Lock()
+	defer dm.mu.Unlock()
+	return dm.m.Verify()
+}
+
+// LogSize returns the current byte length of the write-ahead log — what a
+// Checkpoint would truncate.
+func (dm *DurableMap) LogSize() int64 { return dm.wal.Size() }
+
+// Checkpoint durably snapshots the map and rotates the log behind it, so
+// recovery replays only what came after. Writers are held off for the
+// duration of the snapshot; on error the previous snapshot and the full
+// log remain intact.
+func (dm *DurableMap) Checkpoint() error {
+	dm.ckpt.Lock()
+	defer dm.ckpt.Unlock()
+	dm.mu.Lock()
+	defer dm.mu.Unlock()
+	if err := dm.m.SaveFile(filepath.Join(dm.dir, durableSnapName)); err != nil {
+		return err
+	}
+	return dm.wal.Rotate(dm.wal.LastLSN())
+}
+
+// Close makes every logged write durable and closes the log. The map must
+// be quiescent.
+func (dm *DurableMap) Close() error {
+	return dm.wal.Close()
+}

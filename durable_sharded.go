@@ -1,0 +1,325 @@
+package hot
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"github.com/hotindex/hot/internal/persist"
+	"github.com/hotindex/hot/internal/shard"
+	"github.com/hotindex/hot/internal/tidstore"
+)
+
+// Durable mode for the sharded index types: one write-ahead log per shard,
+// so logging scales with the shards exactly like the writes themselves —
+// shards share no log file, no commit lock and no fsync. See durable.go
+// for the acknowledgement contract.
+//
+// Consistency hinges on one invariant: a shard's {log append, trie apply}
+// pair is atomic under the shard's commit lock. The fsync happens outside
+// the lock (group commit), but the cut a Checkpoint takes while holding
+// every commit lock is therefore exact — no operation is ever logged but
+// unapplied or applied but unlogged at the cut — so the snapshot written
+// at the cut covers precisely LSNs ≤ cut and each log can be rotated to
+// base = cut. Recovery replays each log's tail verbatim (inserts re-apply
+// as inserts, rejections and all), which converges to the pre-crash state
+// even when the snapshot is newer than a log's base (a crash between the
+// snapshot rename and a rotation): every key's final value is decided by
+// the last record touching it, or by the snapshot if no tail record does.
+
+// durableState is the write-ahead side of a durable ShardedTree.
+type durableState struct {
+	dir  string
+	kind uint16 // snapshot section kind written at checkpoints
+	mu   []paddedMutex
+	wals []*persist.WAL
+	ckpt sync.Mutex // serializes Checkpoint and Close
+}
+
+// paddedMutex keeps the per-shard commit locks on separate cache lines, in
+// the spirit of asyncShard's padding.
+type paddedMutex struct {
+	sync.Mutex
+	_ [56]byte
+}
+
+func durableWalName(s int) string { return fmt.Sprintf("wal-%03d.log", s) }
+
+func (d *durableState) snapPath() string { return filepath.Join(d.dir, durableSnapName) }
+
+// append logs one operation to shard s's log. Callers hold d.mu[s]. A log
+// failure panics: the store can no longer honor its durability contract
+// (see durable.go).
+func (d *durableState) append(s int, op shard.Op) uint64 {
+	var wop persist.WalOp
+	switch op.Kind {
+	case shard.OpInsert:
+		wop = persist.WalInsert
+	case shard.OpUpsert:
+		wop = persist.WalUpsert
+	default:
+		wop = persist.WalDelete
+	}
+	lsn, err := d.wals[s].Append(wop, op.Key, op.TID)
+	if err != nil {
+		panic(fmt.Sprintf("hot: shard %d write-ahead append failed: %v", s, err))
+	}
+	return lsn
+}
+
+// commit group-commits shard s's log through lsn, panicking on failure.
+// Callers must NOT hold d.mu[s]: appends proceed while the fsync runs.
+func (d *durableState) commit(s int, lsn uint64) {
+	if err := d.wals[s].Commit(lsn); err != nil {
+		panic(fmt.Sprintf("hot: shard %d log commit failed: %v", s, err))
+	}
+}
+
+// Synchronous durable write paths: log under the commit lock, apply, then
+// group-commit outside it.
+
+func (d *durableState) insert(t *ShardedTree, s int, key []byte, tid TID) bool {
+	d.mu[s].Lock()
+	lsn := d.append(s, shard.Op{Key: key, TID: tid, Kind: shard.OpInsert})
+	ok := t.shards[s].Insert(key, tid)
+	d.mu[s].Unlock()
+	d.commit(s, lsn)
+	return ok
+}
+
+func (d *durableState) upsert(t *ShardedTree, s int, key []byte, tid TID) (TID, bool) {
+	d.mu[s].Lock()
+	lsn := d.append(s, shard.Op{Key: key, TID: tid, Kind: shard.OpUpsert})
+	old, replaced := t.shards[s].Upsert(key, tid)
+	d.mu[s].Unlock()
+	d.commit(s, lsn)
+	return old, replaced
+}
+
+func (d *durableState) delete(t *ShardedTree, s int, key []byte) bool {
+	d.mu[s].Lock()
+	lsn := d.append(s, shard.Op{Key: key, Kind: shard.OpDelete})
+	ok := t.shards[s].Delete(key)
+	d.mu[s].Unlock()
+	d.commit(s, lsn)
+	return ok
+}
+
+// Durable reports whether the tree was opened in durable (write-ahead
+// logged) mode.
+func (t *ShardedTree) Durable() bool { return t.dur != nil }
+
+// LogSize returns the total byte length of the per-shard write-ahead logs
+// — what a Checkpoint would truncate. It returns 0 for a non-durable tree.
+func (t *ShardedTree) LogSize() int64 {
+	if t.dur == nil {
+		return 0
+	}
+	var n int64
+	for _, w := range t.dur.wals {
+		n += w.Size()
+	}
+	return n
+}
+
+// Checkpoint durably snapshots the whole tree and rotates every shard's
+// log behind it, bounding recovery replay to what comes after. It holds
+// every shard's commit lock for the duration — writers block, readers are
+// unaffected — so the cut is exact: the snapshot covers precisely the
+// records each log held, and each rotated log restarts at that base. On
+// error the previous snapshot and the full logs remain intact (a crash
+// mid-rotation leaves some logs rotated and some not; recovery replays
+// both kinds correctly, see the file comment).
+func (t *ShardedTree) Checkpoint() error {
+	d := t.dur
+	if d == nil {
+		return errNotDurable
+	}
+	d.ckpt.Lock()
+	defer d.ckpt.Unlock()
+	for s := range d.mu {
+		d.mu[s].Lock()
+	}
+	defer func() {
+		for s := range d.mu {
+			d.mu[s].Unlock()
+		}
+	}()
+	if err := persist.AtomicFile(d.snapPath(), func(w io.Writer) error {
+		return t.writeSections(w, d.kind)
+	}); err != nil {
+		return err
+	}
+	for s := range d.wals {
+		if err := d.wals[s].Rotate(d.wals[s].LastLSN()); err != nil {
+			return fmt.Errorf("hot: rotating shard %d log: %w", s, err)
+		}
+	}
+	return nil
+}
+
+// Close flushes the async backlog, makes every logged write durable, and
+// closes the logs. On a non-durable tree it is just the Flush barrier.
+// The tree must not be written after Close.
+func (t *ShardedTree) Close() error {
+	t.Flush()
+	d := t.dur
+	if d == nil {
+		return nil
+	}
+	d.ckpt.Lock()
+	defer d.ckpt.Unlock()
+	var first error
+	for s := range d.wals {
+		if err := d.wals[s].Close(); err != nil && first == nil {
+			first = fmt.Errorf("hot: closing shard %d log: %w", s, err)
+		}
+	}
+	return first
+}
+
+// replayShardOp applies one replayed log record to shard s, verbatim: a
+// rejected insert or absent delete replays as the no-op it was live. A key
+// outside the shard's range means the record belongs to a different
+// boundary generation (or is corrupt despite its CRC) and rejects the
+// record, cutting the log there.
+func (t *ShardedTree) replayShardOp(s int, op persist.WalOp, key []byte, tid uint64) error {
+	if !shard.Check(t.bounds, s, key) {
+		return &SnapshotError{Kind: persist.ErrCorrupt,
+			Detail: fmt.Sprintf("log record key %q outside shard %d's range", key, s)}
+	}
+	switch op {
+	case persist.WalInsert:
+		t.shards[s].Insert(key, tid)
+	case persist.WalUpsert:
+		t.shards[s].Upsert(key, tid)
+	case persist.WalDelete:
+		t.shards[s].Delete(key)
+	}
+	return nil
+}
+
+// OpenDurableShardedTree opens (or creates) the durable sharded tree
+// stored in dir: `snap.hot` (the newest checkpoint snapshot, which also
+// records the shard boundaries) plus one `wal-NNN.log` per shard.
+// Recovery loads the snapshot — salvaging its longest valid prefix if
+// damaged — then replays each shard's log tail, truncating torn tails.
+// The shards and sample arguments are used only when dir holds no
+// snapshot yet (first open); an existing snapshot's boundary table always
+// wins, so the sample need not be stable across runs. The loader must
+// resolve TIDs exactly as in past runs.
+func OpenDurableShardedTree(dir string, loader Loader, shards int, sample [][]byte, opts DurableOptions) (*ShardedTree, RecoveryInfo, error) {
+	if loader == nil {
+		panic("hot: nil Loader")
+	}
+	return openDurableSharded(dir, loader, persist.KindTree, nil, shards, sample, opts)
+}
+
+func openDurableSharded(dir string, loader Loader, kind uint16, check func(key []byte, tid TID) error, shards int, sample [][]byte, opts DurableOptions) (*ShardedTree, RecoveryInfo, error) {
+	var info RecoveryInfo
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, info, err
+	}
+	snap := filepath.Join(dir, durableSnapName)
+	var t *ShardedTree
+	if _, err := os.Stat(snap); err == nil {
+		f, oerr := os.Open(snap)
+		if oerr != nil {
+			return nil, info, oerr
+		}
+		nt, rep, lerr := readSharded(f, kind, loader, check, true)
+		f.Close()
+		if lerr != nil {
+			// Unusable manifest: without the boundary table the logs
+			// cannot be routed, so recovery needs operator attention.
+			return nil, info, lerr
+		}
+		t = nt
+		info.SnapshotEntries = rep.Entries
+		if !rep.Complete {
+			info.SnapshotDamage = rep.Damage
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, info, err
+	}
+	fresh := t == nil
+	if fresh {
+		if shards < 1 {
+			panic("hot: shard count must be >= 1")
+		}
+		t = newShardedFromBounds(loader, shard.Boundaries(shards, sample))
+	}
+	d := &durableState{dir: dir, kind: kind,
+		mu:   make([]paddedMutex, len(t.shards)),
+		wals: make([]*persist.WAL, len(t.shards))}
+	if fresh {
+		// First durable open: persist the (empty) tree immediately so the
+		// shard boundaries are on disk. Recovery always restores bounds
+		// from the snapshot — never re-derives them from a sample that
+		// might differ between runs and misroute every log record.
+		if err := persist.AtomicFile(snap, func(w io.Writer) error {
+			return t.writeSections(w, kind)
+		}); err != nil {
+			return nil, info, err
+		}
+	}
+	for s := range t.shards {
+		s := s
+		w, rep, err := resumeWAL(filepath.Join(dir, durableWalName(s)), func(op persist.WalOp, key []byte, tid uint64) error {
+			if check != nil && op != persist.WalDelete {
+				if cerr := check(key, tid); cerr != nil {
+					return cerr
+				}
+			}
+			return t.replayShardOp(s, op, key, tid)
+		}, opts.GroupCommitDelay)
+		if err != nil {
+			for _, pw := range d.wals {
+				if pw != nil {
+					pw.Close()
+				}
+			}
+			return nil, info, fmt.Errorf("hot: recovering shard %d log: %w", s, err)
+		}
+		d.wals[s] = w
+		info.noteWALDamage(rep)
+	}
+	t.dur = d
+	return t, info, nil
+}
+
+// ---- ShardedUint64Set ----
+
+// OpenDurableShardedUint64Set opens (or creates) the durable sharded
+// integer set stored in dir (see OpenDurableShardedTree; the sample seeds
+// the shard boundaries on first open only).
+func OpenDurableShardedUint64Set(dir string, shards int, sample []uint64, opts DurableOptions) (*ShardedUint64Set, RecoveryInfo, error) {
+	skeys := make([][]byte, len(sample))
+	flat := make([]byte, 8*len(sample))
+	for i, v := range sample {
+		binary.BigEndian.PutUint64(flat[8*i:], v)
+		skeys[i] = flat[8*i : 8*i+8]
+	}
+	t, info, err := openDurableSharded(dir, tidstore.Uint64Key, persist.KindUint64Set, checkSetEntry, shards, skeys, opts)
+	if err != nil {
+		return nil, info, err
+	}
+	return &ShardedUint64Set{t: t}, info, nil
+}
+
+// Durable reports whether the set was opened in durable mode.
+func (s *ShardedUint64Set) Durable() bool { return s.t.Durable() }
+
+// LogSize returns the total byte length of the per-shard write-ahead logs.
+func (s *ShardedUint64Set) LogSize() int64 { return s.t.LogSize() }
+
+// Checkpoint durably snapshots the set and rotates the logs behind it (see
+// ShardedTree.Checkpoint).
+func (s *ShardedUint64Set) Checkpoint() error { return s.t.Checkpoint() }
+
+// Close flushes the async backlog, makes every logged write durable and
+// closes the logs (see ShardedTree.Close).
+func (s *ShardedUint64Set) Close() error { return s.t.Close() }

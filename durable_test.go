@@ -1,0 +1,333 @@
+package hot
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hotindex/hot/internal/dataset"
+	"github.com/hotindex/hot/internal/tidstore"
+)
+
+func TestDurableShardedUint64SetRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	sample := walCrashSample()
+	set, info, err := OpenDurableShardedUint64Set(dir, 4, sample, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.SnapshotEntries != 0 || info.WALRecords != 0 {
+		t.Fatalf("fresh open reported recovery: %+v", info)
+	}
+	if !set.Durable() {
+		t.Fatal("set not durable")
+	}
+	const n = 2000
+	for v := uint64(0); v < n; v++ {
+		if !set.Insert(v * 37 % 100000) {
+			t.Fatalf("insert %d rejected", v)
+		}
+	}
+	for v := uint64(0); v < n; v += 4 {
+		if !set.Delete(v * 37 % 100000) {
+			t.Fatalf("delete %d missed", v)
+		}
+	}
+	want := set.Len()
+	if err := set.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	set2, info, err := OpenDurableShardedUint64Set(dir, 4, sample, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set2.Close()
+	if err := set2.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if set2.Len() != want {
+		t.Fatalf("recovered %d values, want %d", set2.Len(), want)
+	}
+	if info.WALRecords != n+n/4 {
+		t.Fatalf("replayed %d records, want %d", info.WALRecords, n+n/4)
+	}
+	if info.WALDamaged != 0 || info.SnapshotDamage != nil {
+		t.Fatalf("clean shutdown reported damage: %+v", info)
+	}
+	for v := uint64(0); v < n; v++ {
+		val := v * 37 % 100000
+		if got := set2.Contains(val); got != (v%4 != 0) {
+			// Hash collisions can re-insert a deleted value later in the
+			// stream; recompute the truth the slow way before failing.
+			truth := map[uint64]bool{}
+			for w := uint64(0); w < n; w++ {
+				truth[w*37%100000] = true
+			}
+			for w := uint64(0); w < n; w += 4 {
+				delete(truth, w*37%100000)
+			}
+			if got != truth[val] {
+				t.Fatalf("value %d: contains=%v want %v", val, got, truth[val])
+			}
+		}
+	}
+}
+
+func TestDurableShardedTreeMixedSyncAsync(t *testing.T) {
+	dir := t.TempDir()
+	keys := dataset.Generate(dataset.Integer, 3000, 11)
+	store := &tidstore.Store{}
+	for _, k := range keys {
+		store.Add(k)
+	}
+	open := func() (*ShardedTree, RecoveryInfo, error) {
+		return OpenDurableShardedTree(dir, store.Key, 4, keys, DurableOptions{})
+	}
+	tr, _, err := open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys[:1000] {
+		if !tr.Insert(k, TID(i)) {
+			t.Fatalf("insert %d rejected", i)
+		}
+	}
+	for i, k := range keys[1000:2000] {
+		tr.InsertAsync(k, TID(1000+i))
+	}
+	tr.Flush()
+	if err := tr.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys[2000:] {
+		tr.UpsertAsync(k, TID(2000+i))
+	}
+	for _, k := range keys[:500] {
+		tr.DeleteAsync(k)
+	}
+	tr.Flush()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	tr2, info, err := open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr2.Close()
+	if err := tr2.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Len() != len(keys)-500 {
+		t.Fatalf("recovered %d keys, want %d", tr2.Len(), len(keys)-500)
+	}
+	// The checkpoint happened after 2000 ops, so replay must cover only
+	// the tail written since.
+	if info.SnapshotEntries != 2000 || info.WALRecords != 1500 {
+		t.Fatalf("recovery split snapshot/log = %d/%d, want 2000/1500", info.SnapshotEntries, info.WALRecords)
+	}
+	for i, k := range keys {
+		tid, ok := tr2.Lookup(k)
+		switch {
+		case i < 500:
+			if ok {
+				t.Fatalf("deleted key %d survived recovery", i)
+			}
+		default:
+			if !ok || tid != TID(i) {
+				t.Fatalf("key %d: tid=%d ok=%v", i, tid, ok)
+			}
+		}
+	}
+}
+
+func TestDurableCheckpointTruncatesLogs(t *testing.T) {
+	dir := t.TempDir()
+	set, _, err := OpenDurableShardedUint64Set(dir, 4, walCrashSample(), DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := uint64(0); v < 3000; v++ {
+		set.Insert(v)
+	}
+	grown := set.LogSize()
+	if err := set.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if set.LogSize() >= grown/10 {
+		t.Fatalf("checkpoint left logs at %d bytes (was %d)", set.LogSize(), grown)
+	}
+	if err := set.Close(); err != nil {
+		t.Fatal(err)
+	}
+	set2, info, err := OpenDurableShardedUint64Set(dir, 4, walCrashSample(), DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set2.Close()
+	if info.SnapshotEntries != 3000 || info.WALRecords != 0 {
+		t.Fatalf("post-checkpoint recovery = %+v, want all from snapshot", info)
+	}
+	if set2.Len() != 3000 {
+		t.Fatalf("recovered %d values", set2.Len())
+	}
+}
+
+func TestDurableGroupCommitConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	set, _, err := OpenDurableShardedUint64Set(dir, 4, walCrashSample(),
+		DurableOptions{GroupCommitDelay: 200 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, per = 8, 100
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				set.Insert(uint64(g*per + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := set.Close(); err != nil {
+		t.Fatal(err)
+	}
+	set2, info, err := OpenDurableShardedUint64Set(dir, 4, walCrashSample(), DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set2.Close()
+	if err := set2.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if set2.Len() != workers*per || info.WALRecords != workers*per {
+		t.Fatalf("recovered %d values, %d records; want %d", set2.Len(), info.WALRecords, workers*per)
+	}
+}
+
+func TestDurableNotDurableErrors(t *testing.T) {
+	tr := NewShardedTree(tidstore.Uint64Key, 2, nil)
+	if tr.Durable() {
+		t.Fatal("plain tree claims durability")
+	}
+	if err := tr.Checkpoint(); err != errNotDurable {
+		t.Fatalf("Checkpoint on plain tree: %v", err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatalf("Close on plain tree: %v", err)
+	}
+	if tr.LogSize() != 0 {
+		t.Fatal("plain tree reports log bytes")
+	}
+}
+
+func TestDurableMapRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m, info, err := OpenDurableMap(dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.SnapshotEntries != 0 || info.WALRecords != 0 {
+		t.Fatalf("fresh open reported recovery: %+v", info)
+	}
+	const n = 1000
+	for i := 0; i < n; i++ {
+		key := []byte(fmt.Sprintf("key-%04d", i))
+		if !m.Set(key, uint64(i)) {
+			t.Fatalf("set %d reported existing", i)
+		}
+	}
+	for i := 0; i < n; i += 3 {
+		if !m.Delete([]byte(fmt.Sprintf("key-%04d", i))) {
+			t.Fatalf("delete %d missed", i)
+		}
+	}
+	// Overwrites replay as upserts.
+	m.Set([]byte("key-0001"), 9999)
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, info, err := OpenDurableMap(dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if info.WALRecords != n+(n+2)/3+1 {
+		t.Fatalf("replayed %d records", info.WALRecords)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := m2.Get([]byte(fmt.Sprintf("key-%04d", i)))
+		switch {
+		case i == 1:
+			if !ok || v != 9999 {
+				t.Fatalf("overwritten key: %d %v", v, ok)
+			}
+		case i%3 == 0:
+			if ok {
+				t.Fatalf("deleted key %d survived", i)
+			}
+		default:
+			if !ok || v != uint64(i) {
+				t.Fatalf("key %d: %d %v", i, v, ok)
+			}
+		}
+	}
+
+	// Checkpoint truncates; a reopen then replays nothing.
+	if err := m2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m3, info, err := OpenDurableMap(dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m3.Close()
+	if info.WALRecords != 0 || int(info.SnapshotEntries) != m3.Len() {
+		t.Fatalf("post-checkpoint recovery: %+v vs len %d", info, m3.Len())
+	}
+}
+
+func TestDurableMapConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	m, _, err := OpenDurableMap(dir, DurableOptions{GroupCommitDelay: 100 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, per = 4, 50
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				m.Set([]byte(fmt.Sprintf("w%d-%03d", g, i)), uint64(g*per+i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if m.Len() != workers*per {
+		t.Fatalf("len %d", m.Len())
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m2, info, err := OpenDurableMap(dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if m2.Len() != workers*per || int(info.WALRecords) != workers*per {
+		t.Fatalf("recovered len %d, records %d", m2.Len(), info.WALRecords)
+	}
+}

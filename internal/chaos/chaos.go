@@ -80,6 +80,11 @@ const (
 	// the new snapshot is complete, its directory entry possibly not yet
 	// durable.
 	SnapDirSync
+	// SnapClose fires after the temp file is fsynced but before it is
+	// closed: a fault here must still remove the temp file and leave the
+	// previous snapshot intact (close-after-fsync errors are real on
+	// networked filesystems and must not be swallowed).
+	SnapClose
 
 	// Shard submission-queue fault points (the sharded async write path).
 	// Armed yields here force the protocol's narrow races — deposits
@@ -97,6 +102,33 @@ const (
 	// here leaves a free token next to a non-empty ring, the state both the
 	// handoff re-check and work stealing must recover from.
 	ShardWriterHandoff
+
+	// Write-ahead-log I/O fault points (internal/persist WAL). Like the
+	// snap/* points, a nil action injects persist.ErrInjected and an Exit
+	// action simulates a process crash at exactly that I/O step; the WAL
+	// crash matrix drives both.
+
+	// WalAppend fires before buffered log records are written to the log
+	// file: a crash here loses every record since the last append, all of
+	// them unacknowledged.
+	WalAppend
+	// WalTornWrite fires after the first half of an append has reached the
+	// log file but before the rest: a short write leaving a torn tail
+	// record that replay must detect by its CRC and cut off.
+	WalTornWrite
+	// WalSync fires after appended records are fully written but before
+	// the group-commit fsync — the window in which a crash may leave any
+	// prefix of the appended records durable.
+	WalSync
+	// WalRotate fires after a checkpoint's replacement log is durable but
+	// before it is renamed over the old log: a crash here must leave the
+	// old log (whose records the just-written snapshot already covers)
+	// intact and replayable.
+	WalRotate
+	// WalTruncate fires during recovery, before a torn tail is truncated
+	// off the log: a crash here must leave recovery re-runnable (the same
+	// valid prefix salvages again).
+	WalTruncate
 
 	// NumPoints is the number of named injection points.
 	NumPoints = int(iota)
@@ -116,8 +148,14 @@ var pointNames = [NumPoints]string{
 	"snap/sync",
 	"snap/rename",
 	"snap/dir-sync",
+	"snap/close",
 	"shard/queue-push",
 	"shard/writer-handoff",
+	"wal/append",
+	"wal/torn-write",
+	"wal/sync",
+	"wal/rotate",
+	"wal/truncate",
 }
 
 // String returns the point's catalog name.

@@ -68,6 +68,11 @@ const (
 	// a complete header/blocks/trailer stream of this format, so section
 	// damage is localized exactly like block damage within a section.
 	KindShardManifest uint16 = 4
+	// KindWAL marks a write-ahead log file (see wal.go): after the header,
+	// the file is a sequence of length-prefixed, CRC32-C-checksummed log
+	// records with monotonically increasing LSNs rather than snapshot
+	// blocks — the only kind whose payload bytes are not sorted entries.
+	KindWAL uint16 = 5
 )
 
 const (

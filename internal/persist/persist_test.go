@@ -283,6 +283,7 @@ func TestSaveFileAtomic(t *testing.T) {
 		{chaos.SnapWriteBlock, false},
 		{chaos.SnapTornWrite, false},
 		{chaos.SnapSync, false},
+		{chaos.SnapClose, false},
 		{chaos.SnapRename, false},
 		{chaos.SnapDirSync, true},
 	}

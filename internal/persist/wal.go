@@ -1,0 +1,642 @@
+package persist
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"github.com/hotindex/hot/internal/chaos"
+)
+
+// Write-ahead log: the per-shard append-only companion of the snapshot
+// format. A WAL file is the standard 16-byte header (kind KindWAL)
+// followed by length-prefixed records, each carrying its own CRC32-C and a
+// monotonically increasing log sequence number:
+//
+//	record  := payloadLen u32 | crc32(payload) u32 | payload
+//	payload := op u8 | lsn uvarint | keyLen uvarint | key bytes | tid uvarint
+//
+// The first record of every file is a checkpoint record (op WalCheckpoint)
+// whose LSN is the base: every operation with LSN ≤ base is covered by the
+// snapshot the log accompanies, and every data record that follows must
+// carry exactly the next LSN. Replay therefore detects not only torn or
+// bit-flipped records (CRC, length caps) but also records applied out of
+// order or spliced in from another log generation (LSN discontinuity) —
+// all reported as typed *FormatError values, never panics, with the
+// longest valid record prefix salvaged.
+//
+// Durability is group-committed: Append only buffers, Commit makes every
+// record up to an LSN durable with a single write+fsync shared by all
+// goroutines that committed while the fsync was in flight. Rotate installs
+// a fresh log with a higher base after a checkpoint snapshot has been made
+// durable, atomically (tmp + fsync + rename + dir fsync) so a crash at any
+// step leaves a replayable log.
+
+// WalOp is the operation kind of one WAL record.
+type WalOp uint8
+
+const (
+	// WalCheckpoint is the mandatory first record of a log file: its LSN
+	// is the base covered by the accompanying snapshot; key and TID are
+	// empty.
+	WalCheckpoint WalOp = 0
+	// WalInsert logs an Insert. Replay re-applies it as an insert; a
+	// rejection (key present) is a no-op exactly as it was live.
+	WalInsert WalOp = 1
+	// WalUpsert logs an Upsert: inserted or overwritten.
+	WalUpsert WalOp = 2
+	// WalDelete logs a Delete; its TID is zero. Replaying a delete of an
+	// absent key is a no-op exactly as it was live.
+	WalDelete WalOp = 3
+
+	walOpMax = WalDelete
+)
+
+var walOpNames = [...]string{"checkpoint", "insert", "upsert", "delete"}
+
+// String names the operation for reports.
+func (o WalOp) String() string {
+	if int(o) < len(walOpNames) {
+		return walOpNames[o]
+	}
+	return "unknown"
+}
+
+// maxWalRecLen caps a record payload: op byte, three maximal uvarints and
+// a maximal key. Larger length fields are corruption by construction and
+// are rejected before allocation.
+const maxWalRecLen = 1 + 10 + 10 + 10 + MaxKeyLen
+
+// WALReplayReport describes what ReplayWAL salvaged from a log.
+type WALReplayReport struct {
+	// Base is the checkpoint LSN of the log's leading checkpoint record
+	// (0 when the log opens with data records — a conservative base).
+	Base uint64
+	// LastLSN is the LSN of the last valid record delivered (Base when
+	// the log holds no data records).
+	LastLSN uint64
+	// Records is the number of data records delivered.
+	Records uint64
+	// ValidSize is the byte length of the longest valid record prefix —
+	// the offset a torn tail is truncated to before appending resumes.
+	ValidSize int64
+	// Complete reports whether the log read cleanly to EOF; when true,
+	// Damage is nil.
+	Complete bool
+	// Damage is the first damage encountered, nil when Complete. Records
+	// before ValidSize were salvaged; everything after it was discarded.
+	Damage *FormatError
+}
+
+// WALEntryFunc receives one replayed data record. The key slice is only
+// valid during the call. Returning an error aborts the replay and is
+// returned verbatim by ReplayWAL.
+type WALEntryFunc func(op WalOp, key []byte, tid uint64) error
+
+// ReplayWAL parses a write-ahead log from r, delivering every valid data
+// record to fn in LSN order. Damage — a torn tail, a flipped bit, an LSN
+// discontinuity — stops the replay at the last valid record; the report
+// carries the salvage boundary and the typed damage. The returned error is
+// non-nil only for failures outside the log's content: an fn error, or an
+// unusable header (not a WAL at all), which is also recorded as Damage.
+func ReplayWAL(r io.Reader, fn WALEntryFunc) (WALReplayReport, error) {
+	rd := &walReader{r: r}
+	rep, err := rd.run(fn)
+	if err != nil {
+		return rep, err
+	}
+	if rep.Damage != nil && rep.ValidSize == 0 {
+		// Header-level damage: the file is not a usable WAL at all.
+		// Surface that as an error too, so callers that ignore the report
+		// cannot mistake it for an empty log.
+		if k := rep.Damage.Kind; k == ErrBadMagic || k == ErrVersionSkew || k == ErrWrongKind {
+			return rep, rep.Damage
+		}
+	}
+	return rep, nil
+}
+
+// ReplayWALFile is ReplayWAL over the file at path.
+func ReplayWALFile(path string, fn WALEntryFunc) (WALReplayReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return WALReplayReport{}, err
+	}
+	defer f.Close()
+	return ReplayWAL(f, fn)
+}
+
+// walReader holds one replay pass's state.
+type walReader struct {
+	r   io.Reader
+	off int64
+}
+
+func (rd *walReader) run(fn WALEntryFunc) (WALReplayReport, error) {
+	var rep WALReplayReport
+	var h [headerSize]byte
+	if damage := rd.readFull(h[:], "WAL header"); damage != nil {
+		rep.Damage = damage
+		return rep, nil
+	}
+	if damage := validateHeader(h, KindWAL); damage != nil {
+		rep.Damage = damage
+		return rep, nil
+	}
+	rep.ValidSize = headerSize
+	prev := uint64(0)
+	first := true
+	for {
+		recOff := rd.off
+		var hdr [8]byte
+		if damage := rd.readFullEOF(hdr[:], "record header"); damage != nil {
+			rep.Damage = damage
+			return rep, nil
+		} else if rd.off == recOff {
+			rep.Complete = true // clean EOF at a record boundary
+			return rep, nil
+		}
+		length := binary.LittleEndian.Uint32(hdr[:4])
+		recCRC := binary.LittleEndian.Uint32(hdr[4:])
+		if length == 0 || length > maxWalRecLen {
+			rep.Damage = formatErr(ErrCorrupt, recOff, "record payload %d outside (0, %d]", length, maxWalRecLen)
+			return rep, nil
+		}
+		payload := make([]byte, length)
+		if damage := rd.readFull(payload, "record payload"); damage != nil {
+			rep.Damage = damage
+			return rep, nil
+		}
+		if got := crc32.Checksum(payload, castagnoli); got != recCRC {
+			rep.Damage = formatErr(ErrChecksum, recOff, "record CRC %#x, computed %#x", recCRC, got)
+			return rep, nil
+		}
+		op, lsn, key, tid, damage := parseWalPayload(payload, recOff)
+		if damage != nil {
+			rep.Damage = damage
+			return rep, nil
+		}
+		if op == WalCheckpoint {
+			if !first {
+				rep.Damage = formatErr(ErrCorrupt, recOff, "checkpoint record not at log start")
+				return rep, nil
+			}
+			rep.Base, rep.LastLSN, prev = lsn, lsn, lsn
+		} else {
+			if lsn != prev+1 {
+				rep.Damage = formatErr(ErrCorrupt, recOff, "LSN %d after %d, want %d", lsn, prev, prev+1)
+				return rep, nil
+			}
+			prev = lsn
+			if err := fn(op, key, tid); err != nil {
+				return rep, err
+			}
+			rep.Records++
+			rep.LastLSN = lsn
+		}
+		first = false
+		rep.ValidSize = rd.off
+	}
+}
+
+// parseWalPayload decodes and structurally validates one record payload.
+func parseWalPayload(p []byte, off int64) (op WalOp, lsn uint64, key []byte, tid uint64, damage *FormatError) {
+	op = WalOp(p[0])
+	if op > walOpMax {
+		return 0, 0, nil, 0, formatErr(ErrCorrupt, off, "unknown op %d", op)
+	}
+	pos := 1
+	lsn, n := binary.Uvarint(p[pos:])
+	if n <= 0 {
+		return 0, 0, nil, 0, formatErr(ErrCorrupt, off, "bad LSN")
+	}
+	pos += n
+	klen, n := binary.Uvarint(p[pos:])
+	if n <= 0 || klen > MaxKeyLen {
+		return 0, 0, nil, 0, formatErr(ErrCorrupt, off, "bad key length")
+	}
+	pos += n
+	if pos+int(klen) > len(p) {
+		return 0, 0, nil, 0, formatErr(ErrCorrupt, off, "key runs past record end")
+	}
+	key = p[pos : pos+int(klen)]
+	pos += int(klen)
+	tid, n = binary.Uvarint(p[pos:])
+	if n <= 0 || tid > MaxTID {
+		return 0, 0, nil, 0, formatErr(ErrCorrupt, off, "bad TID")
+	}
+	pos += n
+	if pos != len(p) {
+		return 0, 0, nil, 0, formatErr(ErrCorrupt, off, "%d trailing bytes in record", len(p)-pos)
+	}
+	switch op {
+	case WalCheckpoint:
+		if klen != 0 || tid != 0 {
+			return 0, 0, nil, 0, formatErr(ErrCorrupt, off, "checkpoint record carries a key or TID")
+		}
+	case WalDelete:
+		if tid != 0 {
+			return 0, 0, nil, 0, formatErr(ErrCorrupt, off, "delete record carries TID %d", tid)
+		}
+	}
+	return op, lsn, key, tid, nil
+}
+
+// validateHeader checks a 16-byte persist header against the wanted kind.
+func validateHeader(h [headerSize]byte, wantKind uint16) *FormatError {
+	for i := range Magic {
+		if h[i] != Magic[i] {
+			return formatErr(ErrBadMagic, 0, "got % x, want % x", h[:8], Magic[:])
+		}
+	}
+	if got, want := binary.LittleEndian.Uint32(h[12:]), crc32.Checksum(h[:12], castagnoli); got != want {
+		return formatErr(ErrChecksum, 0, "header CRC %#x, computed %#x", got, want)
+	}
+	if v := binary.LittleEndian.Uint16(h[8:]); v != Version {
+		return formatErr(ErrVersionSkew, 8, "version %d, reader supports %d", v, Version)
+	}
+	if k := binary.LittleEndian.Uint16(h[10:]); k != wantKind {
+		return formatErr(ErrWrongKind, 10, "kind %d, want %d", k, wantKind)
+	}
+	return nil
+}
+
+// readFull reads exactly len(p) bytes, converting any short read into a
+// typed truncation error at the current offset.
+func (rd *walReader) readFull(p []byte, what string) *FormatError {
+	n, err := io.ReadFull(rd.r, p)
+	off := rd.off
+	rd.off += int64(n)
+	if err != nil {
+		return formatErr(ErrTruncated, off, "%s cut short after %d of %d bytes: %v", what, n, len(p), err)
+	}
+	return nil
+}
+
+// readFullEOF is readFull, except a clean EOF before the first byte is not
+// damage (a WAL has no trailer; it simply ends). The caller distinguishes
+// the clean case by the unchanged offset.
+func (rd *walReader) readFullEOF(p []byte, what string) *FormatError {
+	n, err := io.ReadFull(rd.r, p)
+	off := rd.off
+	rd.off += int64(n)
+	if err == io.EOF && n == 0 {
+		return nil
+	}
+	if err != nil {
+		return formatErr(ErrTruncated, off, "%s cut short after %d of %d bytes: %v", what, n, len(p), err)
+	}
+	return nil
+}
+
+// WAL is one open write-ahead log: an append buffer, the file it drains
+// to, and the group-commit state electing a single fsync leader. All
+// methods are safe for concurrent use. I/O errors are sticky: once an
+// append, sync or rotation fails, the log can no longer promise that
+// acknowledged records are durable, so every subsequent call returns the
+// first error.
+type WAL struct {
+	path  string
+	delay time.Duration
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	f       *os.File
+	buf     []byte // serialized records not yet written to f
+	spare   []byte // recycled append buffer
+	lastLSN uint64 // highest LSN assigned
+	durable uint64 // highest LSN known durable
+	base    uint64 // checkpoint LSN of the current file
+	size    int64  // valid bytes in f
+	syncing bool   // a group-commit leader owns the file descriptor
+	err     error  // sticky failure
+}
+
+// CreateWAL creates (or truncates) a write-ahead log at path with the
+// given checkpoint base, writes its header and checkpoint record durably,
+// and returns the log ready for appends. delay is the group-commit
+// accumulation window: a commit leader waits that long before its fsync so
+// concurrent committers share it (0 syncs immediately).
+func CreateWAL(path string, base uint64, delay time.Duration) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	blob := walFileProlog(base)
+	if _, err := f.Write(blob); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	syncDir(filepath.Dir(path))
+	w := &WAL{path: path, delay: delay, f: f,
+		lastLSN: base, durable: base, base: base, size: int64(len(blob))}
+	w.cond = sync.NewCond(&w.mu)
+	return w, nil
+}
+
+// ContinueWAL reopens an existing log for appending after a replay:
+// rep must be the report ReplayWALFile produced for path. A torn tail —
+// bytes past the valid record prefix — is truncated off first (the
+// wal/truncate chaos point fires before the truncation), so appended
+// records always follow a valid record boundary. Appends continue at
+// rep.LastLSN + 1.
+func ContinueWAL(path string, rep WALReplayReport, delay time.Duration) (*WAL, error) {
+	if rep.ValidSize < headerSize {
+		return nil, formatErr(ErrTruncated, 0, "log header unsalvageable; recreate the log")
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() > rep.ValidSize {
+		if chaos.Fire(chaos.WalTruncate) {
+			f.Close()
+			return nil, ErrInjected
+		}
+		if err := f.Truncate(rep.ValidSize); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(rep.ValidSize, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	w := &WAL{path: path, delay: delay, f: f,
+		lastLSN: rep.LastLSN, durable: rep.LastLSN, base: rep.Base, size: rep.ValidSize}
+	w.cond = sync.NewCond(&w.mu)
+	return w, nil
+}
+
+// walFileProlog serializes a fresh log file's header plus checkpoint
+// record.
+func walFileProlog(base uint64) []byte {
+	var h [headerSize]byte
+	copy(h[:8], Magic[:])
+	binary.LittleEndian.PutUint16(h[8:], Version)
+	binary.LittleEndian.PutUint16(h[10:], KindWAL)
+	binary.LittleEndian.PutUint32(h[12:], crc32.Checksum(h[:12], castagnoli))
+	return appendWalRecord(h[:], WalCheckpoint, base, nil, 0)
+}
+
+// appendWalRecord serializes one record onto dst.
+func appendWalRecord(dst []byte, op WalOp, lsn uint64, key []byte, tid uint64) []byte {
+	var payload [maxWalRecLen]byte
+	payload[0] = byte(op)
+	n := 1
+	n += binary.PutUvarint(payload[n:], lsn)
+	n += binary.PutUvarint(payload[n:], uint64(len(key)))
+	n += copy(payload[n:], key)
+	n += binary.PutUvarint(payload[n:], tid)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(n))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload[:n], castagnoli))
+	return append(dst, payload[:n]...)
+}
+
+// Append assigns the next LSN to one operation and buffers its record; no
+// I/O happens until Commit. The key bytes are copied. Append returns the
+// assigned LSN; the operation is acknowledged only once Commit(lsn)
+// returns nil.
+func (w *WAL) Append(op WalOp, key []byte, tid uint64) (uint64, error) {
+	if len(key) > MaxKeyLen {
+		return 0, formatErr(ErrCorrupt, 0, "key length %d exceeds %d", len(key), MaxKeyLen)
+	}
+	if tid > MaxTID {
+		return 0, formatErr(ErrCorrupt, 0, "TID %#x exceeds MaxTID", tid)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return 0, w.err
+	}
+	lsn := w.lastLSN + 1
+	w.buf = appendWalRecord(w.buf, op, lsn, key, tid)
+	w.lastLSN = lsn
+	return lsn, nil
+}
+
+// Commit makes every record with LSN ≤ lsn durable and returns once it is.
+// Concurrent commits group: one caller becomes the fsync leader (after the
+// configured accumulation delay), writes the whole buffer and issues a
+// single fsync that acknowledges every record buffered so far; the others
+// wait on it. A failed write or sync poisons the log.
+func (w *WAL) Commit(lsn uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for {
+		if w.err != nil {
+			return w.err
+		}
+		if w.durable >= lsn {
+			return nil
+		}
+		if w.syncing {
+			w.cond.Wait()
+			continue
+		}
+		w.syncing = true
+		if w.delay > 0 {
+			// Accumulation window: let concurrent appends pile into the
+			// buffer so they share this fsync.
+			w.mu.Unlock()
+			time.Sleep(w.delay)
+			w.mu.Lock()
+		}
+		buf := w.buf
+		w.buf = w.spare[:0]
+		w.spare = nil
+		target := w.lastLSN
+		f := w.f
+		w.mu.Unlock()
+		err := walWrite(f, buf)
+		if err == nil {
+			if chaos.Fire(chaos.WalSync) {
+				err = ErrInjected
+			} else {
+				err = f.Sync()
+			}
+		}
+		w.mu.Lock()
+		w.syncing = false
+		if err != nil {
+			w.err = err
+			w.cond.Broadcast()
+			return err
+		}
+		w.size += int64(len(buf))
+		w.spare = buf[:0]
+		if target > w.durable {
+			w.durable = target
+		}
+		w.cond.Broadcast()
+	}
+}
+
+// walWrite issues buffered records to the log file. When a chaos registry
+// is armed the bytes go out as two writes with the WalTornWrite point
+// between them, so an injected crash leaves a genuinely torn tail record.
+func walWrite(f *os.File, p []byte) error {
+	if len(p) == 0 {
+		return nil
+	}
+	if chaos.Fire(chaos.WalAppend) {
+		return ErrInjected
+	}
+	if !chaos.Armed() {
+		_, err := f.Write(p)
+		return err
+	}
+	half := len(p) / 2
+	if _, err := f.Write(p[:half]); err != nil {
+		return err
+	}
+	if chaos.Fire(chaos.WalTornWrite) {
+		return ErrInjected
+	}
+	_, err := f.Write(p[half:])
+	return err
+}
+
+// Sync makes every appended record durable (Commit of the last assigned
+// LSN).
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	lsn := w.lastLSN
+	w.mu.Unlock()
+	return w.Commit(lsn)
+}
+
+// Rotate atomically replaces the log with a fresh one whose checkpoint
+// base is the current last LSN: the caller has just made a snapshot
+// covering every assigned LSN durable, so the old records are dead weight.
+// The caller must guarantee quiescence — no concurrent Appends — by
+// holding its own write exclusion; Rotate refuses (without poisoning the
+// log) if records were appended past base. The replacement goes through
+// tmp + fsync + rename + dir-fsync, so a crash at any step leaves a
+// replayable log, and completing the rotation acknowledges every pending
+// commit (the snapshot made them durable).
+func (w *WAL) Rotate(base uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for w.syncing {
+		w.cond.Wait()
+	}
+	if w.err != nil {
+		return w.err
+	}
+	if base != w.lastLSN {
+		return formatErr(ErrCorrupt, 0, "rotate at base %d with records through LSN %d", base, w.lastLSN)
+	}
+	tmp := w.path + ".new"
+	nf, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		w.err = err
+		return err
+	}
+	blob := walFileProlog(base)
+	if _, err = nf.Write(blob); err == nil {
+		err = nf.Sync()
+	}
+	if err != nil {
+		nf.Close()
+		os.Remove(tmp)
+		w.err = err
+		return err
+	}
+	if chaos.Fire(chaos.WalRotate) {
+		nf.Close()
+		os.Remove(tmp)
+		w.err = ErrInjected
+		return w.err
+	}
+	if err = os.Rename(tmp, w.path); err != nil {
+		nf.Close()
+		os.Remove(tmp)
+		w.err = err
+		return err
+	}
+	syncDir(filepath.Dir(w.path))
+	w.f.Close()
+	w.f = nf
+	w.base = base
+	w.buf = w.buf[:0] // records ≤ base: the snapshot covers them
+	w.size = int64(len(blob))
+	if base > w.durable {
+		w.durable = base // the snapshot made everything ≤ base durable
+	}
+	w.cond.Broadcast()
+	return nil
+}
+
+// Close makes every appended record durable and closes the log file. A
+// poisoned log closes its file without further I/O and returns the sticky
+// error.
+func (w *WAL) Close() error {
+	serr := w.Sync()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f != nil {
+		if cerr := w.f.Close(); serr == nil && cerr != nil {
+			serr = cerr
+		}
+		w.f = nil
+	}
+	return serr
+}
+
+// Err returns the sticky I/O error that poisoned the log, nil while
+// healthy.
+func (w *WAL) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// LastLSN returns the highest assigned LSN.
+func (w *WAL) LastLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lastLSN
+}
+
+// DurableLSN returns the highest LSN known durable.
+func (w *WAL) DurableLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.durable
+}
+
+// Base returns the checkpoint LSN of the current log file.
+func (w *WAL) Base() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.base
+}
+
+// Size returns the valid byte length of the current log file, buffered
+// records excluded.
+func (w *WAL) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size
+}
+
+// Path returns the log's file path.
+func (w *WAL) Path() string { return w.path }

@@ -194,6 +194,13 @@ func AtomicFile(path string, write func(w io.Writer) error) (err error) {
 	if err = f.Sync(); err != nil {
 		return err
 	}
+	if chaos.Fire(chaos.SnapClose) {
+		return ErrInjected
+	}
+	// A failed close after a clean fsync still voids the save: networked
+	// filesystems report deferred write errors here, and silently keeping
+	// the temp file would hand the rename a snapshot whose bytes were
+	// never acknowledged by the kernel.
 	if err = f.Close(); err != nil {
 		return err
 	}

@@ -34,6 +34,7 @@ type ShardedTree struct {
 	shards []*core.ConcurrentTrie
 	bounds [][]byte // len(shards)-1 ascending boundary keys
 	async  *asyncState
+	dur    *durableState // non-nil when opened in durable (WAL) mode
 }
 
 // NewShardedTree returns an empty sharded tree over at most shards range
@@ -87,15 +88,25 @@ func (t *ShardedTree) Boundaries() [][]byte {
 }
 
 // Insert stores tid under key in the owning shard, reporting false when
-// the key already exists.
+// the key already exists. In durable mode the write is logged and
+// group-commit fsynced before Insert returns.
 func (t *ShardedTree) Insert(key []byte, tid TID) bool {
-	return t.shards[shard.Find(t.bounds, key)].Insert(key, tid)
+	s := shard.Find(t.bounds, key)
+	if t.dur != nil {
+		return t.dur.insert(t, s, key, tid)
+	}
+	return t.shards[s].Insert(key, tid)
 }
 
 // Upsert stores tid under key in the owning shard, returning the replaced
-// TID if one existed.
+// TID if one existed. In durable mode the write is logged and group-commit
+// fsynced before Upsert returns.
 func (t *ShardedTree) Upsert(key []byte, tid TID) (old TID, replaced bool) {
-	return t.shards[shard.Find(t.bounds, key)].Upsert(key, tid)
+	s := shard.Find(t.bounds, key)
+	if t.dur != nil {
+		return t.dur.upsert(t, s, key, tid)
+	}
+	return t.shards[s].Upsert(key, tid)
 }
 
 // Lookup returns the TID stored under key. It is wait-free.
@@ -104,9 +115,14 @@ func (t *ShardedTree) Lookup(key []byte) (TID, bool) {
 }
 
 // Delete removes key from the owning shard, reporting whether it was
-// present.
+// present. In durable mode the write is logged and group-commit fsynced
+// before Delete returns.
 func (t *ShardedTree) Delete(key []byte) bool {
-	return t.shards[shard.Find(t.bounds, key)].Delete(key)
+	s := shard.Find(t.bounds, key)
+	if t.dur != nil {
+		return t.dur.delete(t, s, key)
+	}
+	return t.shards[s].Delete(key)
 }
 
 // LookupBatch looks up all keys as one batch (see Tree.LookupBatch): the

@@ -264,22 +264,46 @@ func (t *ShardedTree) submitAsync(op shard.Op) {
 // Flush — takes the token over first, in which case that worker continues
 // the drain. The final release re-checks the ring, so a deposit that raced
 // the release is never stranded. Callers must hold w.busy.
+//
+// In durable mode every op is appended to the shard's write-ahead log
+// before it is applied (both under the shard's commit lock, so a
+// checkpoint cut is exact), and the whole slice is group-committed with
+// one fsync before its ops count as applied — Flush's completion barrier
+// is therefore also a durability barrier.
 func (t *ShardedTree) drainLocked(s int, w *asyncShard) {
 	a := t.async
+	d := t.dur
 	slice := w.sliceLen()
 	for {
 		n := 0
+		var last uint64
+		if d != nil {
+			d.mu[s].Lock()
+		}
 		b := t.shards[s].BeginBatch()
 		for n < slice {
 			op, ok := w.q.TryPop()
 			if !ok {
 				break
 			}
+			if d != nil {
+				last = d.append(s, op)
+			}
 			t.applyBatched(s, &b, op)
 			n++
 		}
 		b.End()
+		if d != nil {
+			d.mu[s].Unlock()
+		}
 		if n > 0 {
+			if d != nil {
+				// One fsync acknowledges the whole slice; only then may
+				// the ops count as applied, or Flush would return before
+				// they were durable.
+				d.commit(s, last)
+			}
+			w.applied.Add(uint64(n))
 			a.drains.Add(1)
 			a.drained.Add(uint64(n))
 		}
@@ -312,7 +336,26 @@ func (t *ShardedTree) stealOne(except int) bool {
 }
 
 // applyOp applies one submission to shard s and accounts its completion.
+// In durable mode it logs before applying and commits before counting the
+// op as applied, like a one-op drain slice.
 func (t *ShardedTree) applyOp(s int, op shard.Op) {
+	w := &t.async.ws[s]
+	if d := t.dur; d != nil {
+		d.mu[s].Lock()
+		lsn := d.append(s, op)
+		t.applyTree(s, op)
+		d.mu[s].Unlock()
+		d.commit(s, lsn)
+	} else {
+		t.applyTree(s, op)
+	}
+	w.applied.Add(1)
+}
+
+// applyTree applies one submission to shard s's trie, counting no-op
+// rejections. Completion accounting (applied) is the caller's, so the
+// durable path can defer it past the log commit.
+func (t *ShardedTree) applyTree(s int, op shard.Op) {
 	w := &t.async.ws[s]
 	switch op.Kind {
 	case shard.OpInsert:
@@ -326,12 +369,12 @@ func (t *ShardedTree) applyOp(s int, op shard.Op) {
 			w.rejected.Add(1)
 		}
 	}
-	w.applied.Add(1)
 }
 
 // applyBatched applies one drained submission to shard s through the
 // slice's shared writer batch, so the whole slice pays for a single epoch
-// pin and a single reclamation-advance check.
+// pin and a single reclamation-advance check. Completion accounting is
+// drainLocked's, per slice.
 func (t *ShardedTree) applyBatched(s int, b *core.WriterBatch, op shard.Op) {
 	w := &t.async.ws[s]
 	switch op.Kind {
@@ -346,7 +389,6 @@ func (t *ShardedTree) applyBatched(s int, b *core.WriterBatch, op shard.Op) {
 			w.rejected.Add(1)
 		}
 	}
-	w.applied.Add(1)
 }
 
 // queueOpStats folds the submission-queue counters into an aggregated

@@ -1,0 +1,345 @@
+package hot
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"testing"
+
+	"github.com/hotindex/hot/internal/chaos"
+)
+
+// WAL crash matrix: a subprocess runs a durable ShardedUint64Set under a
+// synchronous insert/delete stream with periodic checkpoints, recording
+// every operation in a side "oplog" — a synced intent line before the op,
+// a synced ack line after it returns (i.e. after its group-commit fsync).
+// The child is killed at every armed WAL fault point and at every snapshot
+// fault point (fired by the checkpoints, so the snapshot protocol is
+// exercised with logs to rotate behind it). The parent then reopens the
+// directory and requires a Verify-clean set whose contents are exactly the
+// acked operations applied in order — every acknowledged write recovered —
+// give or take only the single trailing intent that never acked (a write
+// in flight at the kill, which a real client would also see as
+// unacknowledged). WalTruncate needs a second phase: one child leaves a
+// torn tail (killed at WalTornWrite), the next is killed during recovery's
+// tail truncation, and the parent proves recovery is re-runnable.
+
+const (
+	walCrashEnvPoint = "HOT_WAL_CRASH_POINT"
+	walCrashEnvDir   = "HOT_WAL_CRASH_DIR"
+	walCrashEnvPhase = "HOT_WAL_CRASH_PHASE"
+	walCrashSeed     = 91
+	walCrashShards   = 4
+	walCrashExit     = 3
+)
+
+func walCrashSample() []uint64 {
+	sample := make([]uint64, 64)
+	for i := range sample {
+		sample[i] = uint64(i) * 1600
+	}
+	return sample
+}
+
+// walCrashOp derives the deterministic op stream: three inserts, then a
+// delete of the value inserted three ops earlier.
+func walCrashOp(i int) (del bool, v uint64) {
+	if i%4 == 3 {
+		return true, walCrashVal(i - 3)
+	}
+	return false, walCrashVal(i)
+}
+
+func walCrashVal(i int) uint64 { return uint64(i) * 2654435761 % 100000 }
+
+func walCrashOpen(dir string) (*ShardedUint64Set, RecoveryInfo, error) {
+	return OpenDurableShardedUint64Set(dir, walCrashShards, walCrashSample(), DurableOptions{})
+}
+
+func walCrashChild(pointName, dir, phase string) {
+	var point chaos.Point
+	found := false
+	for _, p := range chaos.Points() {
+		if p.String() == pointName {
+			point, found = p, true
+			break
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown injection point %q\n", pointName)
+		os.Exit(4)
+	}
+
+	if phase == "recover" {
+		// Arm before opening: the point (WalTruncate) fires inside the
+		// recovery path while it cuts off the torn tail a previous child
+		// left behind.
+		reg := chaos.New(walCrashSeed)
+		reg.On(point, 1, chaos.Exit(walCrashExit))
+		reg.Arm()
+		_, _, err := walCrashOpen(dir)
+		chaos.Disarm()
+		fmt.Fprintf(os.Stderr, "recovery point %s never fired (open err: %v)\n", pointName, err)
+		os.Exit(5)
+	}
+
+	set, _, err := walCrashOpen(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "child open: %v\n", err)
+		os.Exit(4)
+	}
+	oplog, err := os.OpenFile(filepath.Join(dir, "oplog"), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "child oplog: %v\n", err)
+		os.Exit(4)
+	}
+	logLine := func(tag string, del bool, v uint64) {
+		kind := "s"
+		if del {
+			kind = "d"
+		}
+		if _, err := fmt.Fprintf(oplog, "%s %s %d\n", tag, kind, v); err != nil {
+			fmt.Fprintf(os.Stderr, "child oplog write: %v\n", err)
+			os.Exit(4)
+		}
+		if err := oplog.Sync(); err != nil {
+			fmt.Fprintf(os.Stderr, "child oplog sync: %v\n", err)
+			os.Exit(4)
+		}
+	}
+	doOp := func(i int) {
+		del, v := walCrashOp(i)
+		logLine("i", del, v)
+		if del {
+			set.Delete(v)
+		} else {
+			set.Insert(v)
+		}
+		logLine("a", del, v)
+	}
+
+	// Unarmed warm-up, including a checkpoint, so the kill lands on a
+	// store with a non-trivial snapshot and live log tails.
+	for i := 0; i < 40; i++ {
+		doOp(i)
+		if i == 20 {
+			if err := set.Checkpoint(); err != nil {
+				fmt.Fprintf(os.Stderr, "warm-up checkpoint: %v\n", err)
+				os.Exit(4)
+			}
+		}
+	}
+	reg := chaos.New(walCrashSeed)
+	reg.On(point, 1, chaos.Exit(walCrashExit))
+	reg.Arm()
+	for i := 40; i < 400; i++ {
+		if i%10 == 0 {
+			set.Checkpoint() // fires the rotate/snapshot points
+		}
+		doOp(i) // fires the append/sync points
+	}
+	chaos.Disarm()
+	fmt.Fprintf(os.Stderr, "point %s never fired\n", pointName)
+	os.Exit(5)
+}
+
+type walCrashLoggedOp struct {
+	del bool
+	v   uint64
+}
+
+// walCrashReplayOplog parses the child's oplog into the fully-acked op
+// sequence plus the single trailing unacked intent, if any.
+func walCrashReplayOplog(t *testing.T, dir string) (acked []walCrashLoggedOp, pending *walCrashLoggedOp) {
+	t.Helper()
+	f, err := os.Open(filepath.Join(dir, "oplog"))
+	if err != nil {
+		t.Fatalf("oplog: %v", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var tag, kind string
+		var v uint64
+		if _, err := fmt.Sscanf(sc.Text(), "%s %s %d", &tag, &kind, &v); err != nil {
+			t.Fatalf("oplog line %q: %v", sc.Text(), err)
+		}
+		op := walCrashLoggedOp{del: kind == "d", v: v}
+		switch tag {
+		case "i":
+			if pending != nil {
+				t.Fatalf("two unacked intents in oplog (single-threaded child)")
+			}
+			p := op
+			pending = &p
+		case "a":
+			if pending == nil || *pending != op {
+				t.Fatalf("ack %+v without matching intent %+v", op, pending)
+			}
+			acked = append(acked, op)
+			pending = nil
+		default:
+			t.Fatalf("oplog tag %q", tag)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return acked, pending
+}
+
+func walCrashModel(ops []walCrashLoggedOp) map[uint64]bool {
+	m := make(map[uint64]bool)
+	for _, op := range ops {
+		if op.del {
+			delete(m, op.v)
+		} else {
+			m[op.v] = true
+		}
+	}
+	return m
+}
+
+func walCrashContents(s *ShardedUint64Set) []uint64 {
+	var vs []uint64
+	s.Ascend(0, -1, func(v uint64) bool {
+		vs = append(vs, v)
+		return true
+	})
+	return vs
+}
+
+func walCrashModelSlice(m map[uint64]bool) []uint64 {
+	vs := make([]uint64, 0, len(m))
+	for v := range m {
+		vs = append(vs, v)
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	return vs
+}
+
+func sameUint64s(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// walCrashVerify reopens the killed child's directory and requires a
+// Verify-clean set holding exactly the acked ops applied in order, with
+// the trailing unacked intent (at most one) allowed either way.
+func walCrashVerify(t *testing.T, dir string) {
+	t.Helper()
+	set, info, err := walCrashOpen(dir)
+	if err != nil {
+		t.Fatalf("recovery open: %v", err)
+	}
+	defer set.Close()
+	if err := set.Verify(); err != nil {
+		t.Fatalf("recovered set fails Verify: %v", err)
+	}
+	acked, pending := walCrashReplayOplog(t, dir)
+	got := walCrashContents(set)
+	model := walCrashModel(acked)
+	if sameUint64s(got, walCrashModelSlice(model)) {
+		t.Logf("recovered %d acked ops exactly (snapshot %d entries, %d log records, %d damaged logs)",
+			len(acked), info.SnapshotEntries, info.WALRecords, info.WALDamaged)
+		return
+	}
+	if pending != nil {
+		withPending := walCrashModel(append(append([]walCrashLoggedOp(nil), acked...), *pending))
+		if sameUint64s(got, walCrashModelSlice(withPending)) {
+			t.Logf("recovered %d acked ops plus the in-flight %+v (snapshot %d, log records %d)",
+				len(acked), *pending, info.SnapshotEntries, info.WALRecords)
+			return
+		}
+	}
+	t.Fatalf("recovered contents (%d values) match neither the acked state (%d values) nor acked+in-flight (pending %+v)",
+		len(got), len(model), pending)
+}
+
+func TestWALCrashMatrix(t *testing.T) {
+	if p := os.Getenv(walCrashEnvPoint); p != "" {
+		walCrashChild(p, os.Getenv(walCrashEnvDir), os.Getenv(walCrashEnvPhase))
+	}
+	if testing.Short() {
+		t.Skip("subprocess crash matrix skipped in -short")
+	}
+
+	runChild := func(t *testing.T, dir string, point chaos.Point, phase string) {
+		t.Helper()
+		cmd := exec.Command(os.Args[0], "-test.run=^TestWALCrashMatrix$")
+		cmd.Env = append(os.Environ(),
+			walCrashEnvPoint+"="+point.String(),
+			walCrashEnvDir+"="+dir,
+			walCrashEnvPhase+"="+phase)
+		out, err := cmd.CombinedOutput()
+		ee, ok := err.(*exec.ExitError)
+		if !ok || ee.ExitCode() != walCrashExit {
+			t.Fatalf("child did not crash at %v in phase %q (err=%v):\n%s", point, phase, err, out)
+		}
+	}
+
+	// Single-phase points: the kill lands mid-write or mid-checkpoint.
+	points := []chaos.Point{
+		chaos.WalAppend,
+		chaos.WalTornWrite,
+		chaos.WalSync,
+		chaos.WalRotate,
+		chaos.SnapWriteHeader,
+		chaos.SnapWriteBlock,
+		chaos.SnapTornWrite,
+		chaos.SnapSync,
+		chaos.SnapClose,
+		chaos.SnapRename,
+		chaos.SnapDirSync,
+	}
+	for _, point := range points {
+		point := point
+		t.Run(point.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			runChild(t, dir, point, "")
+			walCrashVerify(t, dir)
+		})
+	}
+
+	// Two-phase WalTruncate: child A leaves a torn log tail, child B is
+	// killed during recovery exactly before the tail truncation, and the
+	// parent proves the recovery is re-runnable on top of both crashes.
+	t.Run(chaos.WalTruncate.String(), func(t *testing.T) {
+		dir := t.TempDir()
+		runChild(t, dir, chaos.WalTornWrite, "")
+		runChild(t, dir, chaos.WalTruncate, "recover")
+		walCrashVerify(t, dir)
+	})
+}
+
+// TestWALCrashMatrixPointNames pins the env plumbing: every point the
+// matrix drives must exist in the chaos catalog under the exact name the
+// subprocess receives.
+func TestWALCrashMatrixPointNames(t *testing.T) {
+	for _, p := range []chaos.Point{chaos.WalAppend, chaos.WalTornWrite, chaos.WalSync,
+		chaos.WalRotate, chaos.WalTruncate, chaos.SnapClose} {
+		found := false
+		for _, q := range chaos.Points() {
+			if q.String() == p.String() {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("point %d (%s) missing from the catalog", int(p), p)
+		}
+	}
+	if _, err := strconv.Atoi(chaos.WalAppend.String()); err == nil {
+		t.Fatal("point names must be symbolic, not numeric")
+	}
+}
