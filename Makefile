@@ -1,5 +1,5 @@
 # Development entry points. `make all` is the full local CI pass; the
-# hosted pipeline (.github/workflows/ci.yml) runs the same four tiers as
+# hosted pipeline (.github/workflows/ci.yml) runs the same five tiers as
 # separate gating jobs (TestCIWorkflowCoversAllTiers keeps the two in
 # sync).
 
@@ -9,9 +9,9 @@ GO ?= go
 # FUZZTIME=20s to fit its time box.
 FUZZTIME ?= 30s
 
-.PHONY: all ci check race chaos crash wal fuzz bench bench-json clean
+.PHONY: all ci check race chaos crash wal server-smoke fuzz bench bench-json clean
 
-all: check race chaos crash
+all: check race chaos crash server-smoke
 
 # `make ci` is the conventional alias the hosted pipeline and humans share.
 ci: all
@@ -62,9 +62,16 @@ wal:
 	$(GO) test -run 'TestWAL' -count=1 ./internal/persist/
 	$(GO) test -run 'TestDurable|TestWALCrashMatrix' -count=1 .
 
+# End-to-end network smoke: a durable leader on a loopback socket, a
+# client loading and reading over the wire, and a follower bootstrapped by
+# streaming replication that then serves reads — the whole cmd/hot-server
+# stack in a few seconds.
+server-smoke:
+	$(GO) run ./cmd/hot-server -smoke
+
 # Short exploratory fuzz burst over each public-API fuzz target.
-# This list must track the Fuzz* functions in fuzz_test.go — add a line
-# here whenever a target is added there (TestMakefileFuzzListCoversAllTargets
+# This list must track the Fuzz* functions across all _test.go files — add
+# a line here whenever a target is added (TestMakefileFuzzListCoversAllTargets
 # fails the build when the two drift apart).
 fuzz:
 	$(GO) test -fuzz FuzzTreeVerify -fuzztime $(FUZZTIME) .
@@ -75,6 +82,7 @@ fuzz:
 	$(GO) test -fuzz FuzzShardedSnapshotLoad -fuzztime $(FUZZTIME) .
 	$(GO) test -fuzz FuzzSnapshotRoundTrip -fuzztime $(FUZZTIME) .
 	$(GO) test -fuzz FuzzWALReplay -fuzztime $(FUZZTIME) .
+	$(GO) test -fuzz FuzzServerFrame -fuzztime $(FUZZTIME) ./internal/server/
 
 bench:
 	$(GO) test -bench . -benchtime 1s -run - .
@@ -86,12 +94,15 @@ bench:
 # is the unsharded baseline) into BENCH_4.json; the third sweeps the
 # zipfian submission-queue before/after (async=0 vs 1) into BENCH_5.json;
 # the fourth measures WAL overhead (wal=0 vs 1, sync and async writers)
-# into BENCH_6.json.
+# into BENCH_6.json; the fifth measures the network tax — the same
+# workload through cmd/hot-server over a loopback socket (net=0 vs 1,
+# with and without the WAL) — into BENCH_7.json.
 bench-json:
 	$(GO) run ./cmd/hot-ycsb -n 200000 -ops 400000 -workloads C,load -indexes hot -batch 0,16 -json BENCH_2.json
 	$(GO) run ./cmd/hot-ycsb -n 200000 -ops 400000 -workloads load,A -datasets integer,url -indexes hot -shards 1,2,4,8 -json BENCH_4.json
 	$(GO) run ./cmd/hot-ycsb -n 200000 -ops 400000 -workloads load,A -datasets integer,url -dists zipf -indexes hot -shards 8 -async 0,1 -json BENCH_5.json
 	$(GO) run ./cmd/hot-ycsb -n 200000 -ops 400000 -workloads load,A -datasets integer -indexes hot -shards 8 -async 0,1 -wal 0,1 -json BENCH_6.json
+	$(GO) run ./cmd/hot-ycsb -n 100000 -ops 200000 -workloads C -datasets integer -indexes hot -shards 4 -net 0,1 -wal 0,1 -json BENCH_7.json
 
 clean:
 	$(GO) clean -testcache

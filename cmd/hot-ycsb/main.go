@@ -22,6 +22,7 @@ import (
 	"github.com/hotindex/hot"
 	"github.com/hotindex/hot/internal/bench"
 	"github.com/hotindex/hot/internal/dataset"
+	"github.com/hotindex/hot/internal/server"
 	"github.com/hotindex/hot/internal/ycsb"
 )
 
@@ -36,6 +37,7 @@ type record struct {
 	Threads  int     `json:"threads"`
 	Async    int     `json:"async"`
 	Wal      int     `json:"wal"`
+	Net      int     `json:"net"`
 	Mops     float64 `json:"mops"`
 	Misses   int     `json:"misses"`
 }
@@ -56,6 +58,8 @@ func main() {
 		threads   = flag.Int("threads", 0, "client goroutines for sharded configs, load and transaction phases (0 = one per shard)")
 		async     = flag.String("async", "0", "comma list of 0/1: route writes through the sharded tree's submission-queue path (1 requires a sharded hot config)")
 		wal       = flag.String("wal", "0", "comma list of 0/1: open the sharded hot index in durable (write-ahead-logged) mode in a temp dir (1 requires a sharded hot config)")
+		netMode   = flag.String("net", "0", "comma list of 0/1: drive the index over TCP through hot-server instead of in-process (1 requires a sharded hot config; single client connection)")
+		addr      = flag.String("addr", "", "external hot-server address for -net 1 configs (empty: spawn a loopback server per configuration)")
 		jsonPath  = flag.String("json", "", "additionally write results as a JSON array to this file")
 		seed      = flag.Int64("seed", 2018, "data/workload seed")
 	)
@@ -93,6 +97,17 @@ func main() {
 			walModes = append(walModes, true)
 		default:
 			die(fmt.Errorf("-wal accepts a comma list of 0 and 1, got %q", w))
+		}
+	}
+	var netModes []bool
+	for _, m := range split(*netMode) {
+		switch m {
+		case "0":
+			netModes = append(netModes, false)
+		case "1":
+			netModes = append(netModes, true)
+		default:
+			die(fmt.Errorf("-net accepts a comma list of 0 and 1, got %q", m))
 		}
 	}
 
@@ -151,82 +166,126 @@ func main() {
 									if wm && sc == 0 {
 										continue // durable mode exists only for the sharded tree
 									}
-									var inst bench.Instance
-									var durable *hot.ShardedTree
-									var walDir string
-									if sc > 0 {
-										var t *hot.ShardedTree
+									for _, nm := range netModes {
+										if nm && sc == 0 {
+											continue // hot-server always serves the sharded tree
+										}
+										if nm && wm && *addr != "" {
+											continue // an external server's durability is its own config
+										}
+										var inst bench.Instance
+										var durable *hot.ShardedTree
+										var walDir string
+										var srv *server.Server
+										var remote *ycsb.RemoteIndex
 										if wm {
 											var err error
 											walDir, err = os.MkdirTemp("", "hot-ycsb-wal-*")
 											die(err)
-											t, _, err = hot.OpenDurableShardedTree(walDir, data.Store.Key, sc, data.Keys[:*n], hot.DurableOptions{})
+										}
+										if nm {
+											// Networked configuration: the index lives behind
+											// hot-server and the runner drives it through one
+											// client connection. RemoteIndex owns its connection,
+											// so networked rows run single-threaded.
+											target := *addr
+											if target == "" {
+												var err error
+												srv, err = server.New(server.Options{Shards: sc, Sample: data.Keys[:*n], Dir: walDir})
+												die(err)
+												target, err = srv.Listen("127.0.0.1:0")
+												die(err)
+											}
+											var err error
+											remote, err = ycsb.Dial(target)
 											die(err)
-											durable = t
+											inst = bench.NewInstance(fmt.Sprintf("hot-s%d", sc), remote, func() int { return 0 })
+										} else if sc > 0 {
+											var t *hot.ShardedTree
+											if wm {
+												var err error
+												t, _, err = hot.OpenDurableShardedTree(walDir, data.Store.Key, sc, data.Keys[:*n], hot.DurableOptions{})
+												die(err)
+												durable = t
+											} else {
+												t = hot.NewShardedTree(data.Store.Key, sc, data.Keys[:*n])
+											}
+											inst = bench.NewInstance(fmt.Sprintf("hot-s%d", sc), t,
+												func() int { return t.Memory().PaperBytes })
 										} else {
-											t = hot.NewShardedTree(data.Store.Key, sc, data.Keys[:*n])
+											var err error
+											inst, err = bench.New(iname, data.Store)
+											die(err)
 										}
-										inst = bench.NewInstance(fmt.Sprintf("hot-s%d", sc), t,
-											func() int { return t.Memory().PaperBytes })
-									} else {
-										var err error
-										inst, err = bench.New(iname, data.Store)
-										die(err)
-									}
-									r := data.Runner(inst, *n, *seed)
-									r.CaptureLatency = *latency
-									r.BatchLookups = b
-									r.Async = am
-									loadThreads := 1
-									if sc > 0 {
-										loadThreads = *threads
-										if loadThreads <= 0 {
-											loadThreads = sc
+										r := data.Runner(inst, *n, *seed)
+										r.CaptureLatency = *latency
+										r.BatchLookups = b
+										r.Async = am
+										loadThreads := 1
+										if sc > 0 && !nm {
+											loadThreads = *threads
+											if loadThreads <= 0 {
+												loadThreads = sc
+											}
 										}
-									}
-									var res ycsb.Result
-									if w.Name == "load" {
-										res = r.LoadParallel(loadThreads)
-									} else {
-										r.LoadParallel(loadThreads)
-										// loadThreads > 1 only for sharded
-										// configs — the only index safe for
-										// concurrent transaction clients.
-										res = r.RunParallel(w, dist, *ops, loadThreads)
-									}
-									name := inst.Name
-									if am {
-										name += "+q"
-									}
-									if wm {
-										name += "+wal"
-									}
-									fmt.Printf("%-9s %-26s %-8s %-10s %6d %10.3f %9d",
-										ds, w.Name+" ("+w.Description+")", dist, name, b, res.Mops(), res.NotFound)
-									if res.Latency != nil {
-										fmt.Printf("   %s", res.Latency)
-									}
-									fmt.Println()
-									if *opstats {
-										if st, ok := inst.Idx.(interface{ OpStats() hot.OpStats }); ok {
-											fmt.Printf("%-9s   opstats: %s\n", "", st.OpStats())
+										var res ycsb.Result
+										if w.Name == "load" {
+											res = r.LoadParallel(loadThreads)
+										} else {
+											r.LoadParallel(loadThreads)
+											// loadThreads > 1 only for sharded
+											// configs — the only index safe for
+											// concurrent transaction clients.
+											res = r.RunParallel(w, dist, *ops, loadThreads)
 										}
-									}
-									asyncRec, walRec := 0, 0
-									if am {
-										asyncRec = 1
-									}
-									if wm {
-										walRec = 1
-									}
-									records = append(records, record{
-										Dataset: ds, Workload: w.Name, Dist: dist.String(), Index: name,
-										Batch: b, Shards: sc, Threads: loadThreads, Async: asyncRec, Wal: walRec,
-										Mops: res.Mops(), Misses: res.NotFound,
-									})
-									if durable != nil {
-										die(durable.Close())
-										die(os.RemoveAll(walDir))
+										name := inst.Name
+										if am {
+											name += "+q"
+										}
+										if wm {
+											name += "+wal"
+										}
+										if nm {
+											name += "+net"
+										}
+										fmt.Printf("%-9s %-26s %-8s %-10s %6d %10.3f %9d",
+											ds, w.Name+" ("+w.Description+")", dist, name, b, res.Mops(), res.NotFound)
+										if res.Latency != nil {
+											fmt.Printf("   %s", res.Latency)
+										}
+										fmt.Println()
+										if *opstats {
+											if st, ok := inst.Idx.(interface{ OpStats() hot.OpStats }); ok {
+												fmt.Printf("%-9s   opstats: %s\n", "", st.OpStats())
+											}
+										}
+										asyncRec, walRec, netRec := 0, 0, 0
+										if am {
+											asyncRec = 1
+										}
+										if wm {
+											walRec = 1
+										}
+										if nm {
+											netRec = 1
+										}
+										records = append(records, record{
+											Dataset: ds, Workload: w.Name, Dist: dist.String(), Index: name,
+											Batch: b, Shards: sc, Threads: loadThreads, Async: asyncRec, Wal: walRec, Net: netRec,
+											Mops: res.Mops(), Misses: res.NotFound,
+										})
+										if remote != nil {
+											die(remote.Close())
+										}
+										if srv != nil {
+											die(srv.Close())
+										}
+										if durable != nil {
+											die(durable.Close())
+										}
+										if walDir != "" {
+											die(os.RemoveAll(walDir))
+										}
 									}
 								}
 							}

@@ -43,6 +43,17 @@ type DurableOptions struct {
 	// Zero syncs immediately (every sync write pays its own fsync unless a
 	// concurrent commit is already in flight to piggyback on).
 	GroupCommitDelay time.Duration
+
+	// RecoverEntry, when non-nil, receives every (key, TID) pair about to
+	// be restored during an OpenDurableShardedTree — each snapshot entry
+	// and each replayed insert/upsert log record, before it is applied to
+	// the trie. It lets a caller rebuild the TID→key resolution state its
+	// Loader depends on with no persistence of its own: the snapshot and
+	// the log both carry the full key bytes (hot-server rebuilds its key
+	// arena this way). Returning an error rejects the entry, with the same
+	// consequences as any other damaged entry: a snapshot load stops there
+	// and a log replay cuts the log at the previous record.
+	RecoverEntry func(key []byte, tid TID) error
 }
 
 // RecoveryInfo reports what an OpenDurable* constructor restored: how much
@@ -72,6 +83,31 @@ const durableSnapName = "snap.hot"
 // errNotDurable is returned by durability-only methods on an index that
 // was not opened in durable mode.
 var errNotDurable = errors.New("hot: index not opened in durable mode")
+
+// ErrClosed is returned by durability operations (Checkpoint, replication
+// sessions) on an index that has been closed. Plain writes after Close
+// panic instead — see ShardedTree.Close.
+var ErrClosed = errors.New("hot: durable index is closed")
+
+// OrphanedLogError is returned when a durable open finds write-ahead logs
+// in a directory whose snapshot is missing. The logs prove the directory
+// held acknowledged writes; proceeding with a fresh open would re-derive
+// shard boundaries from the caller's sample, and replay would then cut
+// every log record that falls outside its new shard's range — silently
+// discarding durable data. The open refuses instead: restore the snapshot,
+// or move the logs aside deliberately.
+type OrphanedLogError struct {
+	// Dir is the durable directory.
+	Dir string
+	// Logs is the base names of the write-ahead logs found without their
+	// snapshot.
+	Logs []string
+}
+
+func (e *OrphanedLogError) Error() string {
+	return fmt.Sprintf("hot: durable directory %s has no %s but holds write-ahead logs %v; "+
+		"refusing a fresh open that would discard their acknowledged writes", e.Dir, durableSnapName, e.Logs)
+}
 
 // resumeWAL opens the log at path for appending, replaying its valid
 // record prefix through fn first. A missing log is created fresh (base 0);
@@ -156,8 +192,10 @@ func OpenDurableMap(dir string, opts DurableOptions) (*DurableMap, RecoveryInfo,
 		return nil, info, err
 	}
 	m := NewMap()
+	haveSnap := false
 	snap := filepath.Join(dir, durableSnapName)
 	if _, err := os.Stat(snap); err == nil {
+		haveSnap = true
 		mm, rep, lerr := RecoverMapFile(snap)
 		if lerr != nil {
 			return nil, info, lerr
@@ -189,6 +227,14 @@ func OpenDurableMap(dir string, opts DurableOptions) (*DurableMap, RecoveryInfo,
 	}, opts.GroupCommitDelay)
 	if err != nil {
 		return nil, info, err
+	}
+	if !haveSnap && rep.Base > 0 {
+		// The log's checkpoint base proves a checkpoint completed, so a
+		// snapshot existed and is now missing — everything with LSN ≤ base
+		// is unrecoverable from the log alone. A fresh start here would
+		// silently lose it.
+		w.Close()
+		return nil, info, &OrphanedLogError{Dir: dir, Logs: []string{"wal.log"}}
 	}
 	info.noteWALDamage(rep)
 	return &DurableMap{m: m, wal: w, dir: dir}, info, nil
@@ -270,8 +316,17 @@ func (dm *DurableMap) LogSize() int64 { return dm.wal.Size() }
 
 // Checkpoint durably snapshots the map and rotates the log behind it, so
 // recovery replays only what came after. Writers are held off for the
-// duration of the snapshot; on error the previous snapshot and the full
-// log remain intact.
+// duration.
+//
+// Failure semantics: if writing the snapshot fails, the previous snapshot
+// and the full log are untouched (SaveFile never replaces its target on
+// error) and the map keeps running. If the subsequent log rotation fails,
+// the new snapshot is already in place; the on-disk state still recovers
+// exactly (replaying log records the snapshot already covers converges to
+// the same map), but the live store can no longer bound its replay, so the
+// failure poisons the log — Checkpoint returns the error and any later
+// write panics like any other log failure. Reopen the directory to
+// recover.
 func (dm *DurableMap) Checkpoint() error {
 	dm.ckpt.Lock()
 	defer dm.ckpt.Unlock()
@@ -280,7 +335,11 @@ func (dm *DurableMap) Checkpoint() error {
 	if err := dm.m.SaveFile(filepath.Join(dm.dir, durableSnapName)); err != nil {
 		return err
 	}
-	return dm.wal.Rotate(dm.wal.LastLSN())
+	if err := dm.wal.Rotate(dm.wal.LastLSN()); err != nil {
+		dm.wal.Poison(err)
+		return err
+	}
+	return nil
 }
 
 // Close makes every logged write durable and closes the log. The map must

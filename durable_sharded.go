@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"github.com/hotindex/hot/internal/persist"
 	"github.com/hotindex/hot/internal/shard"
@@ -32,11 +33,12 @@ import (
 
 // durableState is the write-ahead side of a durable ShardedTree.
 type durableState struct {
-	dir  string
-	kind uint16 // snapshot section kind written at checkpoints
-	mu   []paddedMutex
-	wals []*persist.WAL
-	ckpt sync.Mutex // serializes Checkpoint and Close
+	dir    string
+	kind   uint16 // snapshot section kind written at checkpoints
+	mu     []paddedMutex
+	wals   []*persist.WAL
+	ckpt   sync.Mutex  // serializes Checkpoint, Close and replication sessions
+	closed atomic.Bool // set by Close under every commit lock
 }
 
 // paddedMutex keeps the per-shard commit locks on separate cache lines, in
@@ -52,8 +54,13 @@ func (d *durableState) snapPath() string { return filepath.Join(d.dir, durableSn
 
 // append logs one operation to shard s's log. Callers hold d.mu[s]. A log
 // failure panics: the store can no longer honor its durability contract
-// (see durable.go).
+// (see durable.go). Writing after Close is a caller bug and panics with a
+// clear message — the check is race-free because Close sets the flag while
+// holding every commit lock.
 func (d *durableState) append(s int, op shard.Op) uint64 {
+	if d.closed.Load() {
+		panic("hot: write to a closed durable index")
+	}
 	var wop persist.WalOp
 	switch op.Kind {
 	case shard.OpInsert:
@@ -129,10 +136,18 @@ func (t *ShardedTree) LogSize() int64 {
 // log behind it, bounding recovery replay to what comes after. It holds
 // every shard's commit lock for the duration — writers block, readers are
 // unaffected — so the cut is exact: the snapshot covers precisely the
-// records each log held, and each rotated log restarts at that base. On
-// error the previous snapshot and the full logs remain intact (a crash
-// mid-rotation leaves some logs rotated and some not; recovery replays
-// both kinds correctly, see the file comment).
+// records each log held, and each rotated log restarts at that base.
+//
+// Failure semantics: if writing the snapshot fails, the previous snapshot
+// and the full logs are untouched (AtomicFile never replaces its target on
+// error) and the store keeps running. If a log rotation fails, the new
+// snapshot is already installed and a failure at shard k leaves shards < k
+// rotated and shards ≥ k not. That on-disk state recovers exactly —
+// replaying log records the snapshot already covers is a verbatim replay
+// that converges to the same tree — but the live store can no longer bound
+// its replay or promise future rotations, so a rotation failure poisons
+// every shard's log: Checkpoint returns the error and any subsequent write
+// panics like any other log failure. Reopen the directory to recover.
 func (t *ShardedTree) Checkpoint() error {
 	d := t.dur
 	if d == nil {
@@ -140,6 +155,9 @@ func (t *ShardedTree) Checkpoint() error {
 	}
 	d.ckpt.Lock()
 	defer d.ckpt.Unlock()
+	if d.closed.Load() {
+		return ErrClosed
+	}
 	for s := range d.mu {
 		d.mu[s].Lock()
 	}
@@ -155,7 +173,11 @@ func (t *ShardedTree) Checkpoint() error {
 	}
 	for s := range d.wals {
 		if err := d.wals[s].Rotate(d.wals[s].LastLSN()); err != nil {
-			return fmt.Errorf("hot: rotating shard %d log: %w", s, err)
+			perr := fmt.Errorf("hot: rotating shard %d log after the snapshot was replaced: %w", s, err)
+			for _, w := range d.wals {
+				w.Poison(perr)
+			}
+			return perr
 		}
 	}
 	return nil
@@ -163,15 +185,31 @@ func (t *ShardedTree) Checkpoint() error {
 
 // Close flushes the async backlog, makes every logged write durable, and
 // closes the logs. On a non-durable tree it is just the Flush barrier.
-// The tree must not be written after Close.
+// Close is idempotent — a second call returns nil without touching the
+// logs. The tree must not be written after Close: durable writes panic
+// with a clear error instead of failing deep inside the log layer.
 func (t *ShardedTree) Close() error {
-	t.Flush()
 	d := t.dur
 	if d == nil {
+		t.Flush()
 		return nil
 	}
 	d.ckpt.Lock()
 	defer d.ckpt.Unlock()
+	if d.closed.Load() {
+		return nil
+	}
+	t.Flush()
+	// Set the closed flag under every commit lock, so it is ordered against
+	// all in-flight appends: any write that got its lock first is logged and
+	// closed out below; any write that gets its lock later panics cleanly.
+	for s := range d.mu {
+		d.mu[s].Lock()
+	}
+	d.closed.Store(true)
+	for s := range d.mu {
+		d.mu[s].Unlock()
+	}
 	var first error
 	for s := range d.wals {
 		if err := d.wals[s].Close(); err != nil && first == nil {
@@ -223,6 +261,17 @@ func openDurableSharded(dir string, loader Loader, kind uint16, check func(key [
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, info, err
 	}
+	if re := opts.RecoverEntry; re != nil {
+		inner := check
+		check = func(key []byte, tid TID) error {
+			if inner != nil {
+				if err := inner(key, tid); err != nil {
+					return err
+				}
+			}
+			return re(key, tid)
+		}
+	}
 	snap := filepath.Join(dir, durableSnapName)
 	var t *ShardedTree
 	if _, err := os.Stat(snap); err == nil {
@@ -249,6 +298,21 @@ func openDurableSharded(dir string, loader Loader, kind uint16, check func(key [
 	if fresh {
 		if shards < 1 {
 			panic("hot: shard count must be >= 1")
+		}
+		// A fresh open must find a truly fresh directory. Write-ahead logs
+		// without their snapshot mean the snapshot was lost, not that the
+		// store is new: re-deriving boundaries from the (possibly different)
+		// sample would overwrite what remains of the old boundary table, and
+		// replay would then cut every log record routed outside its new
+		// shard's range — silently discarding acknowledged writes. Refuse.
+		if logs, err := filepath.Glob(filepath.Join(dir, "wal-*.log")); err != nil {
+			return nil, info, err
+		} else if len(logs) > 0 {
+			names := make([]string, len(logs))
+			for i, l := range logs {
+				names[i] = filepath.Base(l)
+			}
+			return nil, info, &OrphanedLogError{Dir: dir, Logs: names}
 		}
 		t = newShardedFromBounds(loader, shard.Boundaries(shards, sample))
 	}

@@ -1,11 +1,16 @@
 package hot
 
 import (
+	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"github.com/hotindex/hot/internal/chaos"
 	"github.com/hotindex/hot/internal/dataset"
 	"github.com/hotindex/hot/internal/tidstore"
 )
@@ -329,5 +334,159 @@ func TestDurableMapConcurrent(t *testing.T) {
 	defer m2.Close()
 	if m2.Len() != workers*per || int(info.WALRecords) != workers*per {
 		t.Fatalf("recovered len %d, records %d", m2.Len(), info.WALRecords)
+	}
+}
+
+// TestDurableShardedOrphanedWALRefusal: write-ahead logs without their
+// snapshot mean the snapshot was lost, not that the store is new. A fresh
+// open must refuse — re-deriving boundaries would misroute the surviving
+// log records and silently discard acknowledged writes.
+func TestDurableShardedOrphanedWALRefusal(t *testing.T) {
+	dir := t.TempDir()
+	keys := dataset.Generate(dataset.Integer, 500, 5)
+	store := &tidstore.Store{}
+	for _, k := range keys {
+		store.Add(k)
+	}
+	tr, _, err := OpenDurableShardedTree(dir, store.Key, 4, keys, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		tr.Insert(k, TID(i))
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate losing the snapshot between runs.
+	if err := os.Remove(filepath.Join(dir, durableSnapName)); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = OpenDurableShardedTree(dir, store.Key, 4, keys, DurableOptions{})
+	var oe *OrphanedLogError
+	if !errors.As(err, &oe) {
+		t.Fatalf("reopen without snapshot = %v, want *OrphanedLogError", err)
+	}
+	if oe.Dir != dir || len(oe.Logs) != 4 {
+		t.Fatalf("error names %d logs in %q, want 4 in %q", len(oe.Logs), oe.Dir, dir)
+	}
+	for s, name := range oe.Logs {
+		if name != fmt.Sprintf("wal-%03d.log", s) {
+			t.Fatalf("log %d listed as %q", s, name)
+		}
+	}
+}
+
+// TestDurableShardedClosed pins the Close contract: Close is idempotent,
+// a closed store refuses checkpoints with ErrClosed, and a write after
+// Close panics with a clear hot:-prefixed message at the commit-lock
+// boundary instead of failing deep inside the log layer.
+func TestDurableShardedClosed(t *testing.T) {
+	dir := t.TempDir()
+	keys := dataset.Generate(dataset.Integer, 200, 9)
+	store := &tidstore.Store{}
+	for _, k := range keys {
+		store.Add(k)
+	}
+	tr, _, err := OpenDurableShardedTree(dir, store.Key, 2, keys, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Insert(keys[0], 0)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatalf("second Close = %v, want nil", err)
+	}
+	if err := tr.Checkpoint(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Checkpoint after Close = %v, want ErrClosed", err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("write to a closed durable tree did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.HasPrefix(msg, "hot:") {
+			t.Fatalf("panic = %v, want a hot:-prefixed message", r)
+		}
+	}()
+	tr.Insert(keys[1], 1)
+}
+
+// TestDurableShardedCheckpointRotateFaultMiddleShard drives the
+// documented rotation-failure contract end to end: fail the SECOND of
+// four log rotations — after the new snapshot is already installed — so
+// earlier shards are rotated and later ones are not. That half-rotated
+// store must poison every shard's log as a unit (Checkpoint errors,
+// writes to any shard panic), and reopening the directory must recover
+// every acknowledged write exactly.
+func TestDurableShardedCheckpointRotateFaultMiddleShard(t *testing.T) {
+	dir := t.TempDir()
+	keys := dataset.Generate(dataset.Integer, 2000, 13)
+	store := &tidstore.Store{}
+	for _, k := range keys {
+		store.Add(k)
+	}
+	tr, _, err := OpenDurableShardedTree(dir, store.Key, 4, keys, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		if !tr.Insert(k, TID(i)) {
+			t.Fatalf("insert %d rejected", i)
+		}
+	}
+
+	reg := chaos.New(21)
+	reg.OnAfter(chaos.WalRotate, 1, 1, nil) // skip shard 0, fail shard 1
+	reg.Arm()
+	cerr := tr.Checkpoint()
+	chaos.Disarm()
+	if cerr == nil {
+		t.Fatal("checkpoint with a failed rotation returned nil")
+	}
+	if got := reg.Fired(chaos.WalRotate); got != 1 {
+		t.Fatalf("rotation fault fired %d times, want 1", got)
+	}
+
+	// The store is poisoned as a unit: another checkpoint fails too, and
+	// reads still work while writes to ANY shard panic (checked last — the
+	// panic legitimately abandons a commit lock, so no Close after it).
+	if err := tr.Checkpoint(); err == nil {
+		t.Fatal("checkpoint on a poisoned store returned nil")
+	}
+	if tid, ok := tr.Lookup(keys[7]); !ok || tid != 7 {
+		t.Fatalf("read on a poisoned store = (%d, %v)", tid, ok)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("write after a failed rotation did not panic")
+			}
+		}()
+		tr.Upsert(keys[0], 9999)
+	}()
+
+	// The on-disk state — new snapshot, shard 0 rotated, shards 1..3 with
+	// their full logs — recovers exactly: replaying records the snapshot
+	// already covers is a verbatim no-op replay.
+	tr2, _, err := OpenDurableShardedTree(dir, store.Key, 4, keys, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr2.Close()
+	if err := tr2.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr2.Len(); got != len(keys) {
+		t.Fatalf("recovered %d keys, want %d", got, len(keys))
+	}
+	for i, k := range keys {
+		if tid, ok := tr2.Lookup(k); !ok || tid != TID(i) {
+			t.Fatalf("key %d = (%d, %v) after recovery", i, tid, ok)
+		}
 	}
 }

@@ -11,6 +11,10 @@
 // range-sharded concurrent tree (hot.ShardedTree) written by one goroutine
 // per shard, scanned across shard boundaries with the merged cursor, and
 // persisted as a single multiplexed sharded snapshot.
+//
+// To serve a store like this over a network instead of in-process, see
+// cmd/hot-server: the same durable sharded tree behind a TCP front end,
+// with streaming replication to read-only followers.
 package main
 
 import (

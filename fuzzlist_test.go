@@ -1,6 +1,7 @@
 package hot
 
 import (
+	"io/fs"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -10,15 +11,12 @@ import (
 )
 
 // TestMakefileFuzzListCoversAllTargets guards against drift between the
-// Fuzz* functions defined in fuzz_test.go and the `make fuzz` recipe: every
-// target must get a burst line in the Makefile, and the Makefile must not
-// reference targets that no longer exist. Adding a fuzz target without
-// wiring it into `make fuzz` silently exempts it from CI exploration.
+// Fuzz* functions defined anywhere in the module and the `make fuzz`
+// recipe: every target must get a burst line in the Makefile, and the
+// Makefile must not reference targets that no longer exist. Adding a fuzz
+// target without wiring it into `make fuzz` silently exempts it from CI
+// exploration.
 func TestMakefileFuzzListCoversAllTargets(t *testing.T) {
-	src, err := os.ReadFile("fuzz_test.go")
-	if err != nil {
-		t.Fatal(err)
-	}
 	mk, err := os.ReadFile("Makefile")
 	if err != nil {
 		t.Fatal(err)
@@ -26,11 +24,33 @@ func TestMakefileFuzzListCoversAllTargets(t *testing.T) {
 
 	declRe := regexp.MustCompile(`(?m)^func (Fuzz\w+)\(`)
 	defined := map[string]bool{}
-	for _, m := range declRe.FindAllSubmatch(src, -1) {
-		defined[string(m[1])] = true
+	err = filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name != "." && (strings.HasPrefix(name, ".") || name == "testdata" || name == "results") {
+				return fs.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		src, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return rerr
+		}
+		for _, m := range declRe.FindAllSubmatch(src, -1) {
+			defined[string(m[1])] = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 	if len(defined) == 0 {
-		t.Fatal("no Fuzz targets found in fuzz_test.go")
+		t.Fatal("no Fuzz targets found in any _test.go file")
 	}
 
 	recipeRe := regexp.MustCompile(`-fuzz (Fuzz\w+)`)

@@ -211,6 +211,7 @@ type Registry struct {
 
 type action struct {
 	prob float64
+	skip uint64
 	fn   func()
 }
 
@@ -225,6 +226,17 @@ func New(seed int64) *Registry {
 func (r *Registry) On(p Point, prob float64, fn func()) {
 	r.mu.Lock()
 	r.acts[p] = action{prob: prob, fn: fn}
+	r.mu.Unlock()
+}
+
+// OnAfter is On with a dormancy budget: the point's first skip hits never
+// fire, hit skip+1 onward fires with probability prob. It aims a fault at
+// the k-th occurrence of a point — the middle shard of a multi-shard log
+// rotation, the second fsync of a run — which a probability alone cannot
+// target deterministically.
+func (r *Registry) OnAfter(p Point, skip uint64, prob float64, fn func()) {
+	r.mu.Lock()
+	r.acts[p] = action{prob: prob, skip: skip, fn: fn}
 	r.mu.Unlock()
 }
 
@@ -245,10 +257,10 @@ func Disarm() {
 }
 
 func (r *Registry) fire(p Point) bool {
-	r.hits[p].Add(1)
+	n := r.hits[p].Add(1)
 	r.mu.Lock()
 	a := r.acts[p]
-	run := a.prob > 0 && (a.prob >= 1 || r.rng.Float64() < a.prob)
+	run := a.prob > 0 && n > a.skip && (a.prob >= 1 || r.rng.Float64() < a.prob)
 	r.mu.Unlock()
 	if !run {
 		return false

@@ -609,6 +609,23 @@ func (w *WAL) Err() error {
 	return w.err
 }
 
+// Poison marks the log failed with err: every subsequent Append, Commit or
+// Rotate returns it (an already-poisoned log keeps its first error). The
+// sharded checkpoint uses it to fail a store as a unit — when one sibling
+// log's rotation fails mid-checkpoint, the healthy logs must stop
+// acknowledging writes too, or the store would keep running half-rotated.
+func (w *WAL) Poison(err error) {
+	if err == nil {
+		return
+	}
+	w.mu.Lock()
+	if w.err == nil {
+		w.err = err
+	}
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
 // LastLSN returns the highest assigned LSN.
 func (w *WAL) LastLSN() uint64 {
 	w.mu.Lock()
@@ -640,3 +657,105 @@ func (w *WAL) Size() int64 {
 
 // Path returns the log's file path.
 func (w *WAL) Path() string { return w.path }
+
+// WALTailer incrementally reads committed records out of a live log file —
+// the leader side of streaming replication tails each shard's log with one.
+// It owns its own read-only descriptor, so it never perturbs the writing
+// WAL, and it only parses bytes below the limit the caller passes to Next
+// (the WAL's Size(), which advances exactly at group-commit completion), so
+// it never races an in-flight write: everything below that limit is a fully
+// written, stable record. The log must not rotate while a tailer is open on
+// it (the replication session guarantees that by holding the store's
+// checkpoint lock).
+type WALTailer struct {
+	f     *os.File
+	off   int64
+	base  uint64 // checkpoint LSN of the leading checkpoint record
+	prev  uint64 // LSN of the last record returned (base before any)
+	first bool   // the leading checkpoint record has not been read yet
+	buf   []byte
+}
+
+// OpenWALTailer opens the log at path for incremental tailing, validating
+// its header. The leading checkpoint record is consumed transparently by
+// the first Next call; Base is valid after that call returns.
+func OpenWALTailer(path string) (*WALTailer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	var h [headerSize]byte
+	if _, err := f.ReadAt(h[:], 0); err != nil {
+		f.Close()
+		return nil, formatErr(ErrTruncated, 0, "log header: %v", err)
+	}
+	if damage := validateHeader(h, KindWAL); damage != nil {
+		f.Close()
+		return nil, damage
+	}
+	return &WALTailer{f: f, off: headerSize, first: true}, nil
+}
+
+// Next returns the next data record whose bytes lie entirely below limit.
+// ok is false when no complete further record fits under limit yet — poll
+// again once the writer has committed more. The key slice is only valid
+// until the next call. A non-nil error means the log below limit is not
+// well-formed (corruption, an LSN discontinuity, a misplaced checkpoint
+// record) and the tailer is unusable.
+func (t *WALTailer) Next(limit int64) (op WalOp, key []byte, tid uint64, lsn uint64, ok bool, err error) {
+	for {
+		if t.off+8 > limit {
+			return 0, nil, 0, 0, false, nil
+		}
+		var hdr [8]byte
+		if _, err := t.f.ReadAt(hdr[:], t.off); err != nil {
+			return 0, nil, 0, 0, false, formatErr(ErrTruncated, t.off, "record header below limit %d: %v", limit, err)
+		}
+		length := binary.LittleEndian.Uint32(hdr[:4])
+		recCRC := binary.LittleEndian.Uint32(hdr[4:])
+		if length == 0 || length > maxWalRecLen {
+			return 0, nil, 0, 0, false, formatErr(ErrCorrupt, t.off, "record payload %d outside (0, %d]", length, maxWalRecLen)
+		}
+		if t.off+8+int64(length) > limit {
+			return 0, nil, 0, 0, false, nil
+		}
+		if uint32(cap(t.buf)) < length {
+			t.buf = make([]byte, length)
+		}
+		payload := t.buf[:length]
+		if _, err := t.f.ReadAt(payload, t.off+8); err != nil {
+			return 0, nil, 0, 0, false, formatErr(ErrTruncated, t.off, "record payload below limit %d: %v", limit, err)
+		}
+		if got := crc32.Checksum(payload, castagnoli); got != recCRC {
+			return 0, nil, 0, 0, false, formatErr(ErrChecksum, t.off, "record CRC %#x, computed %#x", recCRC, got)
+		}
+		rop, rlsn, rkey, rtid, damage := parseWalPayload(payload, t.off)
+		if damage != nil {
+			return 0, nil, 0, 0, false, damage
+		}
+		if rop == WalCheckpoint {
+			if !t.first {
+				return 0, nil, 0, 0, false, formatErr(ErrCorrupt, t.off, "checkpoint record not at log start")
+			}
+			t.base, t.prev, t.first = rlsn, rlsn, false
+			t.off += 8 + int64(length)
+			continue
+		}
+		if t.first {
+			return 0, nil, 0, 0, false, formatErr(ErrCorrupt, t.off, "log opens without a checkpoint record")
+		}
+		if rlsn != t.prev+1 {
+			return 0, nil, 0, 0, false, formatErr(ErrCorrupt, t.off, "LSN %d after %d, want %d", rlsn, t.prev, t.prev+1)
+		}
+		t.prev = rlsn
+		t.off += 8 + int64(length)
+		return rop, rkey, rtid, rlsn, true, nil
+	}
+}
+
+// Base returns the log's checkpoint base LSN; it is zero until the first
+// Next call has consumed the leading checkpoint record.
+func (t *WALTailer) Base() uint64 { return t.base }
+
+// Close releases the tailer's file descriptor.
+func (t *WALTailer) Close() error { return t.f.Close() }

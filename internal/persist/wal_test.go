@@ -608,3 +608,126 @@ func TestWALAppendValidation(t *testing.T) {
 		t.Fatalf("log unusable after rejected appends: %v", err)
 	}
 }
+
+// TestWALTailer drives the incremental reader against a live log: records
+// become visible exactly when the writer's Size() frontier passes them,
+// buffered-but-uncommitted appends stay invisible, a byte limit inside a
+// record withholds it, and the leading checkpoint record is consumed
+// transparently.
+func TestWALTailer(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := CreateWAL(path, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	tl, err := OpenWALTailer(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl.Close()
+
+	var lastLSN uint64
+	drain := func(limit int64) []walRec {
+		t.Helper()
+		var got []walRec
+		for {
+			op, key, tid, lsn, ok, err := tl.Next(limit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				return got
+			}
+			if lastLSN != 0 && lsn != lastLSN+1 {
+				t.Fatalf("LSN %d after %d", lsn, lastLSN)
+			}
+			lastLSN = lsn
+			got = append(got, walRec{op, append([]byte(nil), key...), tid})
+		}
+	}
+
+	// Fresh log: the tailer eats the checkpoint record, yields nothing.
+	if got := drain(w.Size()); len(got) != 0 {
+		t.Fatalf("fresh log yielded %d records", len(got))
+	}
+	if tl.Base() != 5 {
+		t.Fatalf("Base = %d, want 5", tl.Base())
+	}
+
+	rs := genWalRecs(50)
+	for _, r := range rs[:30] {
+		if _, err := w.Append(r.op, r.key, r.tid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Appended but uncommitted: the Size() frontier has not moved, so the
+	// tailer must see nothing — this is the no-race-with-writers contract.
+	if got := drain(w.Size()); len(got) != 0 {
+		t.Fatalf("uncommitted appends visible: %d records", len(got))
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(w.Size()); !sameRecs(got, rs[:30]) {
+		t.Fatalf("first batch diverged: got %d records", len(got))
+	}
+
+	for _, r := range rs[30:] {
+		if _, err := w.Append(r.op, r.key, r.tid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// One byte short of the frontier: the final record must be withheld.
+	part := drain(w.Size() - 1)
+	if len(part) >= 20 {
+		t.Fatalf("limit inside the last record still returned all %d records", len(part))
+	}
+	rest := drain(w.Size())
+	if !sameRecs(append(part, rest...), rs[30:]) {
+		t.Fatalf("second batch diverged: %d + %d records", len(part), len(rest))
+	}
+	if lastLSN != 5+50 {
+		t.Fatalf("last LSN %d, want %d", lastLSN, 5+50)
+	}
+}
+
+// TestWALPoison pins the contract the sharded checkpoint leans on: Poison
+// makes the first error sticky across Append, Commit and Rotate; a nil
+// poison and later poisons are no-ops; blocked committers are woken.
+func TestWALPoison(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := CreateWAL(path, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	w.Poison(nil)
+	if err := w.Err(); err != nil {
+		t.Fatalf("Poison(nil) poisoned the log: %v", err)
+	}
+	lsn, err := w.Append(WalInsert, []byte("k"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	w.Poison(boom)
+	w.Poison(errors.New("later")) // first error wins
+	if got := w.Err(); got != boom {
+		t.Fatalf("Err = %v, want the first poison", got)
+	}
+	if err := w.Commit(lsn); err != boom {
+		t.Fatalf("Commit after poison = %v", err)
+	}
+	if _, err := w.Append(WalInsert, []byte("k2"), 2); err != boom {
+		t.Fatalf("Append after poison = %v", err)
+	}
+	if err := w.Rotate(lsn); err != boom {
+		t.Fatalf("Rotate after poison = %v", err)
+	}
+}

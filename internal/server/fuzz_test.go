@@ -1,0 +1,60 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"github.com/hotindex/hot/internal/wire"
+)
+
+// frameStream concatenates well-formed frames into one request stream.
+func frameStream(frames ...[]byte) []byte {
+	var buf bytes.Buffer
+	for _, f := range frames {
+		buf.Write(f)
+	}
+	return buf.Bytes()
+}
+
+func frame(op byte, body []byte) []byte {
+	var buf bytes.Buffer
+	if err := wire.WriteFrame(&buf, op, body); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzServerFrame feeds arbitrary bytes to a connection handler: whatever
+// the peer sends — truncated frames, hostile lengths, malformed bodies,
+// out-of-range keys and TIDs — the server must reject it as a protocol
+// error, never panic. This is the input-trust boundary of the whole
+// system: everything behind ServeConn assumes validated arguments.
+func FuzzServerFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(frameStream(
+		frame(wire.OpSet, wire.AppendKeyTID(nil, []byte("alpha"), 1)),
+		frame(wire.OpAdd, wire.AppendKeyTID(nil, []byte("beta"), 2)),
+		frame(wire.OpFlush, nil),
+		frame(wire.OpGet, []byte("alpha")),
+		frame(wire.OpScan, wire.AppendScan(nil, nil, 10)),
+		frame(wire.OpBatch, wire.AppendBatchKeys(nil, [][]byte{[]byte("alpha"), []byte("beta")})),
+		frame(wire.OpStats, nil),
+		frame(wire.OpDel, []byte("alpha")),
+		frame(wire.OpFlush, nil),
+	))
+	f.Add(frame(wire.OpRepl, nil))
+	f.Add(frame(0xff, []byte("junk")))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x01}) // hostile length prefix
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := New(Options{Shards: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		s.ServeConn(struct {
+			io.Reader
+			io.Writer
+		}{bytes.NewReader(data), io.Discard})
+	})
+}

@@ -1,0 +1,55 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+)
+
+// KeyMap is the server's TID→key table: the inverse of the index, and the
+// Loader the index resolves TIDs through. It is rebuilt purely from the
+// write stream — live SET/ADD requests carry both key and TID, and so do
+// snapshot entries and replayed log records (DurableOptions.RecoverEntry)
+// and replicated entries (Follower's onEntry hook) — so it needs no
+// persistence of its own.
+//
+// A TID binds to exactly one key for the life of the map. Rebinding a live
+// TID to a different key would silently corrupt the index (the trie stores
+// TIDs and trusts the loader to resolve them to the original key bytes),
+// so Bind refuses it.
+type KeyMap struct {
+	m sync.Map // TID → []byte (immutable once stored)
+}
+
+// Bind records key as tid's key and returns the map's stable copy of it —
+// safe to hand to the index's async write path, which requires keys to stay
+// valid until the next Flush. Binding a TID twice with the same key is a
+// no-op; a different key is an error.
+func (k *KeyMap) Bind(key []byte, tid uint64) ([]byte, error) {
+	if v, ok := k.m.Load(tid); ok {
+		stored := v.([]byte)
+		if !bytes.Equal(stored, key) {
+			return nil, fmt.Errorf("TID %d is bound to key %q, cannot rebind to %q", tid, stored, key)
+		}
+		return stored, nil
+	}
+	cp := append([]byte(nil), key...)
+	if v, loaded := k.m.LoadOrStore(tid, cp); loaded {
+		stored := v.([]byte)
+		if !bytes.Equal(stored, key) {
+			return nil, fmt.Errorf("TID %d is bound to key %q, cannot rebind to %q", tid, stored, key)
+		}
+		return stored, nil
+	}
+	return cp, nil
+}
+
+// Key is the hot.Loader: it resolves tid to its bound key, nil when tid was
+// never bound (the index never stores an unbound TID, so nil only surfaces
+// for genuinely absent entries).
+func (k *KeyMap) Key(tid uint64, _ []byte) []byte {
+	if v, ok := k.m.Load(tid); ok {
+		return v.([]byte)
+	}
+	return nil
+}

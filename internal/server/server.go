@@ -1,0 +1,450 @@
+// Package server is hot-server's network front end: a TCP listener
+// multiplexing any number of client connections onto one sharded HOT
+// index over the wire package's length-prefixed protocol. Reads run
+// straight on the epoch-protected shards (wait-free, no server-side
+// locks); writes go through the index's async submission path, so a
+// connection can pipeline writes back to back and use FLUSH as its
+// durability/completion barrier. A server is either a leader (owns the
+// index, optionally durable) or a follower (bootstraps from a leader's
+// replication stream and serves reads from the replicated shard prefix).
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	hot "github.com/hotindex/hot"
+	"github.com/hotindex/hot/internal/wire"
+)
+
+// Options configures a server.
+type Options struct {
+	// Shards is the range-partition count for a fresh index (default 8).
+	Shards int
+	// Dir, when non-empty, opens the index in durable (write-ahead logged)
+	// mode in that directory. Required to serve replication streams.
+	Dir string
+	// Sample seeds the shard boundaries of a fresh index (see
+	// hot.NewShardedTree); ignored when Dir already holds a snapshot.
+	Sample [][]byte
+	// GroupCommitDelay is the durable mode's fsync accumulation window.
+	GroupCommitDelay time.Duration
+	// Follow, when non-empty, makes this server a read-only follower of
+	// the leader at that address: it dials, bootstraps over the leader's
+	// replication stream, and serves reads from the ready shard prefix
+	// while the rest streams. Dir must be empty.
+	Follow string
+}
+
+// Server serves the hot wire protocol over TCP.
+type Server struct {
+	opts Options
+	km   *KeyMap
+	tree *hot.ShardedTree // leader mode
+	fol  *hot.Follower    // follower mode
+
+	ln      net.Listener
+	stop    chan struct{}
+	closed  atomic.Bool
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	conns   map[net.Conn]struct{}
+	feedErr atomic.Pointer[error] // follower: Feed's final error
+}
+
+// New builds a server. A follower (opts.Follow set) dials its leader and
+// starts consuming the replication stream immediately; poll
+// Follower().Ready() to watch the readable shard prefix grow.
+func New(opts Options) (*Server, error) {
+	if opts.Shards <= 0 {
+		opts.Shards = 8
+	}
+	s := &Server{opts: opts, km: &KeyMap{}, stop: make(chan struct{}), conns: make(map[net.Conn]struct{})}
+	bind := func(key []byte, tid hot.TID) error {
+		_, err := s.km.Bind(key, tid)
+		return err
+	}
+	switch {
+	case opts.Follow != "":
+		if opts.Dir != "" {
+			return nil, fmt.Errorf("hot-server: a follower cannot also be durable (Dir and Follow both set)")
+		}
+		s.fol = hot.NewFollower(s.km.Key, bind)
+		conn, err := net.Dial("tcp", opts.Follow)
+		if err != nil {
+			return nil, fmt.Errorf("hot-server: dialing leader: %w", err)
+		}
+		if err := wire.WriteFrame(conn, wire.OpRepl, nil); err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("hot-server: requesting replication: %w", err)
+		}
+		s.track(conn)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.untrack(conn)
+			if err := s.fol.Feed(conn); err != nil {
+				s.feedErr.Store(&err)
+			}
+		}()
+	case opts.Dir != "":
+		tree, _, err := hot.OpenDurableShardedTree(opts.Dir, s.km.Key, opts.Shards, opts.Sample,
+			hot.DurableOptions{GroupCommitDelay: opts.GroupCommitDelay, RecoverEntry: bind})
+		if err != nil {
+			return nil, err
+		}
+		s.tree = tree
+	default:
+		s.tree = hot.NewShardedTree(s.km.Key, opts.Shards, opts.Sample)
+	}
+	return s, nil
+}
+
+// Tree returns the leader's index, nil on a follower.
+func (s *Server) Tree() *hot.ShardedTree { return s.tree }
+
+// Follower returns the follower state, nil on a leader.
+func (s *Server) Follower() *hot.Follower { return s.fol }
+
+// FeedErr returns the error that ended a follower's replication feed, nil
+// while the feed runs or after a clean leader hang-up.
+func (s *Server) FeedErr() error {
+	if p := s.feedErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// Listen binds addr (":0" for an ephemeral port) and starts accepting
+// connections. It returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			s.track(conn)
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				defer s.untrack(conn)
+				s.ServeConn(conn)
+			}()
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) track(c net.Conn) {
+	s.mu.Lock()
+	s.conns[c] = struct{}{}
+	s.mu.Unlock()
+}
+
+func (s *Server) untrack(c net.Conn) {
+	c.Close()
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// Close shuts the server down: stop serving, sever every connection
+// (replication sessions hold the index's checkpoint lock, so they MUST be
+// torn down before the index is closed — closing the index first would
+// deadlock), wait for the handlers, then close the index. Idempotent.
+func (s *Server) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	close(s.stop)
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	if s.tree != nil {
+		return s.tree.Close()
+	}
+	return nil
+}
+
+// keyOK validates a client-supplied key before it reaches the index (the
+// index panics on contract violations; the server must reject them as
+// protocol errors instead).
+func keyOK(key []byte) bool { return len(key) > 0 && len(key) <= hot.MaxKeyLen }
+
+func writeErr(bw *bufio.Writer, msg string) error {
+	return wire.WriteFrame(bw, wire.RepErr, []byte(msg))
+}
+
+// ServeConn runs one connection's request loop until the peer hangs up, a
+// protocol violation forces a close, or the transport fails. It is exported
+// on io.ReadWriter (not net.Conn) so tests and the fuzzer can drive it with
+// in-memory streams. Replies to pipelined requests are buffered and flushed
+// when the read side would block, so a burst of GETs costs one writev.
+//
+// Error discipline: a malformed reply-bearing request (GET, SCAN, BATCH,
+// FLUSH, STATS) gets an ERR reply and the connection lives on. A malformed
+// fire-and-forget write (SET, ADD, DEL) cannot be reported in-band without
+// desynchronizing the reply stream, so it gets an ERR frame and the
+// connection closes.
+func (s *Server) ServeConn(rw io.ReadWriter) {
+	br := bufio.NewReaderSize(rw, 64<<10)
+	bw := bufio.NewWriterSize(rw, 64<<10)
+	defer bw.Flush()
+	var rbuf, wbuf []byte
+	for {
+		if br.Buffered() == 0 {
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+		op, body, err := wire.ReadFrame(br, rbuf)
+		if err != nil {
+			if err != io.EOF && err != io.ErrUnexpectedEOF {
+				writeErr(bw, err.Error())
+			}
+			return
+		}
+		rbuf = body
+
+		switch op {
+		case wire.OpGet:
+			if !keyOK(body) {
+				writeErr(bw, "GET: bad key")
+				continue
+			}
+			var tid hot.TID
+			var found bool
+			if s.fol != nil {
+				var lerr error
+				tid, found, lerr = s.fol.Lookup(body)
+				if lerr != nil {
+					writeErr(bw, lerr.Error())
+					continue
+				}
+			} else {
+				tid, found = s.tree.Lookup(body)
+			}
+			if found {
+				wbuf = wire.AppendUint64(wbuf[:0], tid)
+				wire.WriteFrame(bw, wire.RepValue, wbuf)
+			} else {
+				wire.WriteFrame(bw, wire.RepMissing, nil)
+			}
+
+		case wire.OpSet, wire.OpAdd:
+			key, tid, ok := wire.KeyTID(body)
+			if !ok || !keyOK(key) || tid > hot.MaxTID {
+				writeErr(bw, "SET/ADD: bad key or TID")
+				return
+			}
+			if s.fol != nil {
+				writeErr(bw, "follower is read-only")
+				return
+			}
+			stable, berr := s.km.Bind(key, tid)
+			if berr != nil {
+				writeErr(bw, berr.Error())
+				return
+			}
+			if op == wire.OpSet {
+				s.tree.UpsertAsync(stable, tid)
+			} else {
+				s.tree.InsertAsync(stable, tid)
+			}
+
+		case wire.OpDel:
+			if !keyOK(body) || s.fol != nil {
+				writeErr(bw, "DEL: bad key or read-only follower")
+				return
+			}
+			// The async path needs the key until the op is applied; body
+			// aliases the reusable read buffer, so copy.
+			s.tree.DeleteAsync(append([]byte(nil), body...))
+
+		case wire.OpScan:
+			start, max, ok := wire.Scan(body)
+			if !ok || len(start) > hot.MaxKeyLen {
+				writeErr(bw, "SCAN: bad request")
+				continue
+			}
+			if max > wire.MaxScan {
+				max = wire.MaxScan
+			}
+			wbuf = wire.AppendUint32(wbuf[:0], 0)
+			n := 0
+			add := func(key []byte, tid hot.TID) bool {
+				if len(wbuf)+10+len(key) > wire.MaxFrame {
+					return false
+				}
+				wbuf = wire.AppendUint64(wbuf, tid)
+				wbuf = binary.LittleEndian.AppendUint16(wbuf, uint16(len(key)))
+				wbuf = append(wbuf, key...)
+				n++
+				return true
+			}
+			if s.fol != nil {
+				if _, serr := s.fol.Scan(start, int(max), add); serr != nil {
+					writeErr(bw, serr.Error())
+					continue
+				}
+			} else {
+				c := s.tree.Iter(start)
+				for c.Valid() && n < int(max) {
+					if !add(c.Key(), c.TID()) {
+						break
+					}
+					c.Next()
+				}
+			}
+			binary.LittleEndian.PutUint32(wbuf[:4], uint32(n))
+			wire.WriteFrame(bw, wire.RepEntries, wbuf)
+
+		case wire.OpBatch:
+			keys, ok := wire.BatchKeys(body)
+			if ok {
+				for _, k := range keys {
+					if !keyOK(k) {
+						ok = false
+						break
+					}
+				}
+			}
+			if !ok {
+				writeErr(bw, "BATCH: bad request")
+				continue
+			}
+			wbuf = wire.AppendUint32(wbuf[:0], uint32(len(keys)))
+			if s.fol != nil {
+				bad := false
+				for _, k := range keys {
+					tid, found, lerr := s.fol.Lookup(k)
+					if lerr != nil {
+						writeErr(bw, lerr.Error())
+						bad = true
+						break
+					}
+					wbuf = appendBatchHit(wbuf, found, tid)
+				}
+				if bad {
+					continue
+				}
+			} else {
+				out := make([]hot.TID, len(keys))
+				found := s.tree.LookupBatch(keys, out)
+				for i := range keys {
+					wbuf = appendBatchHit(wbuf, found[i], out[i])
+				}
+			}
+			wire.WriteFrame(bw, wire.RepBatch, wbuf)
+
+		case wire.OpFlush:
+			if s.fol != nil {
+				writeErr(bw, "follower is read-only")
+				continue
+			}
+			applied, rejected := s.tree.Flush()
+			wbuf = wire.AppendUint64(wbuf[:0], applied)
+			wbuf = wire.AppendUint64(wbuf, rejected)
+			wire.WriteFrame(bw, wire.RepFlushed, wbuf)
+
+		case wire.OpStats:
+			wire.WriteFrame(bw, wire.RepStats, wire.MarshalStats(s.stats()))
+
+		case wire.OpRepl:
+			if s.fol != nil || !s.tree.Durable() {
+				writeErr(bw, "replication needs a durable leader")
+				return
+			}
+			if err := bw.Flush(); err != nil {
+				return
+			}
+			// The session writes through its own buffer straight to the
+			// transport; this handler's reply buffer is out of the loop from
+			// here on. Run ends when the peer hangs up or the server stops.
+			sess, serr := s.tree.NewReplicationSession(rw)
+			if serr != nil {
+				writeErr(bw, serr.Error())
+				return
+			}
+			// The peer sends nothing after REPL, so a blocking read completes
+			// only when the connection dies. An idle tail writes nothing and
+			// would never notice the hang-up on its own — while holding the
+			// store's checkpoint lock — so fold connection death into the
+			// session's stop signal.
+			dead := make(chan struct{})
+			go func() {
+				defer close(dead)
+				var b [1]byte
+				for {
+					if _, rerr := br.Read(b[:]); rerr != nil {
+						return
+					}
+				}
+			}()
+			stop := make(chan struct{})
+			go func() {
+				defer close(stop)
+				select {
+				case <-s.stop:
+				case <-dead:
+				}
+			}()
+			sess.Run(stop)
+			sess.Close()
+			return
+
+		default:
+			writeErr(bw, fmt.Sprintf("unknown opcode %#x", op))
+			return
+		}
+	}
+}
+
+func appendBatchHit(b []byte, found bool, tid hot.TID) []byte {
+	if found {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	return wire.AppendUint64(b, tid)
+}
+
+func (s *Server) stats() wire.Stats {
+	if s.fol != nil {
+		return wire.Stats{
+			Len:         s.fol.Len(),
+			Shards:      s.fol.Shards(),
+			Ready:       s.fol.Ready(),
+			Follower:    true,
+			TailRecords: s.fol.TailRecords(),
+		}
+	}
+	return wire.Stats{
+		Len:      s.tree.Len(),
+		Shards:   s.tree.Shards(),
+		Ready:    s.tree.Shards(),
+		Durable:  s.tree.Durable(),
+		LogBytes: s.tree.LogSize(),
+		Pending:  s.tree.AsyncPending(),
+	}
+}

@@ -1,0 +1,107 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	frames := []struct {
+		op   byte
+		body []byte
+	}{
+		{OpGet, []byte("key")},
+		{OpFlush, nil},
+		{RepValue, AppendUint64(nil, 42)},
+		{RepTail, AppendTail(nil, 3, 1, 100, 7, []byte("k"))},
+	}
+	for _, f := range frames {
+		if err := WriteFrame(&buf, f.op, f.body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var rbuf []byte
+	for i, f := range frames {
+		op, body, err := ReadFrame(&buf, rbuf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		rbuf = body
+		if op != f.op || !bytes.Equal(body, f.body) {
+			t.Fatalf("frame %d: got (%#x, %q), want (%#x, %q)", i, op, body, f.op, f.body)
+		}
+	}
+	if _, _, err := ReadFrame(&buf, rbuf); err != io.EOF {
+		t.Fatalf("read past end: %v, want io.EOF", err)
+	}
+}
+
+func TestFrameLimits(t *testing.T) {
+	if err := WriteFrame(io.Discard, OpSet, make([]byte, MaxFrame+1)); err == nil {
+		t.Fatal("WriteFrame accepted an oversized body")
+	}
+	// A hostile length prefix must be rejected before allocation.
+	hdr := AppendUint32(nil, MaxFrame+1)
+	hdr = append(hdr, OpGet)
+	if _, _, err := ReadFrame(bytes.NewReader(hdr), nil); err == nil {
+		t.Fatal("ReadFrame accepted an oversized length prefix")
+	}
+}
+
+func TestFrameTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, OpGet, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 1; cut < len(full); cut++ {
+		_, _, err := ReadFrame(bytes.NewReader(full[:cut]), nil)
+		if err != io.ErrUnexpectedEOF {
+			t.Fatalf("cut at %d: %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+func TestBodyCodecs(t *testing.T) {
+	key, tid, ok := KeyTID(AppendKeyTID(nil, []byte("abc"), 9))
+	if !ok || tid != 9 || string(key) != "abc" {
+		t.Fatalf("KeyTID = (%q, %d, %v)", key, tid, ok)
+	}
+	start, max, ok := Scan(AppendScan(nil, []byte("s"), 17))
+	if !ok || max != 17 || string(start) != "s" {
+		t.Fatalf("Scan = (%q, %d, %v)", start, max, ok)
+	}
+	sh, cut, ok := Section(AppendSection(nil, 5, 99))
+	if !ok || sh != 5 || cut != 99 {
+		t.Fatalf("Section = (%d, %d, %v)", sh, cut, ok)
+	}
+	if _, _, ok := Section(append(AppendSection(nil, 5, 99), 0)); ok {
+		t.Fatal("Section accepted trailing bytes")
+	}
+	tsh, top, lsn, ttid, tkey, ok := Tail(AppendTail(nil, 2, 3, 50, 8, []byte("xy")))
+	if !ok || tsh != 2 || top != 3 || lsn != 50 || ttid != 8 || string(tkey) != "xy" {
+		t.Fatalf("Tail = (%d, %d, %d, %d, %q, %v)", tsh, top, lsn, ttid, tkey, ok)
+	}
+	keys := [][]byte{[]byte("a"), []byte("bb"), []byte("")}
+	got, ok := BatchKeys(AppendBatchKeys(nil, keys))
+	if !ok || len(got) != 3 || string(got[1]) != "bb" || len(got[2]) != 0 {
+		t.Fatalf("BatchKeys = (%q, %v)", got, ok)
+	}
+	over := AppendUint32(nil, MaxBatch+1)
+	if _, ok := BatchKeys(over); ok {
+		t.Fatal("BatchKeys accepted a count above MaxBatch")
+	}
+	if _, ok := BatchKeys(AppendUint32(nil, 2)); ok {
+		t.Fatal("BatchKeys accepted a truncated body")
+	}
+}
+
+func TestStatsRoundTrip(t *testing.T) {
+	in := Stats{Len: 10, Shards: 4, Ready: 2, Durable: true, Follower: true, LogBytes: 123, Pending: 5, TailRecords: 77}
+	out, err := UnmarshalStats(MarshalStats(in))
+	if err != nil || out != in {
+		t.Fatalf("stats round trip = %+v (err %v), want %+v", out, err, in)
+	}
+}

@@ -1,0 +1,101 @@
+package ycsb
+
+import (
+	"github.com/hotindex/hot/internal/hotclient"
+)
+
+// RemoteIndex adapts one hot-server connection to the benchmark's Index
+// family, so the same workloads measure the index through the network
+// stack. Each worker must own its own RemoteIndex (one connection each) —
+// exactly the sharing discipline the in-process drivers already follow.
+//
+// The synchronous Index methods acknowledge every write with a Flush
+// round trip, the honest networked equivalent of the in-process
+// synchronous path. The AsyncIndex methods pipeline writes on the
+// connection and let the runner's Flush barrier pay the round trip once
+// per phase — the networked equivalent of the index's async submission
+// path. Errors surface as panics: the benchmark has no error channel, and
+// a failing server invalidates the run.
+type RemoteIndex struct {
+	c *hotclient.Client
+}
+
+// NewRemoteIndex wraps an established client connection.
+func NewRemoteIndex(c *hotclient.Client) *RemoteIndex { return &RemoteIndex{c: c} }
+
+// Dial connects a new RemoteIndex to the hot-server at addr.
+func Dial(addr string) (*RemoteIndex, error) {
+	c, err := hotclient.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteIndex{c: c}, nil
+}
+
+// Close closes the connection.
+func (r *RemoteIndex) Close() error { return r.c.Close() }
+
+func (r *RemoteIndex) die(err error) {
+	if err != nil {
+		panic("ycsb: remote index: " + err.Error())
+	}
+}
+
+// Insert adds key→tid, acknowledged by a server barrier. The wire's ADD
+// is fire-and-forget, so a duplicate-key rejection surfaces in Flush's
+// cumulative totals rather than per-op; the workloads only insert fresh
+// keys, so report success.
+func (r *RemoteIndex) Insert(k []byte, tid uint64) bool {
+	r.die(r.c.Add(k, tid))
+	_, _, err := r.c.Flush()
+	r.die(err)
+	return true
+}
+
+// Upsert stores key→tid, acknowledged by a server barrier. The previous
+// TID is not reported over the wire (the workload mix never consumes it).
+func (r *RemoteIndex) Upsert(k []byte, tid uint64) (uint64, bool) {
+	r.die(r.c.Set(k, tid))
+	_, _, err := r.c.Flush()
+	r.die(err)
+	return 0, false
+}
+
+// Lookup fetches key's TID.
+func (r *RemoteIndex) Lookup(k []byte) (uint64, bool) {
+	tid, found, err := r.c.Get(k)
+	r.die(err)
+	return tid, found
+}
+
+// Scan streams up to n TIDs from key ≥ start into fn.
+func (r *RemoteIndex) Scan(start []byte, n int, fn func(uint64) bool) int {
+	entries, err := r.c.Scan(start, n)
+	r.die(err)
+	for i, e := range entries {
+		if !fn(e.TID) {
+			return i + 1
+		}
+	}
+	return len(entries)
+}
+
+// LookupBatch issues the whole batch as one request/reply.
+func (r *RemoteIndex) LookupBatch(keys [][]byte, out []uint64) []bool {
+	found, err := r.c.GetBatch(keys, out)
+	r.die(err)
+	return found
+}
+
+// InsertAsync pipelines an insert; Flush is the barrier.
+func (r *RemoteIndex) InsertAsync(k []byte, tid uint64) { r.die(r.c.Add(k, tid)) }
+
+// UpsertAsync pipelines an upsert; Flush is the barrier.
+func (r *RemoteIndex) UpsertAsync(k []byte, tid uint64) { r.die(r.c.Set(k, tid)) }
+
+// Flush pushes the pipeline and runs the server-side barrier.
+func (r *RemoteIndex) Flush() (applied, rejected uint64) {
+	applied, rejected, err := r.c.Flush()
+	r.die(err)
+	return applied, rejected
+}

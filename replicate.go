@@ -1,0 +1,439 @@
+package hot
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"github.com/hotindex/hot/internal/persist"
+	"github.com/hotindex/hot/internal/shard"
+	"github.com/hotindex/hot/internal/wire"
+)
+
+// Streaming follower replication. A leader streams its state to a follower
+// in two phases over one ordered byte stream (see the wire package for the
+// framing):
+//
+//  1. Bootstrap: the shard manifest, then one complete snapshot section per
+//     shard. Each section is preceded by a SECTION frame carrying the
+//     shard's log cut — the shard's last assigned LSN, read under the
+//     shard's commit lock immediately before the section is walked. The
+//     commit-lock invariant (a shard's {log append, trie apply} pair is
+//     atomic under its lock, see durable_sharded.go) makes the cut a lower
+//     bound: every operation with LSN ≤ cut is applied before the walk
+//     starts, so the section contains at least the state at the cut, and
+//     replaying records above the cut over it converges by the same
+//     last-record-wins argument recovery relies on. The stream is flushed
+//     at every section boundary, so a follower that has read through
+//     section i serves shards ≤ i while section i+1 is still in flight.
+//  2. Tail: the leader tails each shard's write-ahead log (WALTailer) and
+//     streams every record with LSN > cut as a TAIL frame, continuously.
+//
+// The session holds the store's checkpoint lock for its whole life, so no
+// Checkpoint can rotate a log out from under the tailers and no Close can
+// invalidate them. The flip side: ShardedTree.Close blocks until every
+// replication session is closed — a server must tear down its sessions
+// (close their connections) before closing the tree.
+
+// ErrNotReady reports a follower read that landed in a shard whose
+// bootstrap section has not fully arrived yet.
+var ErrNotReady = errors.New("hot: follower shard not yet replicated")
+
+// ReplicationSession streams one leader's state to one follower. Sessions
+// require a durable tree (the tail phase is the write-ahead log). Multiple
+// sessions are serialized by the store's checkpoint lock — a second
+// NewReplicationSession blocks until the first is closed.
+type ReplicationSession struct {
+	t       *ShardedTree
+	d       *durableState
+	raw     io.Writer
+	bw      *bufio.Writer
+	cuts    []uint64
+	scratch []byte
+	locked  bool
+}
+
+// NewReplicationSession starts a replication session writing to w. It
+// blocks while a Checkpoint, Close or another session is in progress, then
+// holds the checkpoint lock until Close — callers must Close the session
+// (and must close the tree only after). When w implements Flush() error
+// (a *bufio.Writer does not propagate to the connection beneath it; pass
+// the connection itself or a flushing wrapper), the session flushes it at
+// every section boundary so the follower sees complete sections early.
+func (t *ShardedTree) NewReplicationSession(w io.Writer) (*ReplicationSession, error) {
+	d := t.dur
+	if d == nil {
+		return nil, errNotDurable
+	}
+	d.ckpt.Lock()
+	if d.closed.Load() {
+		d.ckpt.Unlock()
+		return nil, ErrClosed
+	}
+	return &ReplicationSession{
+		t:      t,
+		d:      d,
+		raw:    w,
+		bw:     bufio.NewWriterSize(w, 64<<10),
+		cuts:   make([]uint64, len(t.shards)),
+		locked: true,
+	}, nil
+}
+
+// flush pushes buffered frames to the transport, propagating to the raw
+// writer's own Flush when it has one (a section boundary must reach the
+// follower, not sit in a second buffer).
+func (s *ReplicationSession) flush() error {
+	if err := s.bw.Flush(); err != nil {
+		return err
+	}
+	if fl, ok := s.raw.(flusher); ok {
+		return fl.Flush()
+	}
+	return nil
+}
+
+// StreamSnapshot runs the bootstrap phase: manifest, then every shard's
+// section with its log cut, each flushed as it completes, ending with a
+// TAILSTART frame. The snapshot is wait-free for leader writers — each
+// section pins its shard's root under an epoch guard; only the per-shard
+// cut read takes (and immediately releases) that shard's commit lock.
+func (s *ReplicationSession) StreamSnapshot() error {
+	before := func(i int) error {
+		if i < 0 {
+			return wire.WriteFrame(s.bw, wire.RepManifest, nil)
+		}
+		s.d.mu[i].Lock()
+		cut := s.d.wals[i].LastLSN()
+		s.d.mu[i].Unlock()
+		s.cuts[i] = cut
+		s.scratch = wire.AppendSection(s.scratch[:0], uint32(i), cut)
+		return wire.WriteFrame(s.bw, wire.RepSection, s.scratch)
+	}
+	after := func(int) error { return s.flush() }
+	if err := s.t.writeSectionsHook(s.bw, s.d.kind, before, after); err != nil {
+		return err
+	}
+	if err := wire.WriteFrame(s.bw, wire.RepTailStart, nil); err != nil {
+		return err
+	}
+	return s.flush()
+}
+
+// StreamTail runs the tail phase until stop is closed or the transport
+// fails: it polls each shard's log and streams every committed record above
+// that shard's cut, in per-shard LSN order. Only bytes below each log's
+// Size() are parsed — Size advances exactly at group-commit completion, so
+// the tailer never races an in-flight append. When stop is already closed
+// StreamTail still drains everything committed so far (exactly one pass)
+// before returning.
+func (s *ReplicationSession) StreamTail(stop <-chan struct{}) error {
+	tailers := make([]*persist.WALTailer, len(s.d.wals))
+	for i, w := range s.d.wals {
+		tl, err := persist.OpenWALTailer(w.Path())
+		if err != nil {
+			for _, t := range tailers[:i] {
+				t.Close()
+			}
+			return fmt.Errorf("hot: tailing shard %d log: %w", i, err)
+		}
+		tailers[i] = tl
+	}
+	defer func() {
+		for _, t := range tailers {
+			t.Close()
+		}
+	}()
+	for {
+		sent := false
+		for i, tl := range tailers {
+			limit := s.d.wals[i].Size()
+			for {
+				op, key, tid, lsn, ok, err := tl.Next(limit)
+				if err != nil {
+					return fmt.Errorf("hot: tailing shard %d log: %w", i, err)
+				}
+				if !ok {
+					break
+				}
+				if lsn <= s.cuts[i] {
+					continue
+				}
+				s.scratch = wire.AppendTail(s.scratch[:0], uint32(i), byte(op), lsn, tid, key)
+				if werr := wire.WriteFrame(s.bw, wire.RepTail, s.scratch); werr != nil {
+					return werr
+				}
+				sent = true
+			}
+		}
+		if sent {
+			if err := s.flush(); err != nil {
+				return err
+			}
+		}
+		select {
+		case <-stop:
+			return nil
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+// Run streams the bootstrap and then tails until stop is closed or the
+// transport fails.
+func (s *ReplicationSession) Run(stop <-chan struct{}) error {
+	if err := s.StreamSnapshot(); err != nil {
+		return err
+	}
+	return s.StreamTail(stop)
+}
+
+// Close releases the store's checkpoint lock. It is idempotent and must be
+// called exactly when the session ends, whatever Run returned.
+func (s *ReplicationSession) Close() {
+	if s.locked {
+		s.locked = false
+		s.d.ckpt.Unlock()
+	}
+}
+
+// Follower consumes a replication stream and serves reads from the shard
+// prefix that has fully arrived. One goroutine runs Feed; any number of
+// goroutines read concurrently — a read routed to a shard at or beyond the
+// ready prefix returns ErrNotReady rather than a wrong answer. If the
+// stream dies mid-bootstrap, Feed returns the error and the follower keeps
+// serving the sections that completed (the salvaged prefix).
+type Follower struct {
+	loader  Loader
+	onEntry func(key []byte, tid TID) error
+	tree    atomic.Pointer[ShardedTree]
+	ready   atomic.Int32
+	tailed  atomic.Uint64
+	cuts    []uint64
+	lsns    []uint64
+}
+
+// NewFollower creates a follower resolving TIDs through loader. When
+// onEntry is non-nil it receives every replicated key/TID pair — bootstrap
+// entries and tail inserts/upserts — before it is applied, exactly like
+// DurableOptions.RecoverEntry; an error rejects the entry and kills the
+// feed. Servers use it to mirror the leader's TID→key table.
+func NewFollower(loader Loader, onEntry func(key []byte, tid TID) error) *Follower {
+	if loader == nil {
+		panic("hot: nil Loader")
+	}
+	return &Follower{loader: loader, onEntry: onEntry}
+}
+
+// feedErr wraps a framing-level problem with its phase for diagnosis.
+func feedErr(phase string, err error) error {
+	return fmt.Errorf("hot: replication stream (%s): %w", phase, err)
+}
+
+// Feed consumes the replication stream from r until it ends. It returns
+// nil on a clean end-of-stream at a frame boundary after the bootstrap
+// completed (the leader hung up), and an error for anything else —
+// including a stream cut mid-bootstrap, after which the completed shard
+// prefix remains readable.
+func (f *Follower) Feed(r io.Reader) error {
+	br := bufio.NewReaderSize(r, 64<<10)
+	var fbuf []byte
+
+	op, body, err := wire.ReadFrame(br, fbuf)
+	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return feedErr("manifest", err)
+	}
+	fbuf = body
+	if op != wire.RepManifest || len(body) != 0 {
+		return feedErr("manifest", fmt.Errorf("unexpected frame %#x", op))
+	}
+	var bounds [][]byte
+	if _, err := persist.Read(br, persist.KindShardManifest, func(key []byte, tid TID) error {
+		if tid != uint64(len(bounds)) {
+			return &SnapshotError{Kind: persist.ErrCorrupt,
+				Detail: fmt.Sprintf("manifest boundary %d carries TID %d", len(bounds), tid)}
+		}
+		bounds = append(bounds, append([]byte(nil), key...))
+		return nil
+	}); err != nil {
+		return feedErr("manifest", err)
+	}
+	t := newShardedFromBounds(f.loader, bounds)
+	f.cuts = make([]uint64, len(t.shards))
+	f.lsns = make([]uint64, len(t.shards))
+	f.tree.Store(t)
+
+	for i := range t.shards {
+		op, body, err := wire.ReadFrame(br, fbuf)
+		if err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return feedErr("section", err)
+		}
+		fbuf = body
+		if op != wire.RepSection {
+			return feedErr("section", fmt.Errorf("unexpected frame %#x", op))
+		}
+		sh, cut, ok := wire.Section(body)
+		if !ok || int(sh) != i {
+			return feedErr("section", fmt.Errorf("section frame for shard %d, want %d", sh, i))
+		}
+		f.cuts[i] = cut
+		if _, err := persist.Read(br, persist.KindTree, func(key []byte, tid TID) error {
+			if f.onEntry != nil {
+				if oerr := f.onEntry(key, tid); oerr != nil {
+					return oerr
+				}
+			}
+			return t.loadShardEntry(i, key, tid)
+		}); err != nil {
+			return feedErr("section", err)
+		}
+		f.ready.Store(int32(i + 1))
+	}
+
+	op, body, err = wire.ReadFrame(br, fbuf)
+	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return feedErr("tail", err)
+	}
+	fbuf = body
+	if op != wire.RepTailStart {
+		return feedErr("tail", fmt.Errorf("unexpected frame %#x", op))
+	}
+
+	for {
+		op, body, err := wire.ReadFrame(br, fbuf)
+		if err != nil {
+			if err == io.EOF {
+				return nil // clean hang-up after bootstrap
+			}
+			return feedErr("tail", err)
+		}
+		fbuf = body
+		if op != wire.RepTail {
+			return feedErr("tail", fmt.Errorf("unexpected frame %#x", op))
+		}
+		sh, wop, lsn, tid, key, ok := wire.Tail(body)
+		if !ok || int(sh) >= len(t.shards) {
+			return feedErr("tail", fmt.Errorf("malformed tail frame"))
+		}
+		if wop < byte(persist.WalInsert) || wop > byte(persist.WalDelete) {
+			return feedErr("tail", fmt.Errorf("tail op %#x", wop))
+		}
+		s := int(sh)
+		want := f.lsns[s]
+		if want == 0 {
+			want = f.cuts[s]
+		}
+		if lsn != want+1 {
+			return feedErr("tail", fmt.Errorf("shard %d LSN %d after %d", s, lsn, want))
+		}
+		if len(key) == 0 || len(key) > MaxKeyLen || tid > MaxTID {
+			return feedErr("tail", fmt.Errorf("shard %d record out of range", s))
+		}
+		pop := persist.WalOp(wop)
+		if f.onEntry != nil && pop != persist.WalDelete {
+			if oerr := f.onEntry(key, tid); oerr != nil {
+				return feedErr("tail", oerr)
+			}
+		}
+		if rerr := t.replayShardOp(s, pop, key, tid); rerr != nil {
+			return feedErr("tail", rerr)
+		}
+		f.lsns[s] = lsn
+		f.tailed.Add(1)
+	}
+}
+
+// Shards returns the follower's shard count, 0 before the manifest arrives.
+func (f *Follower) Shards() int {
+	if t := f.tree.Load(); t != nil {
+		return len(t.shards)
+	}
+	return 0
+}
+
+// Ready returns the number of leading shards fully bootstrapped and open
+// for reads. It only grows, one completed section at a time.
+func (f *Follower) Ready() int { return int(f.ready.Load()) }
+
+// TailRecords returns the number of tail records applied since bootstrap.
+func (f *Follower) TailRecords() uint64 { return f.tailed.Load() }
+
+// Len returns the number of keys stored in the ready shard prefix.
+func (f *Follower) Len() int {
+	t, ready := f.tree.Load(), f.Ready()
+	n := 0
+	for i := 0; i < ready; i++ {
+		n += t.shards[i].Len()
+	}
+	return n
+}
+
+// Lookup returns the TID stored under key, or ErrNotReady when key's shard
+// has not fully arrived yet.
+func (f *Follower) Lookup(key []byte) (TID, bool, error) {
+	t := f.tree.Load()
+	if t == nil {
+		return 0, false, ErrNotReady
+	}
+	s := shard.Find(t.bounds, key)
+	if s >= f.Ready() {
+		return 0, false, ErrNotReady
+	}
+	tid, ok := t.shards[s].Lookup(key)
+	return tid, ok, nil
+}
+
+// Scan streams entries with key ≥ start in global key order out of the
+// ready shard prefix, up to max, stopping early when fn returns false. It
+// returns ErrNotReady only when start's own shard is not ready — a scan
+// beginning in ready territory serves what is ready and stops at the
+// frontier (the follower guarantee: complete answers over a shard prefix,
+// never partial answers within a shard). The key slice passed to fn is
+// only valid for that call.
+func (f *Follower) Scan(start []byte, max int, fn func(key []byte, tid TID) bool) (int, error) {
+	t := f.tree.Load()
+	if t == nil {
+		return 0, ErrNotReady
+	}
+	ready := f.Ready()
+	if shard.Find(t.bounds, start) >= ready {
+		return 0, ErrNotReady
+	}
+	if max <= 0 {
+		return 0, nil
+	}
+	var c ShardedCursor
+	t.seekCursorN(&c, start, ready)
+	n := 0
+	for c.Valid() && n < max {
+		n++
+		if !fn(c.Key(), c.TID()) {
+			break
+		}
+		c.Next()
+	}
+	return n, nil
+}
+
+// Verify runs structural invariant checks over the ready shard prefix.
+func (f *Follower) Verify() error {
+	t, ready := f.tree.Load(), f.Ready()
+	for i := 0; i < ready; i++ {
+		if err := t.shards[i].Verify(); err != nil {
+			return fmt.Errorf("hot: follower shard %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,241 @@
+package hot
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/hotindex/hot/internal/dataset"
+	"github.com/hotindex/hot/internal/tidstore"
+)
+
+// recordingSink captures a replication stream and the cumulative byte
+// offset at every transport flush — the true section boundaries a
+// follower on a real socket could observe.
+type recordingSink struct {
+	buf       bytes.Buffer
+	flushOffs []int
+}
+
+func (r *recordingSink) Write(p []byte) (int, error) { return r.buf.Write(p) }
+
+func (r *recordingSink) Flush() error {
+	if n := r.buf.Len(); len(r.flushOffs) == 0 || r.flushOffs[len(r.flushOffs)-1] != n {
+		r.flushOffs = append(r.flushOffs, n)
+	}
+	return nil
+}
+
+// TestReplicationStreamPrefixes is the core follower guarantee, checked
+// deterministically: for EVERY prefix of the bootstrap stream, a follower
+// fed exactly that prefix serves precisely the shards whose sections were
+// fully flushed — Verify-clean, with correct lookups — and refuses reads
+// beyond the frontier with ErrNotReady. The readable prefix grows strictly
+// section by section.
+func TestReplicationStreamPrefixes(t *testing.T) {
+	dir := t.TempDir()
+	keys := dataset.Generate(dataset.Integer, 2000, 7)
+	store := &tidstore.Store{}
+	for _, k := range keys {
+		store.Add(k)
+	}
+	tr, _, err := OpenDurableShardedTree(dir, store.Key, 4, keys, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	for i, k := range keys {
+		if !tr.Insert(k, TID(i)) {
+			t.Fatalf("insert %d rejected", i)
+		}
+	}
+
+	rec := &recordingSink{}
+	sess, err := tr.NewReplicationSession(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	close(stop) // snapshot + exactly one (empty) tail pass
+	if err := sess.Run(stop); err != nil {
+		t.Fatal(err)
+	}
+	sess.Close()
+
+	full := rec.buf.Bytes()
+	// Flush points: manifest, one per shard section, tail start.
+	if len(rec.flushOffs) != 6 {
+		t.Fatalf("got %d flush points %v, want 6", len(rec.flushOffs), rec.flushOffs)
+	}
+	offs := rec.flushOffs
+	bootstrapEnd := offs[5]
+
+	shardOf := func(k []byte) int { return tr.Shard(k) }
+	wantLen := make([]int, 5)
+	for i := 0; i < 4; i++ {
+		wantLen[i+1] = wantLen[i] + tr.ShardLen(i)
+	}
+
+	// Every flush offset plus a point strictly inside each span between
+	// them: complete sections must open, incomplete ones must not.
+	var prefixes []int
+	prev := 0
+	for _, o := range offs {
+		if mid := (prev + o) / 2; mid > prev {
+			prefixes = append(prefixes, mid)
+		}
+		prefixes = append(prefixes, o)
+		prev = o
+	}
+	lastReady := 0
+	for _, p := range prefixes {
+		fol := NewFollower(store.Key, nil)
+		err := fol.Feed(bytes.NewReader(full[:p]))
+		if p >= bootstrapEnd {
+			if err != nil {
+				t.Fatalf("prefix %d (complete bootstrap): Feed = %v", p, err)
+			}
+		} else if err == nil {
+			t.Fatalf("prefix %d (truncated bootstrap): Feed returned nil", p)
+		}
+		wantReady := 0
+		for i := 0; i < 4; i++ {
+			if p >= offs[i+1] {
+				wantReady = i + 1
+			}
+		}
+		ready := fol.Ready()
+		if ready != wantReady {
+			t.Fatalf("prefix %d: Ready = %d, want %d", p, ready, wantReady)
+		}
+		if ready < lastReady {
+			t.Fatalf("prefix %d: readable prefix shrank %d -> %d", p, lastReady, ready)
+		}
+		lastReady = ready
+		if err := fol.Verify(); err != nil {
+			t.Fatalf("prefix %d: %v", p, err)
+		}
+		if got := fol.Len(); got != wantLen[ready] {
+			t.Fatalf("prefix %d: Len = %d, want %d", p, got, wantLen[ready])
+		}
+		for i, k := range keys {
+			s := shardOf(k)
+			tid, found, lerr := fol.Lookup(k)
+			if s < ready {
+				if lerr != nil || !found || tid != TID(i) {
+					t.Fatalf("prefix %d: ready-shard key %d = (%d, %v, %v)", p, i, tid, found, lerr)
+				}
+			} else if !errors.Is(lerr, ErrNotReady) {
+				t.Fatalf("prefix %d: key %d in shard %d (ready %d): err = %v, want ErrNotReady", p, i, s, ready, lerr)
+			}
+		}
+	}
+}
+
+// TestReplicationTailCatchUp streams a bootstrap, then writes (and
+// deletes) on the leader AFTER the per-shard cuts were taken, and checks a
+// single deterministic tail pass ships exactly the post-cut records: the
+// follower converges to the leader's final state, counting every tail
+// record it applied.
+func TestReplicationTailCatchUp(t *testing.T) {
+	dir := t.TempDir()
+	keys := dataset.Generate(dataset.Integer, 2000, 11)
+	store := &tidstore.Store{}
+	for _, k := range keys {
+		store.Add(k)
+	}
+	tr, _, err := OpenDurableShardedTree(dir, store.Key, 4, keys, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	for i, k := range keys[:1000] {
+		tr.Insert(k, TID(i))
+	}
+
+	rec := &recordingSink{}
+	sess, err := tr.NewReplicationSession(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.StreamSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	// Every write from here on postdates the cuts, so it must arrive via
+	// the tail, not the sections. Synchronous writes are durable (and
+	// tailer-visible) when they return.
+	for i, k := range keys[1000:] {
+		tr.Insert(k, TID(1000+i))
+	}
+	for _, k := range keys[:10] {
+		tr.Delete(k)
+	}
+	stop := make(chan struct{})
+	close(stop)
+	if err := sess.StreamTail(stop); err != nil {
+		t.Fatal(err)
+	}
+	sess.Close()
+
+	fol := NewFollower(store.Key, nil)
+	if err := fol.Feed(bytes.NewReader(rec.buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if fol.Ready() != 4 {
+		t.Fatalf("Ready = %d, want 4", fol.Ready())
+	}
+	if got := fol.TailRecords(); got != 1010 {
+		t.Fatalf("TailRecords = %d, want 1010", got)
+	}
+	if err := fol.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fol.Len(), tr.Len(); got != want {
+		t.Fatalf("Len = %d, leader has %d", got, want)
+	}
+	for i, k := range keys {
+		tid, found, lerr := fol.Lookup(k)
+		if lerr != nil {
+			t.Fatal(lerr)
+		}
+		if i < 10 {
+			if found {
+				t.Fatalf("deleted key %d visible on follower", i)
+			}
+		} else if !found || tid != TID(i) {
+			t.Fatalf("key %d = (%d, %v)", i, tid, found)
+		}
+	}
+
+	// Scans serve the ready prefix in global key order.
+	n, err := fol.Scan(nil, 50, func(key []byte, tid TID) bool { return true })
+	if err != nil || n != 50 {
+		t.Fatalf("Scan = (%d, %v)", n, err)
+	}
+}
+
+// TestReplicationSessionRequiresDurable pins the API contract: sessions
+// need a write-ahead log to tail, and a closed store refuses new sessions.
+func TestReplicationSessionRequiresDurable(t *testing.T) {
+	keys := dataset.Generate(dataset.Integer, 100, 3)
+	store := &tidstore.Store{}
+	for _, k := range keys {
+		store.Add(k)
+	}
+	plain := NewShardedTree(store.Key, 2, keys)
+	if _, err := plain.NewReplicationSession(&bytes.Buffer{}); err == nil {
+		t.Fatal("non-durable tree accepted a replication session")
+	}
+
+	dir := t.TempDir()
+	tr, _, err := OpenDurableShardedTree(dir, store.Key, 2, keys, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.NewReplicationSession(&bytes.Buffer{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed tree: err = %v, want ErrClosed", err)
+	}
+}

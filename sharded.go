@@ -360,6 +360,14 @@ func (t *ShardedTree) Iter(start []byte) *ShardedCursor {
 // ascending stream of keys ≥ start — including a start equal to a shard
 // boundary, which lands on the owning (higher) shard's first key.
 func (t *ShardedTree) SeekCursor(c *ShardedCursor, start []byte) {
+	t.seekCursorN(c, start, len(t.shards))
+}
+
+// seekCursorN is SeekCursor restricted to the first limit shards: the merge
+// covers shards [Find(start), limit) only, so the stream is exactly the
+// ready prefix of the key space — what a replication follower may serve
+// while later shards are still streaming in.
+func (t *ShardedTree) seekCursorN(c *ShardedCursor, start []byte, limit int) {
 	if cap(c.srcs) < len(t.shards) {
 		c.srcs = make([]shardSource, len(t.shards))
 	}
@@ -369,7 +377,7 @@ func (t *ShardedTree) SeekCursor(c *ShardedCursor, start []byte) {
 		first = shard.Find(t.bounds, start)
 	}
 	c.refs = c.refs[:0]
-	for i := first; i < len(t.shards); i++ {
+	for i := first; i < limit; i++ {
 		s := &c.srcs[i]
 		s.loader = t.loader
 		var from []byte

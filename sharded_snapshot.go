@@ -24,6 +24,22 @@ import (
 
 // writeSections streams the manifest plus one data section per shard.
 func (t *ShardedTree) writeSections(w io.Writer, kind uint16) error {
+	return t.writeSectionsHook(w, kind, nil, nil)
+}
+
+// writeSectionsHook is writeSections with per-section callbacks: before(i)
+// runs before shard i's section starts streaming and after(i) once it is
+// complete; the manifest gets i == -1. Nil hooks are skipped. The
+// replication session uses before to record each shard's log cut (and emit
+// its framing) and after to flush the transport at every section boundary,
+// which is what lets a follower open shard i for reads while section i+1
+// still streams.
+func (t *ShardedTree) writeSectionsHook(w io.Writer, kind uint16, before, after func(i int) error) error {
+	if before != nil {
+		if err := before(-1); err != nil {
+			return err
+		}
+	}
 	mw, err := persist.NewWriter(w, persist.KindShardManifest)
 	if err != nil {
 		return err
@@ -36,7 +52,17 @@ func (t *ShardedTree) writeSections(w io.Writer, kind uint16) error {
 	if err := mw.Close(); err != nil {
 		return err
 	}
+	if after != nil {
+		if err := after(-1); err != nil {
+			return err
+		}
+	}
 	for i := range t.shards {
+		if before != nil {
+			if err := before(i); err != nil {
+				return err
+			}
+		}
 		sw, err := persist.NewWriter(w, kind)
 		if err != nil {
 			return err
@@ -47,8 +73,32 @@ func (t *ShardedTree) writeSections(w io.Writer, kind uint16) error {
 		if err := sw.Close(); err != nil {
 			return err
 		}
+		if after != nil {
+			if err := after(i); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
+}
+
+// flusher is the optional flush surface of a snapshot destination (a
+// *bufio.Writer over a network connection, a compressing writer).
+type flusher interface{ Flush() error }
+
+// SnapshotTo streams a point-in-time snapshot of the live sharded tree to w
+// exactly like Snapshot, and additionally flushes w after the manifest and
+// after every completed shard section when w implements Flush() error. The
+// flush points make the stream incrementally consumable over a pipe or
+// socket: a receiver that has read through section i holds a complete,
+// verifiable snapshot of shards ≤ i without waiting for the rest — the
+// property streaming follower replication is built on (see Follower).
+func (t *ShardedTree) SnapshotTo(w io.Writer) error {
+	var after func(int) error
+	if fl, ok := w.(flusher); ok {
+		after = func(int) error { return fl.Flush() }
+	}
+	return t.writeSectionsHook(w, persist.KindTree, nil, after)
 }
 
 // Snapshot writes a point-in-time snapshot of the live sharded tree to w
