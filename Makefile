@@ -1,5 +1,5 @@
 # Development entry points. `make all` is the full local CI pass; the
-# hosted pipeline (.github/workflows/ci.yml) runs the same five tiers as
+# hosted pipeline (.github/workflows/ci.yml) runs the same six tiers as
 # separate gating jobs (TestCIWorkflowCoversAllTiers keeps the two in
 # sync).
 
@@ -9,9 +9,9 @@ GO ?= go
 # FUZZTIME=20s to fit its time box.
 FUZZTIME ?= 30s
 
-.PHONY: all ci check race chaos crash wal server-smoke fuzz bench bench-json clean
+.PHONY: all ci check race chaos crash wal server-smoke net-chaos fuzz bench bench-json clean
 
-all: check race chaos crash server-smoke
+all: check race chaos crash server-smoke net-chaos
 
 # `make ci` is the conventional alias the hosted pipeline and humans share.
 ci: all
@@ -69,6 +69,16 @@ wal:
 server-smoke:
 	$(GO) run ./cmd/hot-server -smoke
 
+# Network-chaos e2e: leader/follower replication and the retrying clients
+# driven through a fault-injecting TCP proxy — partitions healed by LSN
+# resume, rotation-forced full resyncs, wedged-consumer eviction, overload
+# rejection, idle eviction, graceful drain, and a multi-follower reconnect
+# storm. Runs under -race: the storm's whole point is teardown/reconnect
+# ordering.
+net-chaos:
+	$(GO) test -race -run 'TestNetChaos' -count=1 -v ./internal/server/
+	$(GO) test -race -count=1 ./internal/chaos/ ./internal/hotclient/
+
 # Short exploratory fuzz burst over each public-API fuzz target.
 # This list must track the Fuzz* functions across all _test.go files — add
 # a line here whenever a target is added (TestMakefileFuzzListCoversAllTargets
@@ -83,6 +93,7 @@ fuzz:
 	$(GO) test -fuzz FuzzSnapshotRoundTrip -fuzztime $(FUZZTIME) .
 	$(GO) test -fuzz FuzzWALReplay -fuzztime $(FUZZTIME) .
 	$(GO) test -fuzz FuzzServerFrame -fuzztime $(FUZZTIME) ./internal/server/
+	$(GO) test -fuzz FuzzWireResume -fuzztime $(FUZZTIME) ./internal/wire/
 
 bench:
 	$(GO) test -bench . -benchtime 1s -run - .
@@ -96,13 +107,17 @@ bench:
 # the fourth measures WAL overhead (wal=0 vs 1, sync and async writers)
 # into BENCH_6.json; the fifth measures the network tax — the same
 # workload through cmd/hot-server over a loopback socket (net=0 vs 1,
-# with and without the WAL) — into BENCH_7.json.
+# with and without the WAL) — into BENCH_7.json; the sixth measures tail
+# latency under connection concurrency — the networked workload through a
+# client pool at increasing -conns, with p50/p99/p999 per record — into
+# BENCH_8.json.
 bench-json:
 	$(GO) run ./cmd/hot-ycsb -n 200000 -ops 400000 -workloads C,load -indexes hot -batch 0,16 -json BENCH_2.json
 	$(GO) run ./cmd/hot-ycsb -n 200000 -ops 400000 -workloads load,A -datasets integer,url -indexes hot -shards 1,2,4,8 -json BENCH_4.json
 	$(GO) run ./cmd/hot-ycsb -n 200000 -ops 400000 -workloads load,A -datasets integer,url -dists zipf -indexes hot -shards 8 -async 0,1 -json BENCH_5.json
 	$(GO) run ./cmd/hot-ycsb -n 200000 -ops 400000 -workloads load,A -datasets integer -indexes hot -shards 8 -async 0,1 -wal 0,1 -json BENCH_6.json
 	$(GO) run ./cmd/hot-ycsb -n 100000 -ops 200000 -workloads C -datasets integer -indexes hot -shards 4 -net 0,1 -wal 0,1 -json BENCH_7.json
+	$(GO) run ./cmd/hot-ycsb -n 100000 -ops 200000 -workloads C,A -datasets integer -indexes hot -shards 4 -net 1 -conns 4,64,256 -latency -json BENCH_8.json
 
 clean:
 	$(GO) clean -testcache

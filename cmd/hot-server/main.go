@@ -14,6 +14,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +32,10 @@ func main() {
 	dir := flag.String("dir", "", "durable directory (empty: in-memory)")
 	commitDelay := flag.Duration("commit-delay", 0, "group-commit fsync accumulation window")
 	follow := flag.String("follow", "", "leader address to follow (read-only replica mode)")
+	maxConns := flag.Int("max-conns", 0, "connection limit; accepts past it get a typed busy rejection (0 = unlimited)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "close connections idle past this (0 = 5m default, negative disables; never applies to replication streams)")
+	writeTimeout := flag.Duration("write-timeout", 0, "per-write deadline; evicts wedged consumers (0 = 30s default, negative disables)")
+	dialTimeout := flag.Duration("dial-timeout", 0, "follower's per-attempt bound on dialing its leader (0 = 10s default)")
 	smoke := flag.Bool("smoke", false, "run a self-contained leader+client+follower smoke test and exit")
 	flag.Parse()
 
@@ -48,6 +53,10 @@ func main() {
 		Dir:              *dir,
 		GroupCommitDelay: *commitDelay,
 		Follow:           *follow,
+		MaxConns:         *maxConns,
+		IdleTimeout:      *idleTimeout,
+		WriteTimeout:     *writeTimeout,
+		DialTimeout:      *dialTimeout,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hot-server:", err)
@@ -70,8 +79,18 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
-	fmt.Println("hot-server: shutting down")
-	if err := s.Close(); err != nil {
+	st := s.Stats()
+	fmt.Printf("hot-server: shutting down (conns=%d rejected=%d deadline_closes=%d", st.Conns, st.RejectedConns, st.DeadlineCloses)
+	if st.Follower {
+		fmt.Printf(" reconnects=%d resumes=%d full_resyncs=%d", st.Reconnects, st.Resumes, st.FullResyncs)
+	} else if st.Durable {
+		fmt.Printf(" resumes=%d full_resyncs=%d", st.Resumes, st.FullResyncs)
+	}
+	fmt.Println(")")
+	// Drain gracefully, but never hang a shutdown longer than 30s.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "hot-server: close:", err)
 		os.Exit(1)
 	}
@@ -99,7 +118,7 @@ func runSmoke() error {
 		return fmt.Errorf("leader listen: %w", err)
 	}
 
-	c, err := hotclient.Dial(laddr)
+	c, err := hotclient.DialTimeout(laddr, 5*time.Second)
 	if err != nil {
 		return fmt.Errorf("dial: %w", err)
 	}

@@ -1,0 +1,190 @@
+// Package chaos is a fault-injecting TCP relay for network robustness
+// tests. A Proxy sits between a client and an upstream server and, on
+// command, delays traffic, fragments writes, resets connections, or
+// partitions the link entirely — the failure modes a replication stream
+// and a retrying client must survive. It is test infrastructure: all
+// faults are explicit method calls, never random, so tests stay
+// deterministic.
+package chaos
+
+import (
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ProxyOptions tunes the relay's steady-state behavior.
+type ProxyOptions struct {
+	// Latency is added before each forwarded chunk, in both directions.
+	Latency time.Duration
+	// Chunk caps each forwarded write, forcing partial writes/short reads
+	// at the peer. 0 forwards whole buffers.
+	Chunk int
+}
+
+// Proxy is a TCP relay with switchable faults. Safe for concurrent use.
+type Proxy struct {
+	ln       net.Listener
+	upstream string
+	opts     ProxyOptions
+
+	partitioned atomic.Bool
+	accepted    atomic.Uint64
+	severed     atomic.Uint64
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{} // client-side conns of live pairs
+	closed bool
+}
+
+// NewProxy starts a relay on 127.0.0.1:0 forwarding to upstream.
+func NewProxy(upstream string, opts ProxyOptions) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{ln: ln, upstream: upstream, opts: opts, conns: make(map[net.Conn]struct{})}
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the address clients should dial instead of the upstream.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Accepted returns how many client connections the proxy has accepted.
+func (p *Proxy) Accepted() uint64 { return p.accepted.Load() }
+
+// Partition severs every live connection pair and refuses new ones
+// (accepted then immediately closed, like a host behind a dead switch
+// whose SYNs go answered but whose traffic goes nowhere useful).
+func (p *Proxy) Partition() {
+	p.partitioned.Store(true)
+	p.severAll()
+}
+
+// Heal ends a partition; new connections relay normally again.
+func (p *Proxy) Heal() { p.partitioned.Store(false) }
+
+// Partitioned reports whether the link is currently partitioned.
+func (p *Proxy) Partitioned() bool { return p.partitioned.Load() }
+
+// Reset severs every live connection pair abruptly (SO_LINGER 0, so TCP
+// sends RST rather than FIN) without entering a partition: the next dial
+// succeeds. This models a stateful middlebox dropping its table.
+func (p *Proxy) Reset() { p.severAll() }
+
+// Close shuts the proxy down, severing everything.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	err := p.ln.Close()
+	p.severAll()
+	return err
+}
+
+func (p *Proxy) severAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for c := range p.conns {
+		abort(c)
+		p.severed.Add(1)
+	}
+	clear(p.conns)
+}
+
+// abort closes with linger 0 so the peer sees a hard RST, not a clean EOF
+// — retrying clients must cope with both.
+func abort(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	c.Close()
+}
+
+func (p *Proxy) acceptLoop() {
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.accepted.Add(1)
+		if p.partitioned.Load() {
+			abort(client)
+			continue
+		}
+		go p.relay(client)
+	}
+}
+
+func (p *Proxy) relay(client net.Conn) {
+	up, err := net.DialTimeout("tcp", p.upstream, 5*time.Second)
+	if err != nil {
+		abort(client)
+		return
+	}
+	p.mu.Lock()
+	if p.closed || p.partitioned.Load() {
+		p.mu.Unlock()
+		abort(client)
+		abort(up)
+		return
+	}
+	p.conns[client] = struct{}{}
+	p.mu.Unlock()
+
+	done := make(chan struct{}, 2)
+	go func() { p.pipe(up, client); done <- struct{}{} }()
+	go func() { p.pipe(client, up); done <- struct{}{} }()
+	<-done
+	// One direction died; tear the pair down so the other unblocks.
+	abort(client)
+	abort(up)
+	<-done
+	p.mu.Lock()
+	delete(p.conns, client)
+	p.mu.Unlock()
+}
+
+// pipe copies src→dst with the configured latency and fragmentation.
+func (p *Proxy) pipe(dst, src net.Conn) {
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if p.opts.Latency > 0 {
+				time.Sleep(p.opts.Latency)
+			}
+			if werr := p.write(dst, buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			if err != io.EOF {
+				return
+			}
+			// Half-close: propagate EOF but keep reading the other way.
+			if tc, ok := dst.(*net.TCPConn); ok {
+				tc.CloseWrite()
+			}
+			return
+		}
+	}
+}
+
+func (p *Proxy) write(dst net.Conn, b []byte) error {
+	if p.opts.Chunk <= 0 {
+		_, err := dst.Write(b)
+		return err
+	}
+	for len(b) > 0 {
+		n := min(p.opts.Chunk, len(b))
+		if _, err := dst.Write(b[:n]); err != nil {
+			return err
+		}
+		b = b[n:]
+	}
+	return nil
+}

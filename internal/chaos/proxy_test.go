@@ -1,0 +1,146 @@
+package chaos
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes bytes back.
+func echoServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				io.Copy(conn, conn)
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func roundTrip(t *testing.T, conn net.Conn, msg []byte) error {
+	t.Helper()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Write(msg); err != nil {
+		return err
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		return err
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("echo mismatch: %q != %q", got, msg)
+	}
+	return nil
+}
+
+func TestProxyRelayAndFragmentation(t *testing.T) {
+	addr := echoServer(t)
+	p, err := NewProxy(addr, ProxyOptions{Chunk: 3, Latency: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A payload far bigger than the chunk size must still arrive whole
+	// and in order — fragmentation only exercises peer reassembly.
+	msg := bytes.Repeat([]byte("0123456789abcdef"), 64)
+	for i := 0; i < 3; i++ {
+		if err := roundTrip(t, conn, msg); err != nil {
+			t.Fatalf("round trip %d: %v", i, err)
+		}
+	}
+}
+
+func TestProxyPartitionHeal(t *testing.T) {
+	addr := echoServer(t)
+	p, err := NewProxy(addr, ProxyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := roundTrip(t, conn, []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+
+	p.Partition()
+	// The live pair is severed: the next round trip fails.
+	if err := roundTrip(t, conn, []byte("during")); err == nil {
+		t.Fatal("round trip succeeded across a partition")
+	}
+	conn.Close()
+
+	// New connections during the partition are cut off immediately.
+	c2, err := net.Dial("tcp", p.Addr())
+	if err == nil {
+		if err := roundTrip(t, c2, []byte("during2")); err == nil {
+			t.Fatal("new connection relayed across a partition")
+		}
+		c2.Close()
+	}
+
+	p.Heal()
+	c3, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c3.Close()
+	if err := roundTrip(t, c3, []byte("after")); err != nil {
+		t.Fatalf("round trip after heal: %v", err)
+	}
+}
+
+func TestProxyReset(t *testing.T) {
+	addr := echoServer(t)
+	p, err := NewProxy(addr, ProxyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := roundTrip(t, conn, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	p.Reset()
+	if err := roundTrip(t, conn, []byte("y")); err == nil {
+		t.Fatal("round trip succeeded after reset")
+	}
+	conn.Close()
+
+	// Unlike a partition, the very next dial works.
+	c2, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if err := roundTrip(t, c2, []byte("z")); err != nil {
+		t.Fatalf("round trip after reset: %v", err)
+	}
+}

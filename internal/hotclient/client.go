@@ -9,9 +9,12 @@ package hotclient
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"net"
+	"strings"
+	"time"
 
 	"github.com/hotindex/hot/internal/wire"
 )
@@ -22,18 +25,52 @@ type Entry struct {
 	TID uint64
 }
 
+// DefaultDialTimeout bounds Dial: an unreachable server must fail the
+// call, not hang it for the kernel's connect timeout (minutes on some
+// stacks).
+const DefaultDialTimeout = 10 * time.Second
+
+// ServerError is an ERR reply from the server: the transport is healthy
+// and the reply stream stayed in sync — the server just refused this
+// request. Retrying it verbatim will not help (the Pool never does).
+type ServerError struct {
+	Msg string
+}
+
+func (e *ServerError) Error() string { return "hotclient: server: " + e.Msg }
+
+// IsBusy reports whether err is the server's typed connection-limit
+// rejection — the one ServerError a client may reasonably back off and
+// retry, against the same or another server.
+func IsBusy(err error) bool {
+	var se *ServerError
+	return errors.As(err, &se) && strings.HasPrefix(se.Msg, "busy: ")
+}
+
 // Client speaks the hot wire protocol over one connection.
 type Client struct {
 	conn io.ReadWriteCloser
+	nc   net.Conn // non-nil when conn has deadlines
+	opTO time.Duration
 	br   *bufio.Reader
 	bw   *bufio.Writer
 	rbuf []byte
 	wbuf []byte
 }
 
-// Dial connects to a hot-server at addr.
+// Dial connects to a hot-server at addr, bounded by DefaultDialTimeout.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialTimeout(addr, DefaultDialTimeout)
+}
+
+// DialTimeout connects to a hot-server at addr, giving up after timeout
+// (≤ 0 means no bound).
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	d := net.Dialer{}
+	if timeout > 0 {
+		d.Timeout = timeout
+	}
+	conn, err := d.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
@@ -42,20 +79,36 @@ func Dial(addr string) (*Client, error) {
 
 // New wraps an established connection.
 func New(conn io.ReadWriteCloser) *Client {
-	return &Client{
+	c := &Client{
 		conn: conn,
 		br:   bufio.NewReaderSize(conn, 64<<10),
 		bw:   bufio.NewWriterSize(conn, 64<<10),
 	}
+	if nc, ok := conn.(net.Conn); ok {
+		c.nc = nc
+	}
+	return c
 }
+
+// SetOpTimeout bounds each subsequent round trip (Get, Flush, Scan, …)
+// with a connection deadline: a request against a dead or wedged server
+// fails within d instead of blocking forever. 0 disables. No-op when the
+// underlying transport has no deadlines.
+func (c *Client) SetOpTimeout(d time.Duration) { c.opTO = d }
 
 // Close closes the connection. Buffered unflushed writes are lost — call
 // Flush first if they matter.
 func (c *Client) Close() error { return c.conn.Close() }
 
 // roundTrip flushes the pipeline (the request must reach the server) and
-// reads exactly one reply frame. An ERR reply surfaces as an error.
+// reads exactly one reply frame. An ERR reply surfaces as a *ServerError;
+// any other error means the connection state is unknown and the client
+// must not be reused.
 func (c *Client) roundTrip(op byte, body []byte) (byte, []byte, error) {
+	if c.nc != nil && c.opTO > 0 {
+		c.nc.SetDeadline(time.Now().Add(c.opTO))
+		defer c.nc.SetDeadline(time.Time{})
+	}
 	if err := wire.WriteFrame(c.bw, op, body); err != nil {
 		return 0, nil, err
 	}
@@ -68,7 +121,7 @@ func (c *Client) roundTrip(op byte, body []byte) (byte, []byte, error) {
 	}
 	c.rbuf = rbody
 	if rop == wire.RepErr {
-		return 0, nil, fmt.Errorf("hotclient: server: %s", rbody)
+		return 0, nil, &ServerError{Msg: string(rbody)}
 	}
 	return rop, rbody, nil
 }

@@ -44,6 +44,8 @@ func FuzzServerFrame(f *testing.F) {
 		frame(wire.OpFlush, nil),
 	))
 	f.Add(frame(wire.OpRepl, nil))
+	f.Add(frame(wire.OpReplResume, wire.AppendResume(nil, []uint64{3, 1})))
+	f.Add(frame(wire.OpReplResume, []byte{1, 2, 3}))
 	f.Add(frame(0xff, []byte("junk")))
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x01}) // hostile length prefix
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -11,7 +11,9 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -38,34 +40,87 @@ type Options struct {
 	// Follow, when non-empty, makes this server a read-only follower of
 	// the leader at that address: it dials, bootstraps over the leader's
 	// replication stream, and serves reads from the ready shard prefix
-	// while the rest streams. Dir must be empty.
+	// while the rest streams. The replication client reconnects on
+	// failure, resuming the tail from the applied frontier when the
+	// leader's logs allow it. Dir must be empty.
 	Follow string
+	// MaxConns caps concurrently served connections. An accept past the
+	// cap is answered with a typed busy ERR frame and closed immediately —
+	// clients get a fast, explicit signal instead of a stalled socket.
+	// 0 means unlimited.
+	MaxConns int
+	// IdleTimeout closes a connection whose next request does not arrive
+	// in time (a dead or leaked client must not hold a connection slot
+	// forever). It never applies to replication streams, which are
+	// legitimately read-silent. 0 means the 5m default; negative disables.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds every write to a connection. Its critical job is
+	// evicting a wedged replication consumer: a session write that cannot
+	// make progress fails here, the session dies, and the checkpoint lock
+	// is released instead of being held hostage. 0 means the 30s default;
+	// negative disables.
+	WriteTimeout time.Duration
+	// DialTimeout bounds a follower's connection attempts to its leader.
+	// 0 means the replication client's own default (10s).
+	DialTimeout time.Duration
+	// ReconnectMin and ReconnectMax override the follower's reconnect
+	// backoff bounds (mainly for tests; zero keeps the defaults).
+	ReconnectMin time.Duration
+	ReconnectMax time.Duration
 }
+
+const (
+	defaultIdleTimeout  = 5 * time.Minute
+	defaultWriteTimeout = 30 * time.Second
+)
 
 // Server serves the hot wire protocol over TCP.
 type Server struct {
 	opts Options
 	km   *KeyMap
-	tree *hot.ShardedTree // leader mode
-	fol  *hot.Follower    // follower mode
+	tree *hot.ShardedTree   // leader mode
+	fol  *hot.Follower      // follower mode
+	rc   *hot.ReplicaClient // follower mode: the reconnecting feed
 
-	ln      net.Listener
-	stop    chan struct{}
-	closed  atomic.Bool
-	wg      sync.WaitGroup
-	mu      sync.Mutex
-	conns   map[net.Conn]struct{}
-	feedErr atomic.Pointer[error] // follower: Feed's final error
+	idleTimeout  time.Duration // resolved (0 = disabled)
+	writeTimeout time.Duration // resolved (0 = disabled)
+
+	ln     net.Listener
+	stop   chan struct{}
+	closed atomic.Bool
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	active         atomic.Int64  // connections currently served
+	rejected       atomic.Uint64 // accepts refused at MaxConns
+	deadlineCloses atomic.Uint64 // connections closed by a deadline
+	resumeSessions atomic.Uint64 // leader: resumed replication sessions
+	fullResyncs    atomic.Uint64 // leader: resume offers declined
 }
 
-// New builds a server. A follower (opts.Follow set) dials its leader and
-// starts consuming the replication stream immediately; poll
-// Follower().Ready() to watch the readable shard prefix grow.
+// New builds a server. A follower (opts.Follow set) starts its
+// replication client immediately — it keeps dialing the leader with
+// backoff until it connects, and reconnects (resuming the tail) whenever
+// the stream dies; poll Follower().Ready() to watch the readable shard
+// prefix grow.
 func New(opts Options) (*Server, error) {
 	if opts.Shards <= 0 {
 		opts.Shards = 8
 	}
 	s := &Server{opts: opts, km: &KeyMap{}, stop: make(chan struct{}), conns: make(map[net.Conn]struct{})}
+	s.idleTimeout = opts.IdleTimeout
+	if s.idleTimeout == 0 {
+		s.idleTimeout = defaultIdleTimeout
+	} else if s.idleTimeout < 0 {
+		s.idleTimeout = 0
+	}
+	s.writeTimeout = opts.WriteTimeout
+	if s.writeTimeout == 0 {
+		s.writeTimeout = defaultWriteTimeout
+	} else if s.writeTimeout < 0 {
+		s.writeTimeout = 0
+	}
 	bind := func(key []byte, tid hot.TID) error {
 		_, err := s.km.Bind(key, tid)
 		return err
@@ -75,24 +130,12 @@ func New(opts Options) (*Server, error) {
 		if opts.Dir != "" {
 			return nil, fmt.Errorf("hot-server: a follower cannot also be durable (Dir and Follow both set)")
 		}
-		s.fol = hot.NewFollower(s.km.Key, bind)
-		conn, err := net.Dial("tcp", opts.Follow)
-		if err != nil {
-			return nil, fmt.Errorf("hot-server: dialing leader: %w", err)
-		}
-		if err := wire.WriteFrame(conn, wire.OpRepl, nil); err != nil {
-			conn.Close()
-			return nil, fmt.Errorf("hot-server: requesting replication: %w", err)
-		}
-		s.track(conn)
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			defer s.untrack(conn)
-			if err := s.fol.Feed(conn); err != nil {
-				s.feedErr.Store(&err)
-			}
-		}()
+		s.rc = hot.NewReplicaClient(opts.Follow, s.km.Key, bind, hot.ReplicaOptions{
+			DialTimeout: opts.DialTimeout,
+			MinBackoff:  opts.ReconnectMin,
+			MaxBackoff:  opts.ReconnectMax,
+		})
+		s.fol = s.rc.Follower()
 	case opts.Dir != "":
 		tree, _, err := hot.OpenDurableShardedTree(opts.Dir, s.km.Key, opts.Shards, opts.Sample,
 			hot.DurableOptions{GroupCommitDelay: opts.GroupCommitDelay, RecoverEntry: bind})
@@ -112,13 +155,17 @@ func (s *Server) Tree() *hot.ShardedTree { return s.tree }
 // Follower returns the follower state, nil on a leader.
 func (s *Server) Follower() *hot.Follower { return s.fol }
 
-// FeedErr returns the error that ended a follower's replication feed, nil
-// while the feed runs or after a clean leader hang-up.
+// Replica returns the follower's replication client, nil on a leader.
+func (s *Server) Replica() *hot.ReplicaClient { return s.rc }
+
+// FeedErr returns the error that ended a follower's most recent
+// replication attempt, nil while the stream is healthy. The client keeps
+// reconnecting either way — this is diagnostic.
 func (s *Server) FeedErr() error {
-	if p := s.feedErr.Load(); p != nil {
-		return *p
+	if s.rc == nil {
+		return nil
 	}
-	return nil
+	return s.rc.LastErr()
 }
 
 // Listen binds addr (":0" for an ephemeral port) and starts accepting
@@ -137,16 +184,40 @@ func (s *Server) Listen(addr string) (string, error) {
 			if err != nil {
 				return // listener closed
 			}
+			if s.opts.MaxConns > 0 && int(s.active.Load()) >= s.opts.MaxConns {
+				// Reject explicitly rather than accept-and-stall: a client
+				// at the limit gets a typed busy ERR it can back off on,
+				// not a socket that hangs until something times out.
+				s.rejected.Add(1)
+				go rejectBusy(conn, s.opts.MaxConns)
+				continue
+			}
 			s.track(conn)
+			s.active.Add(1)
 			s.wg.Add(1)
 			go func() {
 				defer s.wg.Done()
+				defer s.active.Add(-1)
 				defer s.untrack(conn)
 				s.ServeConn(conn)
 			}()
 		}
 	}()
 	return ln.Addr().String(), nil
+}
+
+// BusyPrefix starts the ERR message sent to a connection refused at the
+// MaxConns limit; clients match on it (hotclient.IsBusy) to distinguish
+// overload from real protocol errors.
+const BusyPrefix = "busy: "
+
+// rejectBusy answers an over-limit accept with the typed busy ERR and
+// closes it. Best-effort with a short write deadline — the peer may
+// already be gone.
+func rejectBusy(conn net.Conn, limit int) {
+	conn.SetWriteDeadline(time.Now().Add(time.Second))
+	wire.WriteFrame(conn, wire.RepErr, fmt.Appendf(nil, "%sconnection limit %d reached", BusyPrefix, limit))
+	conn.Close()
 }
 
 func (s *Server) track(c net.Conn) {
@@ -162,11 +233,27 @@ func (s *Server) untrack(c net.Conn) {
 	s.mu.Unlock()
 }
 
-// Close shuts the server down: stop serving, sever every connection
-// (replication sessions hold the index's checkpoint lock, so they MUST be
-// torn down before the index is closed — closing the index first would
-// deadlock), wait for the handlers, then close the index. Idempotent.
+// Close shuts the server down immediately: stop serving, sever every
+// connection (replication sessions hold the index's checkpoint lock, so
+// they MUST be torn down before the index is closed — closing the index
+// first would deadlock), wait for the handlers, then close the index.
+// Idempotent. For a drain that lets in-flight requests finish, use
+// Shutdown.
 func (s *Server) Close() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return s.Shutdown(ctx)
+}
+
+// Shutdown drains the server gracefully: the listener closes (no new
+// connections), replication sessions are told to stop after their current
+// pass, and connection handlers finish the requests already buffered —
+// each handler's blocked read is woken so it notices the drain, flushes
+// its replies, and exits. When ctx expires before the drain completes,
+// every remaining connection is severed, Close-style. The index closes
+// last, after all handlers are gone. Idempotent; concurrent calls share
+// the first one's outcome only in that both wait for the same teardown.
+func (s *Server) Shutdown(ctx context.Context) error {
 	if s.closed.Swap(true) {
 		return nil
 	}
@@ -174,12 +261,32 @@ func (s *Server) Close() error {
 	if s.ln != nil {
 		s.ln.Close()
 	}
+	if s.rc != nil {
+		s.rc.Close()
+	}
+	// Wake every handler blocked in a read: an expired read deadline
+	// surfaces as a timeout error, the handler sees the server draining
+	// and exits after flushing. Requests already buffered still complete.
 	s.mu.Lock()
 	for c := range s.conns {
-		c.Close()
+		c.SetReadDeadline(time.Now())
 	}
 	s.mu.Unlock()
-	s.wg.Wait()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
 	if s.tree != nil {
 		return s.tree.Close()
 	}
@@ -195,6 +302,52 @@ func writeErr(bw *bufio.Writer, msg string) error {
 	return wire.WriteFrame(bw, wire.RepErr, []byte(msg))
 }
 
+// deadlineRW arms per-connection deadlines around a transport that has
+// them (a net.Conn); in-memory test/fuzz streams pass through untouched.
+// Reads get the idle timeout — disabled once the connection enters
+// replication mode, whose consumer is legitimately read-silent — and every
+// write gets the write timeout, which is what evicts a wedged replication
+// consumer. The first deadline expiry on a connection is counted.
+type deadlineRW struct {
+	rw       io.ReadWriter
+	conn     net.Conn // nil: no deadline support
+	srv      *Server
+	repl     bool // replication mode: no idle read deadline
+	timedOut bool // this connection already counted a deadline close
+}
+
+func (d *deadlineRW) Read(p []byte) (int, error) {
+	if d.conn != nil && d.srv.idleTimeout > 0 && !d.repl {
+		d.conn.SetReadDeadline(time.Now().Add(d.srv.idleTimeout))
+	}
+	n, err := d.rw.Read(p)
+	d.note(err)
+	return n, err
+}
+
+func (d *deadlineRW) Write(p []byte) (int, error) {
+	if d.conn != nil && d.srv.writeTimeout > 0 {
+		d.conn.SetWriteDeadline(time.Now().Add(d.srv.writeTimeout))
+	}
+	n, err := d.rw.Write(p)
+	d.note(err)
+	return n, err
+}
+
+// note counts the first deadline expiry on this connection. A read woken
+// by Shutdown also surfaces as a timeout; the draining check keeps it out
+// of the eviction count.
+func (d *deadlineRW) note(err error) {
+	if err == nil || d.timedOut || d.srv.closed.Load() {
+		return
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		d.timedOut = true
+		d.srv.deadlineCloses.Add(1)
+	}
+}
+
 // ServeConn runs one connection's request loop until the peer hangs up, a
 // protocol violation forces a close, or the transport fails. It is exported
 // on io.ReadWriter (not net.Conn) so tests and the fuzzer can drive it with
@@ -207,8 +360,12 @@ func writeErr(bw *bufio.Writer, msg string) error {
 // desynchronizing the reply stream, so it gets an ERR frame and the
 // connection closes.
 func (s *Server) ServeConn(rw io.ReadWriter) {
-	br := bufio.NewReaderSize(rw, 64<<10)
-	bw := bufio.NewWriterSize(rw, 64<<10)
+	d := &deadlineRW{rw: rw, srv: s}
+	if c, ok := rw.(net.Conn); ok {
+		d.conn = c
+	}
+	br := bufio.NewReaderSize(d, 64<<10)
+	bw := bufio.NewWriterSize(d, 64<<10)
 	defer bw.Flush()
 	var rbuf, wbuf []byte
 	for {
@@ -219,7 +376,12 @@ func (s *Server) ServeConn(rw io.ReadWriter) {
 		}
 		op, body, err := wire.ReadFrame(br, rbuf)
 		if err != nil {
-			if err != io.EOF && err != io.ErrUnexpectedEOF {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				// Idle deadline (or a Shutdown wake-up): tell the peer why
+				// before closing, best-effort.
+				writeErr(bw, "connection closed: idle timeout")
+			} else if err != io.EOF && err != io.ErrUnexpectedEOF {
 				writeErr(bw, err.Error())
 			}
 			return
@@ -370,18 +532,45 @@ func (s *Server) ServeConn(rw io.ReadWriter) {
 		case wire.OpStats:
 			wire.WriteFrame(bw, wire.RepStats, wire.MarshalStats(s.stats()))
 
-		case wire.OpRepl:
+		case wire.OpRepl, wire.OpReplResume:
 			if s.fol != nil || !s.tree.Durable() {
 				writeErr(bw, "replication needs a durable leader")
 				return
+			}
+			var applied []uint64
+			if op == wire.OpReplResume {
+				var ok bool
+				if applied, ok = wire.Resume(body); !ok {
+					writeErr(bw, "RESUME: bad LSN vector")
+					return
+				}
 			}
 			if err := bw.Flush(); err != nil {
 				return
 			}
 			// The session writes through its own buffer straight to the
-			// transport; this handler's reply buffer is out of the loop from
-			// here on. Run ends when the peer hangs up or the server stops.
-			sess, serr := s.tree.NewReplicationSession(rw)
+			// transport (via the deadline wrapper, so a wedged consumer
+			// trips the write timeout and frees the checkpoint lock); this
+			// handler's reply buffer is out of the loop from here on. The
+			// idle read deadline is off: a replication peer sends nothing,
+			// and the dead-detector read below must block indefinitely.
+			// Run ends when the peer hangs up or the server stops.
+			d.repl = true
+			var sess *hot.ReplicationSession
+			var serr error
+			if op == wire.OpReplResume {
+				var resumed bool
+				sess, resumed, serr = s.tree.NewReplicationSessionFrom(d, applied)
+				if serr == nil {
+					if resumed {
+						s.resumeSessions.Add(1)
+					} else {
+						s.fullResyncs.Add(1)
+					}
+				}
+			} else {
+				sess, serr = s.tree.NewReplicationSession(d)
+			}
 			if serr != nil {
 				writeErr(bw, serr.Error())
 				return
@@ -429,22 +618,37 @@ func appendBatchHit(b []byte, found bool, tid hot.TID) []byte {
 	return wire.AppendUint64(b, tid)
 }
 
+// Stats snapshots the server's counters — the same frame STATS serves,
+// available in-process (hot-server logs it at shutdown).
+func (s *Server) Stats() wire.Stats { return s.stats() }
+
 func (s *Server) stats() wire.Stats {
 	if s.fol != nil {
 		return wire.Stats{
-			Len:         s.fol.Len(),
-			Shards:      s.fol.Shards(),
-			Ready:       s.fol.Ready(),
-			Follower:    true,
-			TailRecords: s.fol.TailRecords(),
+			Len:            s.fol.Len(),
+			Shards:         s.fol.Shards(),
+			Ready:          s.fol.Ready(),
+			Follower:       true,
+			TailRecords:    s.fol.TailRecords(),
+			Conns:          int(s.active.Load()),
+			RejectedConns:  s.rejected.Load(),
+			DeadlineCloses: s.deadlineCloses.Load(),
+			Reconnects:     s.rc.Reconnects(),
+			Resumes:        s.rc.Resumes(),
+			FullResyncs:    s.rc.FullResyncs(),
 		}
 	}
 	return wire.Stats{
-		Len:      s.tree.Len(),
-		Shards:   s.tree.Shards(),
-		Ready:    s.tree.Shards(),
-		Durable:  s.tree.Durable(),
-		LogBytes: s.tree.LogSize(),
-		Pending:  s.tree.AsyncPending(),
+		Len:            s.tree.Len(),
+		Shards:         s.tree.Shards(),
+		Ready:          s.tree.Shards(),
+		Durable:        s.tree.Durable(),
+		LogBytes:       s.tree.LogSize(),
+		Pending:        s.tree.AsyncPending(),
+		Conns:          int(s.active.Load()),
+		RejectedConns:  s.rejected.Load(),
+		DeadlineCloses: s.deadlineCloses.Load(),
+		Resumes:        s.resumeSessions.Load(),
+		FullResyncs:    s.fullResyncs.Load(),
 	}
 }

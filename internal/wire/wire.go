@@ -17,6 +17,7 @@
 //	FLUSH  (empty)                (durability + completion barrier)
 //	STATS  (empty)
 //	REPL   (empty)                (switch the connection to replication)
+//	RESUME n u32 | n × lsn u64    (replication, resuming from applied LSNs)
 //
 // Reply bodies (server → client):
 //
@@ -43,6 +44,16 @@
 //	TAILSTART frame (empty body)
 //	TAIL frames (shard u32 | op u8 | lsn u64 | tid u64 | key), streamed as
 //	  the leader's per-shard logs grow
+//	PING frames (empty body) interleave with TAIL while the tail is idle,
+//	  so a follower with a read deadline can tell a quiet leader from a
+//	  dead connection
+//
+// A RESUME request carries the follower's per-shard applied-LSN vector.
+// When every shard's log still retains the records past that frontier the
+// leader answers with a RESUME stream frame (empty body) followed directly
+// by TAILSTART — no snapshot phase. When the logs have rotated past the
+// frontier it falls back to the full bootstrap, starting with MANIFEST as
+// usual; the follower tells the two apart by the first frame it reads.
 package wire
 
 import (
@@ -61,6 +72,10 @@ const (
 	// MaxScan caps the entries requested by one SCAN (the reply is further
 	// bounded by MaxFrame; a truncated scan returns fewer entries).
 	MaxScan = 4096
+	// MaxResumeShards caps the LSN vector in one RESUME request. Far above
+	// any real shard count; it exists so a hostile length cannot force a
+	// large allocation.
+	MaxResumeShards = 65536
 )
 
 // Request opcodes.
@@ -74,6 +89,7 @@ const (
 	OpFlush
 	OpStats
 	OpRepl
+	OpReplResume
 )
 
 // Reply opcodes.
@@ -93,6 +109,8 @@ const (
 	RepSection
 	RepTailStart
 	RepTail
+	RepResume
+	RepPing
 )
 
 // Stats is the STATS reply payload, JSON-encoded (stats are rare and
@@ -115,6 +133,24 @@ type Stats struct {
 	Pending int `json:"pending"`
 	// TailRecords is the number of tail records applied (follower).
 	TailRecords uint64 `json:"tail_records"`
+	// Conns is the number of connections currently served.
+	Conns int `json:"conns"`
+	// RejectedConns counts connections refused with a busy ERR because the
+	// server was at its connection limit.
+	RejectedConns uint64 `json:"rejected_conns"`
+	// DeadlineCloses counts connections closed by an idle-read or write
+	// deadline expiring.
+	DeadlineCloses uint64 `json:"deadline_closes"`
+	// Reconnects counts a follower's successful re-dials of its leader
+	// after the initial connection (follower mode).
+	Reconnects uint64 `json:"reconnects"`
+	// Resumes counts replication sessions continued from the follower's
+	// applied-LSN frontier without a snapshot phase: sessions served on a
+	// leader, sessions consumed on a follower.
+	Resumes uint64 `json:"resumes"`
+	// FullResyncs counts resume attempts that fell back to a full snapshot
+	// stream because the logs had rotated past the requested frontier.
+	FullResyncs uint64 `json:"full_resyncs"`
 }
 
 // MarshalStats encodes s for a RepStats frame.
@@ -271,6 +307,30 @@ func Tail(body []byte) (shard uint32, op byte, lsn, tid uint64, key []byte, ok b
 		return 0, 0, 0, 0, nil, false
 	}
 	return shard, op, lsn, tid, body, true
+}
+
+// AppendResume appends a RESUME body: n u32 | n × lsn u64, the follower's
+// per-shard applied-LSN vector.
+func AppendResume(b []byte, lsns []uint64) []byte {
+	b = AppendUint32(b, uint32(len(lsns)))
+	for _, lsn := range lsns {
+		b = AppendUint64(b, lsn)
+	}
+	return b
+}
+
+// Resume parses a RESUME body. It rejects shard counts above
+// MaxResumeShards and any length mismatch.
+func Resume(body []byte) ([]uint64, bool) {
+	n, body, ok := Uint32(body)
+	if !ok || n > MaxResumeShards || len(body) != int(n)*8 {
+		return nil, false
+	}
+	lsns := make([]uint64, n)
+	for i := range lsns {
+		lsns[i], body, _ = Uint64(body)
+	}
+	return lsns, true
 }
 
 // BatchKeys parses a BATCH body into key views over body (no copies). It

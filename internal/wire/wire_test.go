@@ -98,8 +98,55 @@ func TestBodyCodecs(t *testing.T) {
 	}
 }
 
+func TestResumeCodec(t *testing.T) {
+	for _, lsns := range [][]uint64{nil, {0}, {7, 0, 1 << 40, 42}} {
+		got, ok := Resume(AppendResume(nil, lsns))
+		if !ok || len(got) != len(lsns) {
+			t.Fatalf("Resume(%v) = (%v, %v)", lsns, got, ok)
+		}
+		for i := range lsns {
+			if got[i] != lsns[i] {
+				t.Fatalf("Resume(%v) = %v", lsns, got)
+			}
+		}
+	}
+	if _, ok := Resume(nil); ok {
+		t.Fatal("Resume accepted an empty body")
+	}
+	if _, ok := Resume(AppendUint32(nil, 2)); ok {
+		t.Fatal("Resume accepted a truncated body")
+	}
+	if _, ok := Resume(append(AppendResume(nil, []uint64{1}), 0)); ok {
+		t.Fatal("Resume accepted trailing bytes")
+	}
+	if _, ok := Resume(AppendUint32(nil, MaxResumeShards+1)); ok {
+		t.Fatal("Resume accepted a count above MaxResumeShards")
+	}
+}
+
+// FuzzWireResume throws arbitrary bytes at the resume-handshake decoder:
+// it must never panic or over-allocate, and every accepted body must
+// round-trip back to identical bytes (the decoder accepts exactly the
+// encoder's language, nothing else).
+func FuzzWireResume(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendResume(nil, nil))
+	f.Add(AppendResume(nil, []uint64{0, 1, 1 << 63}))
+	f.Add(AppendUint32(nil, MaxResumeShards+1))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		lsns, ok := Resume(data)
+		if !ok {
+			return
+		}
+		if !bytes.Equal(AppendResume(nil, lsns), data) {
+			t.Fatalf("accepted body does not round-trip: %x", data)
+		}
+	})
+}
+
 func TestStatsRoundTrip(t *testing.T) {
-	in := Stats{Len: 10, Shards: 4, Ready: 2, Durable: true, Follower: true, LogBytes: 123, Pending: 5, TailRecords: 77}
+	in := Stats{Len: 10, Shards: 4, Ready: 2, Durable: true, Follower: true, LogBytes: 123, Pending: 5, TailRecords: 77,
+		Conns: 3, RejectedConns: 2, DeadlineCloses: 1, Reconnects: 4, Resumes: 5, FullResyncs: 6}
 	out, err := UnmarshalStats(MarshalStats(in))
 	if err != nil || out != in {
 		t.Fatalf("stats round trip = %+v (err %v), want %+v", out, err, in)

@@ -99,3 +99,69 @@ func (r *RemoteIndex) Flush() (applied, rejected uint64) {
 	r.die(err)
 	return applied, rejected
 }
+
+// PooledRemoteIndex drives a hot-server through a hotclient.Pool, so one
+// index value is safe for every RunParallel worker at once — the networked
+// configuration that measures tail latency under real connection
+// concurrency. Only the synchronous Index family is implemented: a pool
+// borrows a connection per operation, so there is no cross-operation
+// pipeline for the AsyncIndex contract to batch.
+type PooledRemoteIndex struct {
+	p *hotclient.Pool
+}
+
+// DialPool connects a pool of conns connections to the hot-server at addr.
+func DialPool(addr string, conns int) *PooledRemoteIndex {
+	return &PooledRemoteIndex{p: hotclient.NewPool(addr, hotclient.PoolOptions{Conns: conns})}
+}
+
+// Pool exposes the underlying pool (for resilience counters).
+func (r *PooledRemoteIndex) Pool() *hotclient.Pool { return r.p }
+
+// Close closes every pooled connection.
+func (r *PooledRemoteIndex) Close() error { return r.p.Close() }
+
+func (r *PooledRemoteIndex) die(err error) {
+	if err != nil {
+		panic("ycsb: pooled remote index: " + err.Error())
+	}
+}
+
+// Insert adds key→tid, acknowledged by a server barrier (see
+// RemoteIndex.Insert for the duplicate-reporting caveat).
+func (r *PooledRemoteIndex) Insert(k []byte, tid uint64) bool {
+	r.die(r.p.Add(k, tid))
+	return true
+}
+
+// Upsert stores key→tid, acknowledged by a server barrier.
+func (r *PooledRemoteIndex) Upsert(k []byte, tid uint64) (uint64, bool) {
+	r.die(r.p.Set(k, tid))
+	return 0, false
+}
+
+// Lookup fetches key's TID.
+func (r *PooledRemoteIndex) Lookup(k []byte) (uint64, bool) {
+	tid, found, err := r.p.Get(k)
+	r.die(err)
+	return tid, found
+}
+
+// Scan streams up to n TIDs from key ≥ start into fn.
+func (r *PooledRemoteIndex) Scan(start []byte, n int, fn func(uint64) bool) int {
+	entries, err := r.p.Scan(start, n)
+	r.die(err)
+	for i, e := range entries {
+		if !fn(e.TID) {
+			return i + 1
+		}
+	}
+	return len(entries)
+}
+
+// LookupBatch issues the whole batch as one request/reply.
+func (r *PooledRemoteIndex) LookupBatch(keys [][]byte, out []uint64) []bool {
+	found, err := r.p.GetBatch(keys, out)
+	r.die(err)
+	return found
+}

@@ -1,0 +1,276 @@
+package hot
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/hotindex/hot/internal/wire"
+)
+
+// ReplicaOptions tunes a ReplicaClient's reconnect loop.
+type ReplicaOptions struct {
+	// DialTimeout bounds each connection attempt to the leader (default
+	// 10s; negative disables the bound).
+	DialTimeout time.Duration
+	// ReadTimeout is the per-read deadline on an established stream: the
+	// leader pings an idle tail about once a second, so a read that sees
+	// nothing for this long means the connection is dead, not quiet.
+	// Default 15s; negative disables it.
+	ReadTimeout time.Duration
+	// MinBackoff and MaxBackoff bound the capped exponential reconnect
+	// backoff (defaults 50ms and 5s). Each failed attempt doubles the
+	// delay up to MaxBackoff, with up to 50% random jitter added so a
+	// fleet of followers does not reconnect in lockstep.
+	MinBackoff time.Duration
+	MaxBackoff time.Duration
+}
+
+func (o *ReplicaOptions) defaults() {
+	if o.DialTimeout == 0 {
+		o.DialTimeout = 10 * time.Second
+	}
+	if o.ReadTimeout == 0 {
+		o.ReadTimeout = 15 * time.Second
+	}
+	if o.MinBackoff <= 0 {
+		o.MinBackoff = 50 * time.Millisecond
+	}
+	if o.MaxBackoff < o.MinBackoff {
+		o.MaxBackoff = 5 * time.Second
+		if o.MaxBackoff < o.MinBackoff {
+			o.MaxBackoff = o.MinBackoff
+		}
+	}
+}
+
+// ReplicaClient keeps one Follower fed from a leader across connection
+// failures. It dials, requests replication, and consumes the stream; when
+// the connection dies it reconnects with capped exponential backoff and
+// jitter, offering the follower's applied-LSN frontier so the leader can
+// resume the tail instead of re-streaming the snapshot. The follower keeps
+// serving reads from its ready prefix the whole time — a partition costs
+// write freshness, never read availability.
+//
+// The resume offer degrades conservatively: it is only made once a
+// bootstrap has fully completed, and any error that suggests the streams
+// disagree about state (a protocol or apply error, as opposed to a clean
+// transport failure) forces the next attempt to request a full bootstrap.
+type ReplicaClient struct {
+	addr string
+	opts ReplicaOptions
+	fol  *Follower
+
+	stop chan struct{}
+	done chan struct{}
+
+	mu   sync.Mutex // guards conn
+	conn net.Conn
+
+	closed     atomic.Bool
+	connected  atomic.Bool
+	reconnects atomic.Uint64
+	lastErr    atomic.Pointer[error]
+}
+
+// NewReplicaClient starts a replication client feeding a new Follower
+// (loader and onEntry as in NewFollower) from the leader at addr. The
+// reconnect loop runs until Close; use Follower() for reads and the
+// counters to observe its behavior.
+func NewReplicaClient(addr string, loader Loader, onEntry func(key []byte, tid TID) error, opts ReplicaOptions) *ReplicaClient {
+	opts.defaults()
+	rc := &ReplicaClient{
+		addr: addr,
+		opts: opts,
+		fol:  NewFollower(loader, onEntry),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go rc.run()
+	return rc
+}
+
+// Follower returns the follower this client feeds. Its read methods are
+// safe at any time; AppliedLSNs is reserved for the client itself.
+func (rc *ReplicaClient) Follower() *Follower { return rc.fol }
+
+// Connected reports whether a replication stream is currently established.
+func (rc *ReplicaClient) Connected() bool { return rc.connected.Load() }
+
+// Reconnects counts successful connections after the first.
+func (rc *ReplicaClient) Reconnects() uint64 { return rc.reconnects.Load() }
+
+// Resumes counts streams the leader continued from our applied frontier.
+func (rc *ReplicaClient) Resumes() uint64 { return rc.fol.Resumes() }
+
+// FullResyncs counts complete re-bootstraps after the initial one — each
+// is a reconnect whose resume offer the leader declined (or that could not
+// offer one).
+func (rc *ReplicaClient) FullResyncs() uint64 {
+	if b := rc.fol.Bootstraps(); b > 1 {
+		return b - 1
+	}
+	return 0
+}
+
+// LastErr returns the most recent connection or feed error, nil while the
+// stream is healthy. It is diagnostic: the client keeps retrying either
+// way.
+func (rc *ReplicaClient) LastErr() error {
+	if p := rc.lastErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// Close stops the reconnect loop, severs any live connection, and waits
+// for the feeder to exit. The follower remains readable. Idempotent.
+func (rc *ReplicaClient) Close() error {
+	if rc.closed.Swap(true) {
+		return nil
+	}
+	close(rc.stop)
+	rc.mu.Lock()
+	if rc.conn != nil {
+		rc.conn.Close()
+	}
+	rc.mu.Unlock()
+	<-rc.done
+	return nil
+}
+
+// setConn records the live connection so Close can sever it. It returns
+// false when the client is already closing (the caller must not use conn).
+func (rc *ReplicaClient) setConn(conn net.Conn) bool {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	select {
+	case <-rc.stop:
+		return false
+	default:
+	}
+	rc.conn = conn
+	return true
+}
+
+// run is the reconnect loop: dial, request replication (resuming when the
+// follower has a complete bootstrap), feed until the stream dies, classify
+// the failure, back off, repeat.
+func (rc *ReplicaClient) run() {
+	defer close(rc.done)
+	backoff := rc.opts.MinBackoff
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	connections := uint64(0)
+	forceFull := false
+	for {
+		select {
+		case <-rc.stop:
+			return
+		default:
+		}
+		established, err := rc.attempt(&connections, &forceFull)
+		if established {
+			// A stream ran; whatever killed it, start the ladder over.
+			backoff = rc.opts.MinBackoff
+		}
+		if err != nil {
+			rc.lastErr.Store(&err)
+		}
+		delay := backoff + time.Duration(rng.Int63n(int64(backoff)/2+1))
+		if backoff *= 2; backoff > rc.opts.MaxBackoff {
+			backoff = rc.opts.MaxBackoff
+		}
+		select {
+		case <-rc.stop:
+			return
+		case <-time.After(delay):
+		}
+	}
+}
+
+// attempt runs one connection's whole life, reporting whether a stream was
+// established. connections counts successful dials (for the reconnect
+// counter); forceFull carries the full-bootstrap demand across attempts.
+func (rc *ReplicaClient) attempt(connections *uint64, forceFull *bool) (established bool, err error) {
+	d := net.Dialer{}
+	if rc.opts.DialTimeout > 0 {
+		d.Timeout = rc.opts.DialTimeout
+	}
+	conn, err := d.Dial("tcp", rc.addr)
+	if err != nil {
+		return false, err
+	}
+	if !rc.setConn(conn) {
+		conn.Close()
+		return false, nil
+	}
+	defer func() {
+		rc.connected.Store(false)
+		conn.Close()
+	}()
+
+	// Offer a resume only from a complete bootstrap, and only when the
+	// previous stream did not end in a state-divergence error.
+	var req []byte
+	op := wire.OpRepl
+	if !*forceFull {
+		if lsns := rc.fol.AppliedLSNs(); lsns != nil {
+			op = wire.OpReplResume
+			req = wire.AppendResume(nil, lsns)
+		}
+	}
+	if err := wire.WriteFrame(conn, op, req); err != nil {
+		return false, err
+	}
+
+	*connections++
+	if *connections > 1 {
+		rc.reconnects.Add(1)
+	}
+	rc.connected.Store(true)
+	rc.lastErr.Store(nil)
+
+	var src io.Reader = conn
+	if rc.opts.ReadTimeout > 0 {
+		src = &deadlineReader{conn: conn, timeout: rc.opts.ReadTimeout}
+	}
+	err = rc.fol.Feed(src)
+	if err == nil {
+		*forceFull = false
+		return true, nil
+	}
+	// Transport failures leave the follower's applied state coherent —
+	// resume next time. Anything else (a protocol violation, an LSN gap,
+	// an apply error) means the stream and our state disagree; only a
+	// fresh bootstrap is trustworthy after that.
+	*forceFull = !transientFeedErr(err)
+	return true, err
+}
+
+// transientFeedErr reports whether err is a pure transport failure — the
+// class after which the follower's applied frontier is still trustworthy
+// and a resume is safe.
+func transientFeedErr(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) ||
+		errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed)
+}
+
+// deadlineReader arms conn's read deadline before every Read, so a stream
+// that goes silent past the leader's ping interval fails instead of
+// blocking forever.
+type deadlineReader struct {
+	conn    net.Conn
+	timeout time.Duration
+}
+
+func (d *deadlineReader) Read(p []byte) (int, error) {
+	d.conn.SetReadDeadline(time.Now().Add(d.timeout))
+	return d.conn.Read(p)
+}

@@ -37,6 +37,16 @@ import (
 // invalidate them. The flip side: ShardedTree.Close blocks until every
 // replication session is closed — a server must tear down its sessions
 // (close their connections) before closing the tree.
+//
+// A follower that already completed a bootstrap can skip phase 1 on
+// reconnect: it presents its per-shard applied-LSN vector
+// (Follower.AppliedLSNs) and the leader, under the same checkpoint lock,
+// checks each shard's log retention — resumable exactly when
+// base ≤ appliedLSN ≤ lastLSN for every shard, i.e. no Checkpoint has
+// rotated a needed record away and the follower is not ahead of the
+// leader (a diverged history). On success the session tails from the
+// follower's own cuts (NewReplicationSessionFrom); otherwise it degrades
+// to the full two-phase stream on the same connection.
 
 // ErrNotReady reports a follower read that landed in a shard whose
 // bootstrap section has not fully arrived yet.
@@ -54,7 +64,19 @@ type ReplicationSession struct {
 	cuts    []uint64
 	scratch []byte
 	locked  bool
+	resumed bool
+
+	// PingEvery is how long the tail may stay idle before the session
+	// emits a PING frame so the follower's read deadline does not mistake
+	// a quiet leader for a dead connection. Zero means the 1s default;
+	// negative disables pings. Set before Run.
+	PingEvery time.Duration
 }
+
+// defaultPingEvery is the idle-tail keepalive interval. It must be
+// comfortably below any follower read deadline (ReplicaOptions.ReadTimeout
+// defaults to 15s).
+const defaultPingEvery = time.Second
 
 // NewReplicationSession starts a replication session writing to w. It
 // blocks while a Checkpoint, Close or another session is in progress, then
@@ -81,6 +103,32 @@ func (t *ShardedTree) NewReplicationSession(w io.Writer) (*ReplicationSession, e
 		cuts:   make([]uint64, len(t.shards)),
 		locked: true,
 	}, nil
+}
+
+// NewReplicationSessionFrom starts a session that resumes from applied,
+// the follower's per-shard frontier, when every shard's write-ahead log
+// still retains the records past it: base ≤ applied[i] ≤ lastLSN for each
+// shard i, checked under the checkpoint lock the session just took (so no
+// rotation can race the decision). resumed reports the outcome: true means
+// Run skips the snapshot phase and tails from the follower's cuts; false
+// means the logs rotated past the frontier (or the vector does not match
+// the shard layout) and Run degrades to the full bootstrap stream.
+func (t *ShardedTree) NewReplicationSessionFrom(w io.Writer, applied []uint64) (s *ReplicationSession, resumed bool, err error) {
+	s, err = t.NewReplicationSession(w)
+	if err != nil {
+		return nil, false, err
+	}
+	resumed = len(applied) == len(t.shards)
+	for i := 0; resumed && i < len(applied); i++ {
+		if applied[i] < s.d.wals[i].Base() || applied[i] > s.d.wals[i].LastLSN() {
+			resumed = false
+		}
+	}
+	if resumed {
+		copy(s.cuts, applied)
+		s.resumed = true
+	}
+	return s, resumed, nil
 }
 
 // flush pushes buffered frames to the transport, propagating to the raw
@@ -147,6 +195,11 @@ func (s *ReplicationSession) StreamTail(stop <-chan struct{}) error {
 			t.Close()
 		}
 	}()
+	pingEvery := s.PingEvery
+	if pingEvery == 0 {
+		pingEvery = defaultPingEvery
+	}
+	lastActive := time.Now()
 	for {
 		sent := false
 		for i, tl := range tailers {
@@ -173,19 +226,45 @@ func (s *ReplicationSession) StreamTail(stop <-chan struct{}) error {
 			if err := s.flush(); err != nil {
 				return err
 			}
+			lastActive = time.Now()
 		}
 		select {
 		case <-stop:
 			return nil
 		case <-time.After(2 * time.Millisecond):
 		}
+		// Idle keepalive: emitted only after the poll slept, so a stop
+		// that was already closed drains exactly one pass with no pings
+		// (the drain-once contract above). The write doubles as the
+		// liveness probe — a wedged consumer fails it at the transport's
+		// write deadline instead of holding the checkpoint lock forever.
+		if pingEvery > 0 && time.Since(lastActive) >= pingEvery {
+			if err := wire.WriteFrame(s.bw, wire.RepPing, nil); err != nil {
+				return err
+			}
+			if err := s.flush(); err != nil {
+				return err
+			}
+			lastActive = time.Now()
+		}
 	}
 }
 
-// Run streams the bootstrap and then tails until stop is closed or the
-// transport fails.
+// Run streams the bootstrap (or, for a resumed session, just the
+// RESUME/TAILSTART acknowledgement) and then tails until stop is closed or
+// the transport fails.
 func (s *ReplicationSession) Run(stop <-chan struct{}) error {
-	if err := s.StreamSnapshot(); err != nil {
+	if s.resumed {
+		if err := wire.WriteFrame(s.bw, wire.RepResume, nil); err != nil {
+			return err
+		}
+		if err := wire.WriteFrame(s.bw, wire.RepTailStart, nil); err != nil {
+			return err
+		}
+		if err := s.flush(); err != nil {
+			return err
+		}
+	} else if err := s.StreamSnapshot(); err != nil {
 		return err
 	}
 	return s.StreamTail(stop)
@@ -206,12 +285,21 @@ func (s *ReplicationSession) Close() {
 // ready prefix returns ErrNotReady rather than a wrong answer. If the
 // stream dies mid-bootstrap, Feed returns the error and the follower keeps
 // serving the sections that completed (the salvaged prefix).
+//
+// Feed may be called again after the stream dies: a stream opening with
+// MANIFEST replaces the follower's state with a fresh bootstrap (reads
+// briefly degrade to the new stream's growing prefix), while a stream
+// opening with RESUME continues the tail over the state already held —
+// which is only legal after a complete bootstrap. ReplicaClient drives
+// exactly this loop.
 type Follower struct {
 	loader  Loader
 	onEntry func(key []byte, tid TID) error
 	tree    atomic.Pointer[ShardedTree]
 	ready   atomic.Int32
 	tailed  atomic.Uint64
+	boots   atomic.Uint64
+	resumes atomic.Uint64
 	cuts    []uint64
 	lsns    []uint64
 }
@@ -237,7 +325,11 @@ func feedErr(phase string, err error) error {
 // nil on a clean end-of-stream at a frame boundary after the bootstrap
 // completed (the leader hung up), and an error for anything else —
 // including a stream cut mid-bootstrap, after which the completed shard
-// prefix remains readable.
+// prefix remains readable. The stream's first frame selects the mode:
+// MANIFEST starts a (re-)bootstrap, RESUME continues the tail from the
+// follower's applied frontier (only legal after a complete bootstrap —
+// the leader grants it exactly when the follower offered its own
+// AppliedLSNs vector).
 func (f *Follower) Feed(r io.Reader) error {
 	br := bufio.NewReaderSize(r, 64<<10)
 	var fbuf []byte
@@ -250,6 +342,28 @@ func (f *Follower) Feed(r io.Reader) error {
 		return feedErr("manifest", err)
 	}
 	fbuf = body
+	if op == wire.RepResume {
+		if len(body) != 0 {
+			return feedErr("resume", fmt.Errorf("non-empty RESUME frame"))
+		}
+		t, ready := f.snapshot()
+		if t == nil || ready != len(t.shards) {
+			return feedErr("resume", fmt.Errorf("leader resumed a follower with no complete bootstrap"))
+		}
+		op, body, err = wire.ReadFrame(br, fbuf)
+		if err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return feedErr("resume", err)
+		}
+		fbuf = body
+		if op != wire.RepTailStart || len(body) != 0 {
+			return feedErr("resume", fmt.Errorf("unexpected frame %#x", op))
+		}
+		f.resumes.Add(1)
+		return f.feedTail(br, t, fbuf)
+	}
 	if op != wire.RepManifest || len(body) != 0 {
 		return feedErr("manifest", fmt.Errorf("unexpected frame %#x", op))
 	}
@@ -264,7 +378,13 @@ func (f *Follower) Feed(r io.Reader) error {
 	}); err != nil {
 		return feedErr("manifest", err)
 	}
+	// A fresh bootstrap invalidates whatever was held before (a full
+	// resync after the leader's logs rotated past our frontier). Ready
+	// drops to zero before the new tree is visible, so concurrent reads
+	// degrade to ErrNotReady — never to answers mixing two streams — and
+	// grow back section by section.
 	t := newShardedFromBounds(f.loader, bounds)
+	f.ready.Store(0)
 	f.cuts = make([]uint64, len(t.shards))
 	f.lsns = make([]uint64, len(t.shards))
 	f.tree.Store(t)
@@ -298,6 +418,7 @@ func (f *Follower) Feed(r io.Reader) error {
 		}
 		f.ready.Store(int32(i + 1))
 	}
+	f.boots.Add(1)
 
 	op, body, err = wire.ReadFrame(br, fbuf)
 	if err != nil {
@@ -310,7 +431,13 @@ func (f *Follower) Feed(r io.Reader) error {
 	if op != wire.RepTailStart {
 		return feedErr("tail", fmt.Errorf("unexpected frame %#x", op))
 	}
+	return f.feedTail(br, t, fbuf)
+}
 
+// feedTail applies TAIL records until the stream ends, enforcing per-shard
+// LSN continuity against the follower's applied frontier. PING frames (the
+// leader's idle keepalive) are consumed and dropped.
+func (f *Follower) feedTail(br *bufio.Reader, t *ShardedTree, fbuf []byte) error {
 	for {
 		op, body, err := wire.ReadFrame(br, fbuf)
 		if err != nil {
@@ -320,6 +447,9 @@ func (f *Follower) Feed(r io.Reader) error {
 			return feedErr("tail", err)
 		}
 		fbuf = body
+		if op == wire.RepPing {
+			continue
+		}
 		if op != wire.RepTail {
 			return feedErr("tail", fmt.Errorf("unexpected frame %#x", op))
 		}
@@ -355,6 +485,23 @@ func (f *Follower) Feed(r io.Reader) error {
 	}
 }
 
+// snapshot pairs the current tree with a ready count clamped to its shard
+// count. Tree and ready are separate atomics; during a re-bootstrap a
+// reader can observe the previous tree alongside the new stream's counter,
+// so the clamp keeps every index in bounds (the answer is then a complete
+// prefix of whichever bootstrap it came from).
+func (f *Follower) snapshot() (*ShardedTree, int) {
+	t := f.tree.Load()
+	if t == nil {
+		return nil, 0
+	}
+	ready := int(f.ready.Load())
+	if ready > len(t.shards) {
+		ready = len(t.shards)
+	}
+	return t, ready
+}
+
 // Shards returns the follower's shard count, 0 before the manifest arrives.
 func (f *Follower) Shards() int {
 	if t := f.tree.Load(); t != nil {
@@ -364,15 +511,52 @@ func (f *Follower) Shards() int {
 }
 
 // Ready returns the number of leading shards fully bootstrapped and open
-// for reads. It only grows, one completed section at a time.
+// for reads. It grows one completed section at a time, and drops to zero
+// when a full resync replaces the bootstrap.
 func (f *Follower) Ready() int { return int(f.ready.Load()) }
+
+// Bootstrapped reports whether a bootstrap has fully completed, making
+// every shard readable (and a resume offer legal on reconnect).
+func (f *Follower) Bootstrapped() bool {
+	t, ready := f.snapshot()
+	return t != nil && ready == len(t.shards)
+}
+
+// Bootstraps returns the number of complete bootstraps consumed. Anything
+// past the first was a full resync — a reconnect whose resume offer the
+// leader declined.
+func (f *Follower) Bootstraps() uint64 { return f.boots.Load() }
+
+// Resumes returns the number of streams continued from the follower's
+// applied frontier without a snapshot phase.
+func (f *Follower) Resumes() uint64 { return f.resumes.Load() }
 
 // TailRecords returns the number of tail records applied since bootstrap.
 func (f *Follower) TailRecords() uint64 { return f.tailed.Load() }
 
+// AppliedLSNs returns the follower's per-shard applied frontier: the LSN
+// of the last tail record applied to each shard, or the shard's bootstrap
+// cut when no tail record has arrived for it. It is the vector a
+// reconnecting client offers the leader in a RESUME request, and is only
+// meaningful after Bootstrapped; it must not be called while a Feed is
+// running (ReplicaClient reads it strictly between attempts).
+func (f *Follower) AppliedLSNs() []uint64 {
+	t, ready := f.snapshot()
+	if t == nil || ready != len(t.shards) {
+		return nil
+	}
+	out := make([]uint64, len(t.shards))
+	for i := range out {
+		if out[i] = f.lsns[i]; out[i] == 0 {
+			out[i] = f.cuts[i]
+		}
+	}
+	return out
+}
+
 // Len returns the number of keys stored in the ready shard prefix.
 func (f *Follower) Len() int {
-	t, ready := f.tree.Load(), f.Ready()
+	t, ready := f.snapshot()
 	n := 0
 	for i := 0; i < ready; i++ {
 		n += t.shards[i].Len()
@@ -383,12 +567,12 @@ func (f *Follower) Len() int {
 // Lookup returns the TID stored under key, or ErrNotReady when key's shard
 // has not fully arrived yet.
 func (f *Follower) Lookup(key []byte) (TID, bool, error) {
-	t := f.tree.Load()
+	t, ready := f.snapshot()
 	if t == nil {
 		return 0, false, ErrNotReady
 	}
 	s := shard.Find(t.bounds, key)
-	if s >= f.Ready() {
+	if s >= ready {
 		return 0, false, ErrNotReady
 	}
 	tid, ok := t.shards[s].Lookup(key)
@@ -403,11 +587,10 @@ func (f *Follower) Lookup(key []byte) (TID, bool, error) {
 // never partial answers within a shard). The key slice passed to fn is
 // only valid for that call.
 func (f *Follower) Scan(start []byte, max int, fn func(key []byte, tid TID) bool) (int, error) {
-	t := f.tree.Load()
+	t, ready := f.snapshot()
 	if t == nil {
 		return 0, ErrNotReady
 	}
-	ready := f.Ready()
 	if shard.Find(t.bounds, start) >= ready {
 		return 0, ErrNotReady
 	}
@@ -429,7 +612,7 @@ func (f *Follower) Scan(start []byte, max int, fn func(key []byte, tid TID) bool
 
 // Verify runs structural invariant checks over the ready shard prefix.
 func (f *Follower) Verify() error {
-	t, ready := f.tree.Load(), f.Ready()
+	t, ready := f.snapshot()
 	for i := 0; i < ready; i++ {
 		if err := t.shards[i].Verify(); err != nil {
 			return fmt.Errorf("hot: follower shard %d: %w", i, err)

@@ -7,6 +7,7 @@ import (
 
 	"github.com/hotindex/hot/internal/dataset"
 	"github.com/hotindex/hot/internal/tidstore"
+	"github.com/hotindex/hot/internal/wire"
 )
 
 // recordingSink captures a replication stream and the cumulative byte
@@ -211,6 +212,244 @@ func TestReplicationTailCatchUp(t *testing.T) {
 	n, err := fol.Scan(nil, 50, func(key []byte, tid TID) bool { return true })
 	if err != nil || n != 50 {
 		t.Fatalf("Scan = (%d, %v)", n, err)
+	}
+}
+
+// TestReplicationResumeTail is the LSN-resume contract, deterministically:
+// a follower that completed a bootstrap reconnects by offering its applied
+// frontier, and the leader — whose logs still retain everything past it —
+// continues the tail with no snapshot phase. The follower converges to the
+// leader's post-disconnect state, counting the stream as a resume, not a
+// bootstrap.
+func TestReplicationResumeTail(t *testing.T) {
+	dir := t.TempDir()
+	keys := dataset.Generate(dataset.Integer, 2000, 13)
+	store := &tidstore.Store{}
+	for _, k := range keys {
+		store.Add(k)
+	}
+	tr, _, err := OpenDurableShardedTree(dir, store.Key, 4, keys, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	for i, k := range keys[:1000] {
+		tr.Insert(k, TID(i))
+	}
+
+	// Session 1: full bootstrap, then the stream "dies" (drain-once tail).
+	rec := &recordingSink{}
+	sess, err := tr.NewReplicationSession(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	close(stop)
+	if err := sess.Run(stop); err != nil {
+		t.Fatal(err)
+	}
+	sess.Close()
+	fol := NewFollower(store.Key, nil)
+	if err := fol.Feed(bytes.NewReader(rec.buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if !fol.Bootstrapped() || fol.Bootstraps() != 1 {
+		t.Fatalf("after bootstrap: Bootstrapped=%v Bootstraps=%d", fol.Bootstrapped(), fol.Bootstraps())
+	}
+
+	// The leader moves on while the follower is disconnected.
+	for i, k := range keys[1000:] {
+		tr.Insert(k, TID(1000+i))
+	}
+	for _, k := range keys[:10] {
+		tr.Delete(k)
+	}
+
+	// Session 2: the follower offers its frontier; the logs retain it.
+	lsns := fol.AppliedLSNs()
+	if lsns == nil {
+		t.Fatal("AppliedLSNs returned nil after a complete bootstrap")
+	}
+	rec2 := &recordingSink{}
+	sess2, resumed, err := tr.NewReplicationSessionFrom(rec2, lsns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resumed {
+		t.Fatal("leader declined a resume its logs can serve")
+	}
+	stop2 := make(chan struct{})
+	close(stop2)
+	if err := sess2.Run(stop2); err != nil {
+		t.Fatal(err)
+	}
+	sess2.Close()
+	if err := fol.Feed(bytes.NewReader(rec2.buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if fol.Resumes() != 1 || fol.Bootstraps() != 1 {
+		t.Fatalf("Resumes=%d Bootstraps=%d, want 1, 1", fol.Resumes(), fol.Bootstraps())
+	}
+	if err := fol.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fol.Len(), tr.Len(); got != want {
+		t.Fatalf("Len = %d, leader has %d", got, want)
+	}
+	for i, k := range keys {
+		tid, found, lerr := fol.Lookup(k)
+		if lerr != nil {
+			t.Fatal(lerr)
+		}
+		if i < 10 {
+			if found {
+				t.Fatalf("deleted key %d visible after resume", i)
+			}
+		} else if !found || tid != TID(i) {
+			t.Fatalf("key %d = (%d, %v)", i, tid, found)
+		}
+	}
+
+	// An immediate third resume with nothing new to ship is also legal:
+	// the tail is simply empty.
+	rec3 := &recordingSink{}
+	sess3, resumed, err := tr.NewReplicationSessionFrom(rec3, fol.AppliedLSNs())
+	if err != nil || !resumed {
+		t.Fatalf("idle resume = (%v, %v)", resumed, err)
+	}
+	stop3 := make(chan struct{})
+	close(stop3)
+	if err := sess3.Run(stop3); err != nil {
+		t.Fatal(err)
+	}
+	sess3.Close()
+	before := fol.TailRecords()
+	if err := fol.Feed(bytes.NewReader(rec3.buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if fol.TailRecords() != before {
+		t.Fatalf("idle resume applied %d records", fol.TailRecords()-before)
+	}
+}
+
+// TestReplicationResumeDeclined pins the fallback: when the leader's logs
+// rotated past the follower's frontier (a Checkpoint between disconnect
+// and reconnect), or the vector does not match the shard layout, the
+// session degrades to a full bootstrap on the same connection — and the
+// follower's second bootstrap cleanly replaces its first.
+func TestReplicationResumeDeclined(t *testing.T) {
+	dir := t.TempDir()
+	keys := dataset.Generate(dataset.Integer, 2000, 17)
+	store := &tidstore.Store{}
+	for _, k := range keys {
+		store.Add(k)
+	}
+	tr, _, err := OpenDurableShardedTree(dir, store.Key, 4, keys, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	for i, k := range keys[:1000] {
+		tr.Insert(k, TID(i))
+	}
+
+	rec := &recordingSink{}
+	sess, err := tr.NewReplicationSession(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	close(stop)
+	if err := sess.Run(stop); err != nil {
+		t.Fatal(err)
+	}
+	sess.Close()
+	fol := NewFollower(store.Key, nil)
+	if err := fol.Feed(bytes.NewReader(rec.buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	frontier := fol.AppliedLSNs()
+
+	// Wrong shard count: full fallback, no error.
+	if _, resumed, err := func() (*ReplicationSession, bool, error) {
+		s, r, e := tr.NewReplicationSessionFrom(&recordingSink{}, frontier[:2])
+		if s != nil {
+			s.Close()
+		}
+		return s, r, e
+	}(); err != nil || resumed {
+		t.Fatalf("short vector: resumed=%v err=%v, want full fallback", resumed, err)
+	}
+
+	// The leader writes on and checkpoints: every log rotates its base to
+	// its last LSN, past the disconnected follower's frontier.
+	for i, k := range keys[1000:] {
+		tr.Insert(k, TID(1000+i))
+	}
+	if err := tr.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec2 := &recordingSink{}
+	sess2, resumed, err := tr.NewReplicationSessionFrom(rec2, frontier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed {
+		t.Fatal("leader resumed across a log rotation that dropped the frontier")
+	}
+	stop2 := make(chan struct{})
+	close(stop2)
+	if err := sess2.Run(stop2); err != nil {
+		t.Fatal(err)
+	}
+	sess2.Close()
+	if err := fol.Feed(bytes.NewReader(rec2.buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if fol.Bootstraps() != 2 || fol.Resumes() != 0 {
+		t.Fatalf("Bootstraps=%d Resumes=%d, want 2, 0", fol.Bootstraps(), fol.Resumes())
+	}
+	if err := fol.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fol.Len(), tr.Len(); got != want {
+		t.Fatalf("Len = %d, leader has %d", got, want)
+	}
+
+	// A frontier AHEAD of the leader (diverged history) must also decline.
+	ahead := fol.AppliedLSNs()
+	for i := range ahead {
+		ahead[i] += 100
+	}
+	sess3, resumed, err := tr.NewReplicationSessionFrom(&recordingSink{}, ahead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess3.Close()
+	if resumed {
+		t.Fatal("leader resumed a follower claiming LSNs it never assigned")
+	}
+}
+
+// TestFollowerResumeRequiresBootstrap: a RESUME stream aimed at a follower
+// with no complete bootstrap is a protocol error, never a crash or a
+// silent empty state.
+func TestFollowerResumeRequiresBootstrap(t *testing.T) {
+	var buf bytes.Buffer
+	if err := wire.WriteFrame(&buf, wire.RepResume, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.WriteFrame(&buf, wire.RepTailStart, nil); err != nil {
+		t.Fatal(err)
+	}
+	store := &tidstore.Store{}
+	fol := NewFollower(store.Key, nil)
+	if err := fol.Feed(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("un-bootstrapped follower accepted a RESUME stream")
+	}
+	if fol.AppliedLSNs() != nil {
+		t.Fatal("AppliedLSNs non-nil before any bootstrap")
 	}
 }
 
