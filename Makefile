@@ -1,5 +1,5 @@
 # Development entry points. `make all` is the full local CI pass; the
-# hosted pipeline (.github/workflows/ci.yml) runs the same six tiers as
+# hosted pipeline (.github/workflows/ci.yml) runs the same seven tiers as
 # separate gating jobs (TestCIWorkflowCoversAllTiers keeps the two in
 # sync).
 
@@ -9,9 +9,9 @@ GO ?= go
 # FUZZTIME=20s to fit its time box.
 FUZZTIME ?= 30s
 
-.PHONY: all ci check race chaos crash wal server-smoke net-chaos fuzz bench bench-json clean
+.PHONY: all ci check race chaos crash wal server-smoke net-chaos cold fuzz bench bench-json clean
 
-all: check race chaos crash server-smoke net-chaos
+all: check race chaos crash server-smoke net-chaos cold
 
 # `make ci` is the conventional alias the hosted pipeline and humans share.
 ci: all
@@ -79,6 +79,17 @@ net-chaos:
 	$(GO) test -race -run 'TestNetChaos' -count=1 -v ./internal/server/
 	$(GO) test -race -count=1 ./internal/chaos/ ./internal/hotclient/
 
+# Cold-tier e2e: the pager-backed larger-than-RAM path under -race — a
+# dataset several times the memory budget churned by concurrent writers,
+# readers and random demote/promote transitions, reconciled byte-for-byte
+# against an in-memory oracle; plus the durable recovery sequence (cold
+# shards surviving reopen, lazy promotion at replay, checkpoint
+# supersession) and the page-cache/pager unit surface.
+cold:
+	$(GO) test -race -run 'TestColdTier' -count=1 -v .
+	$(GO) test -race -count=1 ./internal/pager/
+	$(GO) test -run 'TestPageReader|TestSaveIndexedFile' -count=1 ./internal/persist/
+
 # Short exploratory fuzz burst over each public-API fuzz target.
 # This list must track the Fuzz* functions across all _test.go files — add
 # a line here whenever a target is added (TestMakefileFuzzListCoversAllTargets
@@ -92,6 +103,7 @@ fuzz:
 	$(GO) test -fuzz FuzzShardedSnapshotLoad -fuzztime $(FUZZTIME) .
 	$(GO) test -fuzz FuzzSnapshotRoundTrip -fuzztime $(FUZZTIME) .
 	$(GO) test -fuzz FuzzWALReplay -fuzztime $(FUZZTIME) .
+	$(GO) test -fuzz FuzzPageReader -fuzztime $(FUZZTIME) ./internal/persist/
 	$(GO) test -fuzz FuzzServerFrame -fuzztime $(FUZZTIME) ./internal/server/
 	$(GO) test -fuzz FuzzWireResume -fuzztime $(FUZZTIME) ./internal/wire/
 
@@ -110,7 +122,10 @@ bench:
 # with and without the WAL) — into BENCH_7.json; the sixth measures tail
 # latency under connection concurrency — the networked workload through a
 # client pool at increasing -conns, with p50/p99/p999 per record — into
-# BENCH_8.json.
+# BENCH_8.json; the seventh measures the cost of running larger than RAM —
+# the durable workload unbounded vs. memory budgets of roughly 1/2 and 1/4
+# of the resident footprint, with demotion/promotion counts and the page-
+# cache hit rate per record — into BENCH_9.json.
 bench-json:
 	$(GO) run ./cmd/hot-ycsb -n 200000 -ops 400000 -workloads C,load -indexes hot -batch 0,16 -json BENCH_2.json
 	$(GO) run ./cmd/hot-ycsb -n 200000 -ops 400000 -workloads load,A -datasets integer,url -indexes hot -shards 1,2,4,8 -json BENCH_4.json
@@ -118,6 +133,7 @@ bench-json:
 	$(GO) run ./cmd/hot-ycsb -n 200000 -ops 400000 -workloads load,A -datasets integer -indexes hot -shards 8 -async 0,1 -wal 0,1 -json BENCH_6.json
 	$(GO) run ./cmd/hot-ycsb -n 100000 -ops 200000 -workloads C -datasets integer -indexes hot -shards 4 -net 0,1 -wal 0,1 -json BENCH_7.json
 	$(GO) run ./cmd/hot-ycsb -n 100000 -ops 200000 -workloads C,A -datasets integer -indexes hot -shards 4 -net 1 -conns 4,64,256 -latency -json BENCH_8.json
+	$(GO) run ./cmd/hot-ycsb -n 200000 -ops 400000 -workloads C,A -datasets integer,url -indexes hot -shards 8 -wal 1 -mem-budget 0,-2,-4 -json BENCH_9.json
 
 clean:
 	$(GO) clean -testcache

@@ -36,6 +36,8 @@ func main() {
 	idleTimeout := flag.Duration("idle-timeout", 0, "close connections idle past this (0 = 5m default, negative disables; never applies to replication streams)")
 	writeTimeout := flag.Duration("write-timeout", 0, "per-write deadline; evicts wedged consumers (0 = 30s default, negative disables)")
 	dialTimeout := flag.Duration("dial-timeout", 0, "follower's per-attempt bound on dialing its leader (0 = 10s default)")
+	memBudget := flag.Int64("mem-budget", 0, "resident-trie byte budget; past it cold shards are served from disk through a page cache (0 = unbounded; requires -dir)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "cold tier's decoded page cache bound (0 = mem-budget/8, floored at 8 MiB)")
 	smoke := flag.Bool("smoke", false, "run a self-contained leader+client+follower smoke test and exit")
 	flag.Parse()
 
@@ -57,6 +59,8 @@ func main() {
 		IdleTimeout:      *idleTimeout,
 		WriteTimeout:     *writeTimeout,
 		DialTimeout:      *dialTimeout,
+		MemoryBudget:     *memBudget,
+		CacheBytes:       *cacheBytes,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hot-server:", err)
@@ -85,6 +89,10 @@ func main() {
 		fmt.Printf(" reconnects=%d resumes=%d full_resyncs=%d", st.Reconnects, st.Resumes, st.FullResyncs)
 	} else if st.Durable {
 		fmt.Printf(" resumes=%d full_resyncs=%d", st.Resumes, st.FullResyncs)
+	}
+	if st.MemBudget > 0 {
+		fmt.Printf(" cold_shards=%d demotions=%d promotions=%d cache_hits=%d cache_misses=%d cache_evictions=%d",
+			st.ColdShards, st.Demotions, st.Promotions, st.CacheHits, st.CacheMisses, st.CacheEvictions)
 	}
 	fmt.Println(")")
 	// Drain gracefully, but never hang a shutdown longer than 30s.

@@ -19,18 +19,50 @@ import (
 
 	hot "github.com/hotindex/hot"
 	"github.com/hotindex/hot/internal/dataset"
+	"github.com/hotindex/hot/internal/persist"
 	"github.com/hotindex/hot/internal/tidstore"
 )
 
 // record is one data set's result in the -json output.
 type record struct {
-	Dataset   string  `json:"dataset"`
-	N         int     `json:"n"`
-	Bytes     int64   `json:"bytes"`
-	SaveMs    float64 `json:"save_ms"`
-	LoadMs    float64 `json:"load_ms"`
-	RebuildMs float64 `json:"rebuild_ms"`
-	Speedup   float64 `json:"speedup"`
+	Dataset     string    `json:"dataset"`
+	N           int       `json:"n"`
+	Bytes       int64     `json:"bytes"`
+	BytesPerKey float64   `json:"bytes_per_key"`
+	SaveMs      float64   `json:"save_ms"`
+	LoadMs      float64   `json:"load_ms"`
+	RebuildMs   float64   `json:"rebuild_ms"`
+	Speedup     float64   `json:"speedup"`
+	Sections    []section `json:"sections"`
+}
+
+// section is the on-disk layout of one snapshot section, from
+// persist.ScanSections — how the bytes divide into CRC-framed blocks
+// and (for indexed files) the trailing HIDX block index.
+type section struct {
+	Kind        string  `json:"kind"`
+	Bytes       int64   `json:"bytes"`
+	Blocks      int     `json:"blocks"`
+	Entries     uint64  `json:"entries"`
+	BytesPerKey float64 `json:"bytes_per_key"`
+	IndexBytes  int64   `json:"index_bytes,omitempty"`
+}
+
+// kindName maps a section header's content kind to a stable label.
+func kindName(k uint16) string {
+	switch k {
+	case persist.KindTree:
+		return "tree"
+	case persist.KindMap:
+		return "map"
+	case persist.KindUint64Set:
+		return "uint64set"
+	case persist.KindShardManifest:
+		return "manifest"
+	case persist.KindWAL:
+		return "wal"
+	}
+	return fmt.Sprintf("kind%d", k)
 }
 
 func main() {
@@ -38,6 +70,7 @@ func main() {
 		n        = flag.Int("n", 1_000_000, "keys per data set")
 		datasets = flag.String("datasets", "url,email,yago,integer", "comma list of data sets")
 		dir      = flag.String("dir", "", "directory for snapshot files (default: a temp dir, removed on exit)")
+		indexed  = flag.Bool("indexed", false, "save with the sparse block index (the cold tier's on-disk lookup format)")
 		jsonPath = flag.String("json", "", "additionally write results as a JSON array to this file")
 		seed     = flag.Int64("seed", 2018, "data seed")
 	)
@@ -79,7 +112,11 @@ func main() {
 
 		path := filepath.Join(out, name+".hot")
 		start := time.Now()
-		die(orig.SaveFile(path))
+		if *indexed {
+			die(orig.SaveIndexedFile(path))
+		} else {
+			die(orig.SaveFile(path))
+		}
 		saveDur := time.Since(start)
 		fi, err := os.Stat(path)
 		die(err)
@@ -95,18 +132,41 @@ func main() {
 		check(orig, loaded, "loaded")
 		check(orig, rebuilt, "rebuilt")
 
+		infos, err := persist.ScanSections(path)
+		die(err)
+		var secs []section
+		for _, si := range infos {
+			s := section{
+				Kind:       kindName(si.Kind),
+				Bytes:      si.Bytes,
+				Blocks:     si.Blocks,
+				Entries:    si.Entries,
+				IndexBytes: si.IndexBytes,
+			}
+			if si.Entries > 0 {
+				s.BytesPerKey = float64(si.Bytes) / float64(si.Entries)
+			}
+			secs = append(secs, s)
+		}
+
 		rec := record{
-			Dataset:   name,
-			N:         len(keys),
-			Bytes:     fi.Size(),
-			SaveMs:    ms(saveDur),
-			LoadMs:    ms(loadDur),
-			RebuildMs: ms(rebuildDur),
-			Speedup:   rebuildDur.Seconds() / loadDur.Seconds(),
+			Dataset:     name,
+			N:           len(keys),
+			Bytes:       fi.Size(),
+			BytesPerKey: float64(fi.Size()) / float64(len(keys)),
+			SaveMs:      ms(saveDur),
+			LoadMs:      ms(loadDur),
+			RebuildMs:   ms(rebuildDur),
+			Speedup:     rebuildDur.Seconds() / loadDur.Seconds(),
+			Sections:    secs,
 		}
 		records = append(records, rec)
 		fmt.Printf("%-9s %10d %12d %9.1f %9.1f %11.1f %7.2fx\n",
 			rec.Dataset, rec.N, rec.Bytes, rec.SaveMs, rec.LoadMs, rec.RebuildMs, rec.Speedup)
+		for _, s := range secs {
+			fmt.Printf("          section %-9s %8d blocks, %5.1f B/key, index %d B\n",
+				s.Kind, s.Blocks, s.BytesPerKey, s.IndexBytes)
+		}
 	}
 
 	if *jsonPath != "" {

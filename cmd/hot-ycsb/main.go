@@ -42,9 +42,15 @@ type record struct {
 	Conns    int     `json:"conns"`
 	Mops     float64 `json:"mops"`
 	Misses   int     `json:"misses"`
-	P50us    float64 `json:"p50_us,omitempty"`
-	P99us    float64 `json:"p99_us,omitempty"`
-	P999us   float64 `json:"p999_us,omitempty"`
+	// Cold-tier fields, present only for -mem-budget configs.
+	MemBudget  int64   `json:"mem_budget,omitempty"`
+	ColdShards int     `json:"cold_shards,omitempty"`
+	Demotions  uint64  `json:"demotions,omitempty"`
+	Promotions uint64  `json:"promotions,omitempty"`
+	HitRate    float64 `json:"hit_rate,omitempty"`
+	P50us      float64 `json:"p50_us,omitempty"`
+	P99us      float64 `json:"p99_us,omitempty"`
+	P999us     float64 `json:"p999_us,omitempty"`
 }
 
 func main() {
@@ -63,6 +69,7 @@ func main() {
 		threads   = flag.Int("threads", 0, "client goroutines for sharded configs, load and transaction phases (0 = one per shard)")
 		async     = flag.String("async", "0", "comma list of 0/1: route writes through the sharded tree's submission-queue path (1 requires a sharded hot config)")
 		wal       = flag.String("wal", "0", "comma list of 0/1: open the sharded hot index in durable (write-ahead-logged) mode in a temp dir (1 requires a sharded hot config)")
+		memBudget = flag.String("mem-budget", "0", "comma list of resident-trie byte budgets for the pager-backed cold tier, enabled after the load phase (0 = unbounded; -k = 1/k of the measured resident footprint; requires a sharded -wal 1 in-process config)")
 		netMode   = flag.String("net", "0", "comma list of 0/1: drive the index over TCP through hot-server instead of in-process (1 requires a sharded hot config; single client connection)")
 		conns     = flag.String("conns", "0", "comma list of connection-pool sizes for -net 1 configs: N>0 drives the workload through a pool of N connections with one worker per connection (0 = one dedicated connection, single-threaded)")
 		addr      = flag.String("addr", "", "external hot-server address for -net 1 configs (empty: spawn a loopback server per configuration)")
@@ -122,6 +129,12 @@ func main() {
 		die(err)
 		connCounts = append(connCounts, v)
 	}
+	var budgets []int64
+	for _, m := range split(*memBudget) {
+		v, err := strconv.ParseInt(m, 10, 64)
+		die(err)
+		budgets = append(budgets, v)
+	}
 
 	wNames := split(*workloads)
 	dNames := split(*dists)
@@ -178,159 +191,196 @@ func main() {
 									if wm && sc == 0 {
 										continue // durable mode exists only for the sharded tree
 									}
-									for _, nm := range netModes {
-										if nm && sc == 0 {
-											continue // hot-server always serves the sharded tree
+									for _, mb := range budgets {
+										if mb != 0 && !wm {
+											continue // cold sections live in the durable directory
 										}
-										if nm && wm && *addr != "" {
-											continue // an external server's durability is its own config
+										if mb != 0 && w.Name == "load" {
+											continue // the tier is enabled after the load phase
 										}
-										for _, cn := range connCounts {
-											if cn > 0 && !nm {
-												continue // pools exist only for networked configs
+										for _, nm := range netModes {
+											if nm && sc == 0 {
+												continue // hot-server always serves the sharded tree
 											}
-											if nm && am && cn > 0 {
-												continue // a pool borrows per op: no pipeline for the async contract
+											if nm && mb != 0 {
+												continue // the cold-tier sweep measures the in-process index
 											}
-											var inst bench.Instance
-											var durable *hot.ShardedTree
-											var walDir string
-											var srv *server.Server
-											var remote *ycsb.RemoteIndex
-											var pooled *ycsb.PooledRemoteIndex
-											if wm {
-												var err error
-												walDir, err = os.MkdirTemp("", "hot-ycsb-wal-*")
-												die(err)
+											if nm && wm && *addr != "" {
+												continue // an external server's durability is its own config
 											}
-											if nm {
-												// Networked configuration: the index lives behind
-												// hot-server and the runner drives it through the
-												// wire. With -conns 0 a single RemoteIndex owns one
-												// connection, so the row runs single-threaded; with
-												// -conns N a shared pool serves N concurrent workers.
-												target := *addr
-												if target == "" {
-													var err error
-													srv, err = server.New(server.Options{Shards: sc, Sample: data.Keys[:*n], Dir: walDir})
-													die(err)
-													target, err = srv.Listen("127.0.0.1:0")
-													die(err)
+											for _, cn := range connCounts {
+												if cn > 0 && !nm {
+													continue // pools exist only for networked configs
 												}
-												if cn > 0 {
-													pooled = ycsb.DialPool(target, cn)
-													inst = bench.NewInstance(fmt.Sprintf("hot-s%d", sc), pooled, func() int { return 0 })
-												} else {
-													var err error
-													remote, err = ycsb.Dial(target)
-													die(err)
-													inst = bench.NewInstance(fmt.Sprintf("hot-s%d", sc), remote, func() int { return 0 })
+												if nm && am && cn > 0 {
+													continue // a pool borrows per op: no pipeline for the async contract
 												}
-											} else if sc > 0 {
-												var t *hot.ShardedTree
+												var inst bench.Instance
+												var durable *hot.ShardedTree
+												var walDir string
+												var srv *server.Server
+												var remote *ycsb.RemoteIndex
+												var pooled *ycsb.PooledRemoteIndex
 												if wm {
 													var err error
-													t, _, err = hot.OpenDurableShardedTree(walDir, data.Store.Key, sc, data.Keys[:*n], hot.DurableOptions{})
+													walDir, err = os.MkdirTemp("", "hot-ycsb-wal-*")
 													die(err)
-													durable = t
+												}
+												if nm {
+													// Networked configuration: the index lives behind
+													// hot-server and the runner drives it through the
+													// wire. With -conns 0 a single RemoteIndex owns one
+													// connection, so the row runs single-threaded; with
+													// -conns N a shared pool serves N concurrent workers.
+													target := *addr
+													if target == "" {
+														var err error
+														srv, err = server.New(server.Options{Shards: sc, Sample: data.Keys[:*n], Dir: walDir})
+														die(err)
+														target, err = srv.Listen("127.0.0.1:0")
+														die(err)
+													}
+													if cn > 0 {
+														pooled = ycsb.DialPool(target, cn)
+														inst = bench.NewInstance(fmt.Sprintf("hot-s%d", sc), pooled, func() int { return 0 })
+													} else {
+														var err error
+														remote, err = ycsb.Dial(target)
+														die(err)
+														inst = bench.NewInstance(fmt.Sprintf("hot-s%d", sc), remote, func() int { return 0 })
+													}
+												} else if sc > 0 {
+													var t *hot.ShardedTree
+													if wm {
+														var err error
+														t, _, err = hot.OpenDurableShardedTree(walDir, data.Store.Key, sc, data.Keys[:*n], hot.DurableOptions{})
+														die(err)
+														durable = t
+													} else {
+														t = hot.NewShardedTree(data.Store.Key, sc, data.Keys[:*n])
+													}
+													inst = bench.NewInstance(fmt.Sprintf("hot-s%d", sc), t,
+														func() int { return t.Memory().PaperBytes })
 												} else {
-													t = hot.NewShardedTree(data.Store.Key, sc, data.Keys[:*n])
+													var err error
+													inst, err = bench.New(iname, data.Store)
+													die(err)
 												}
-												inst = bench.NewInstance(fmt.Sprintf("hot-s%d", sc), t,
-													func() int { return t.Memory().PaperBytes })
-											} else {
-												var err error
-												inst, err = bench.New(iname, data.Store)
-												die(err)
-											}
-											r := data.Runner(inst, *n, *seed)
-											r.CaptureLatency = *latency
-											r.BatchLookups = b
-											r.Async = am
-											loadThreads := 1
-											if sc > 0 && !nm {
-												loadThreads = *threads
-												if loadThreads <= 0 {
-													loadThreads = sc
+												r := data.Runner(inst, *n, *seed)
+												r.CaptureLatency = *latency
+												r.BatchLookups = b
+												r.Async = am
+												loadThreads := 1
+												if sc > 0 && !nm {
+													loadThreads = *threads
+													if loadThreads <= 0 {
+														loadThreads = sc
+													}
+												} else if pooled != nil {
+													// One worker per pooled connection.
+													loadThreads = cn
 												}
-											} else if pooled != nil {
-												// One worker per pooled connection.
-												loadThreads = cn
-											}
-											var res ycsb.Result
-											if w.Name == "load" {
-												res = r.LoadParallel(loadThreads)
-											} else {
-												r.LoadParallel(loadThreads)
-												// loadThreads > 1 only for sharded
-												// configs — the only index safe for
-												// concurrent transaction clients.
-												res = r.RunParallel(w, dist, *ops, loadThreads)
-											}
-											name := inst.Name
-											if am {
-												name += "+q"
-											}
-											if wm {
-												name += "+wal"
-											}
-											if nm {
-												name += "+net"
+												var res ycsb.Result
+												var coldBudget int64
+												if w.Name == "load" {
+													res = r.LoadParallel(loadThreads)
+												} else {
+													r.LoadParallel(loadThreads)
+													if mb != 0 && durable != nil {
+														// Arm the cold tier against the loaded
+														// footprint: -k budgets resolve to 1/k of
+														// the measured resident bytes, and
+														// EnableColdTier demotes down to budget
+														// before the transaction phase starts.
+														coldBudget = mb
+														if coldBudget < 0 {
+															coldBudget = int64(durable.Memory().GoBytes) / -mb
+														}
+														die(durable.EnableColdTier(hot.ColdTierConfig{MemoryBudget: coldBudget}))
+													}
+													// loadThreads > 1 only for sharded
+													// configs — the only index safe for
+													// concurrent transaction clients.
+													res = r.RunParallel(w, dist, *ops, loadThreads)
+												}
+												name := inst.Name
+												if am {
+													name += "+q"
+												}
+												if wm {
+													name += "+wal"
+												}
+												if mb != 0 {
+													name += "+cold"
+												}
+												if nm {
+													name += "+net"
+													if pooled != nil {
+														name += fmt.Sprintf("+c%d", cn)
+													}
+												}
+												fmt.Printf("%-9s %-26s %-8s %-10s %6d %10.3f %9d",
+													ds, w.Name+" ("+w.Description+")", dist, name, b, res.Mops(), res.NotFound)
+												if res.Latency != nil {
+													fmt.Printf("   %s", res.Latency)
+												}
+												fmt.Println()
+												if *opstats {
+													if st, ok := inst.Idx.(interface{ OpStats() hot.OpStats }); ok {
+														fmt.Printf("%-9s   opstats: %s\n", "", st.OpStats())
+													}
+												}
+												asyncRec, walRec, netRec := 0, 0, 0
+												if am {
+													asyncRec = 1
+												}
+												if wm {
+													walRec = 1
+												}
+												if nm {
+													netRec = 1
+												}
+												connsRec := 0
 												if pooled != nil {
-													name += fmt.Sprintf("+c%d", cn)
+													connsRec = cn
 												}
-											}
-											fmt.Printf("%-9s %-26s %-8s %-10s %6d %10.3f %9d",
-												ds, w.Name+" ("+w.Description+")", dist, name, b, res.Mops(), res.NotFound)
-											if res.Latency != nil {
-												fmt.Printf("   %s", res.Latency)
-											}
-											fmt.Println()
-											if *opstats {
-												if st, ok := inst.Idx.(interface{ OpStats() hot.OpStats }); ok {
-													fmt.Printf("%-9s   opstats: %s\n", "", st.OpStats())
+												rec := record{
+													Dataset: ds, Workload: w.Name, Dist: dist.String(), Index: name,
+													Batch: b, Shards: sc, Threads: loadThreads, Async: asyncRec, Wal: walRec, Net: netRec,
+													Conns: connsRec, Mops: res.Mops(), Misses: res.NotFound,
 												}
-											}
-											asyncRec, walRec, netRec := 0, 0, 0
-											if am {
-												asyncRec = 1
-											}
-											if wm {
-												walRec = 1
-											}
-											if nm {
-												netRec = 1
-											}
-											connsRec := 0
-											if pooled != nil {
-												connsRec = cn
-											}
-											rec := record{
-												Dataset: ds, Workload: w.Name, Dist: dist.String(), Index: name,
-												Batch: b, Shards: sc, Threads: loadThreads, Async: asyncRec, Wal: walRec, Net: netRec,
-												Conns: connsRec, Mops: res.Mops(), Misses: res.NotFound,
-											}
-											if res.Latency != nil {
-												us := func(q float64) float64 {
-													return float64(res.Latency.Quantile(q)) / 1e3
+												if res.Latency != nil {
+													us := func(q float64) float64 {
+														return float64(res.Latency.Quantile(q)) / 1e3
+													}
+													rec.P50us, rec.P99us, rec.P999us = us(0.50), us(0.99), us(0.999)
 												}
-												rec.P50us, rec.P99us, rec.P999us = us(0.50), us(0.99), us(0.999)
-											}
-											records = append(records, rec)
-											if pooled != nil {
-												die(pooled.Close())
-											}
-											if remote != nil {
-												die(remote.Close())
-											}
-											if srv != nil {
-												die(srv.Close())
-											}
-											if durable != nil {
-												die(durable.Close())
-											}
-											if walDir != "" {
-												die(os.RemoveAll(walDir))
+												if mb != 0 && durable != nil {
+													cs := durable.ColdStats()
+													rec.MemBudget = coldBudget
+													rec.ColdShards = cs.ColdShards
+													rec.Demotions = cs.Demotions
+													rec.Promotions = cs.Promotions
+													rec.HitRate = cs.HitRate()
+													fmt.Printf("%-9s   cold: shards=%d/%d demotions=%d promotions=%d hit_rate=%.3f\n",
+														"", cs.ColdShards, sc, cs.Demotions, cs.Promotions, cs.HitRate())
+												}
+												records = append(records, rec)
+												if pooled != nil {
+													die(pooled.Close())
+												}
+												if remote != nil {
+													die(remote.Close())
+												}
+												if srv != nil {
+													die(srv.Close())
+												}
+												if durable != nil {
+													die(durable.Close())
+												}
+												if walDir != "" {
+													die(os.RemoveAll(walDir))
+												}
 											}
 										}
 									}

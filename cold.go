@@ -1,0 +1,670 @@
+package hot
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"github.com/hotindex/hot/internal/core"
+	"github.com/hotindex/hot/internal/pager"
+	"github.com/hotindex/hot/internal/persist"
+	"github.com/hotindex/hot/internal/shard"
+)
+
+// Larger-than-RAM operation for the sharded index types: a shard can be
+// DEMOTED — its trie snapshotted to a per-shard indexed section on disk
+// and dropped from memory — and served cold from that section through a
+// fixed-budget LRU page cache (internal/pager). Reads against a cold
+// shard binary-search the section's sparse block index and fault exactly
+// the blocks they touch; writes transparently PROMOTE the shard back to
+// an in-memory trie first. A MemoryBudget drives automatic demotion of
+// the least-recently-written shards, so the resident working set tracks
+// the write skew while the full key space stays serviceable.
+//
+// State machine. Each shard slot holds two atomic pointers, (tree, cold),
+// of which exactly one is non-nil in steady state. Transitions install
+// the new backing before clearing the old (readers may transiently see
+// both and prefer the tree, whose content equals the cold image at that
+// instant), so readers stay wait-free: no read path ever takes a lock.
+//
+//	hot  --Demote-->  cold      snapshot section + page cache
+//	cold --Promote--> hot       rebuild trie from the section
+//
+// Write guard. Every write path — synchronous, durable and the async
+// submission queues — holds the shard's wmu in shared mode across its
+// ring deposits, writer-token acquisitions and trie applies, after
+// verifying the shard is hot. Demotion and promotion take wmu
+// exclusively, so a demote observes a quiescent shard whose submission
+// ring it can drain inline (the writer token is necessarily free under
+// the exclusive lock) and a promote never races an apply.
+//
+// Demotion cut (durable mode). A demote runs as a per-shard
+// mini-checkpoint: under d.ckpt (serializing against Checkpoint, Close
+// and replication sessions) and the exclusive write guard, the drained
+// trie is written to cold-NNN.hot and the shard's log is rotated to its
+// last LSN. The cut is exact — every logged operation of the shard is in
+// the section, nothing after the section start is logged — so a cold
+// shard needs no WAL overlay at all: its section IS its durable state.
+// Recovery prefers a valid cold-NNN.hot over the shard's snap.hot
+// section (the cold file is always at least as new, and replaying any
+// overlapping log records is a convergent verbatim replay).
+//
+// Promotion deliberately takes neither d.ckpt nor any log lock: writers
+// are blocked on the commit locks for the whole of a Checkpoint, so a
+// promotion racing a checkpoint rebuilds exactly the content the cold
+// section holds — the checkpoint streams the same entries either way.
+// The promoted shard's subsequent writes land in its (already rotated)
+// log; the cold file stays on disk as the recovery base until the next
+// Checkpoint supersedes and removes it.
+//
+// Cold read I/O failures panic, matching the durable log convention: a
+// store whose backing file rots under it cannot honor its contract.
+
+// ColdTierConfig configures EnableColdTier.
+type ColdTierConfig struct {
+	// Dir is where the per-shard cold section files (cold-NNN.hot) live.
+	// Empty selects the durable directory; a non-durable tree requires it.
+	Dir string
+	// MemoryBudget is the resident-trie byte budget: once the estimated
+	// footprint of the hot shards exceeds it, the least-recently-written
+	// hot shards are demoted until it fits (at least one shard always
+	// stays hot). Zero disables automatic demotion — Demote/Promote
+	// remain available explicitly.
+	MemoryBudget int64
+	// CacheBytes bounds the decoded pages the cold read path keeps
+	// resident. Zero selects MemoryBudget/8, floored at 8 MiB.
+	CacheBytes int64
+}
+
+// ColdTierStats is a point-in-time snapshot of the cold tier's state and
+// counters, all zero when no cold tier is enabled.
+type ColdTierStats struct {
+	Enabled        bool
+	MemoryBudget   int64  // configured resident budget (0: manual only)
+	ResidentShards int    // shards served from in-memory tries
+	ColdShards     int    // shards served from their cold section
+	ColdBytes      int64  // on-disk bytes of the cold sections
+	CacheHits      uint64 // cold reads served from the page cache
+	CacheMisses    uint64 // cold reads that faulted a block from disk
+	CacheEvictions uint64 // pages evicted to keep the cache in budget
+	CacheBytes     int64  // decoded page bytes resident right now
+	CachePages     int    // pages resident right now
+	Demotions      uint64 // hot→cold transitions
+	Promotions     uint64 // cold→hot transitions
+}
+
+// HitRate returns the page-cache hit fraction, 0 when no cold reads ran.
+func (s ColdTierStats) HitRate() float64 {
+	if s.CacheHits+s.CacheMisses == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(s.CacheHits+s.CacheMisses)
+}
+
+// errNoColdTier is returned by cold-tier-only methods on a tree without
+// EnableColdTier.
+var errNoColdTier = errors.New("hot: cold tier not enabled (see EnableColdTier)")
+
+// coldWard is one shard's write guard and recency/size bookkeeping.
+type coldWard struct {
+	// wmu is held shared by every write path of the shard and
+	// exclusively by demotion/promotion; see the file comment.
+	wmu sync.RWMutex
+
+	access  atomic.Uint64 // coarse clock value of the last write
+	goBytes atomic.Int64  // cached GoBytes of the resident trie (0: cold)
+	lenAt   atomic.Int64  // trie Len when goBytes was measured
+	gen     atomic.Uint64 // cold generation; bumped at every transition
+}
+
+// coldTier is the per-tree cold state: the transition lock, the page
+// cache, the per-shard guards and the counters of shards gone by.
+type coldTier struct {
+	t      *ShardedTree
+	dir    string
+	kind   uint16 // section kind of the cold files
+	budget int64  // resident-trie byte budget (0: manual only)
+	cache  *pager.Cache
+
+	mu sync.Mutex // serializes demote/promote transitions
+	ws []coldWard
+
+	clock      atomic.Uint64 // coarse recency clock, advanced every 1<<10 writes
+	writes     atomic.Uint64
+	demotions  atomic.Uint64
+	promotions atomic.Uint64
+
+	// Demoted tries' final counters, folded into the aggregates so
+	// OpStats and ReclaimStats never go backwards across a demotion.
+	statsMu      sync.Mutex
+	retired      OpStats
+	retiredFreed uint64
+}
+
+// coldShard serves one demoted shard from its section file. Immutable
+// once installed; a promotion installs a fresh trie and abandons it (the
+// file handle is released by the runtime once the last cursor drops it —
+// never closed eagerly, cold cursors may still be mid-scan).
+type coldShard struct {
+	ct    *coldTier
+	pr    *persist.PageReader
+	shard int
+	gen   uint64
+}
+
+func coldFileName(s int) string { return fmt.Sprintf("cold-%03d.hot", s) }
+
+func (ct *coldTier) coldPath(s int) string { return filepath.Join(ct.dir, coldFileName(s)) }
+
+// EnableColdTier arms the pager-backed cold tier: shards may be demoted
+// to per-shard section files under cfg.Dir and served through the LRU
+// page cache. It must be called before any concurrent writes (typically
+// right after construction or a durable open; DurableOptions.ColdTier
+// does the latter for you) and at most once.
+func (t *ShardedTree) EnableColdTier(cfg ColdTierConfig) error {
+	return t.enableCold(cfg, persist.KindTree)
+}
+
+func (t *ShardedTree) enableCold(cfg ColdTierConfig, kind uint16) error {
+	if cfg.Dir == "" {
+		if t.dur == nil {
+			return errors.New("hot: EnableColdTier on a non-durable tree requires ColdTierConfig.Dir")
+		}
+		cfg.Dir = t.dur.dir
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return err
+	}
+	if t.dur != nil {
+		kind = t.dur.kind
+	}
+	cacheBytes := cfg.CacheBytes
+	if cacheBytes <= 0 {
+		cacheBytes = cfg.MemoryBudget / 8
+		if cacheBytes < 8<<20 {
+			cacheBytes = 8 << 20
+		}
+	}
+	ct := &coldTier{
+		t:      t,
+		dir:    cfg.Dir,
+		kind:   kind,
+		budget: cfg.MemoryBudget,
+		cache:  pager.New(cacheBytes),
+		ws:     make([]coldWard, len(t.shards)),
+	}
+	if !t.cold.CompareAndSwap(nil, ct) {
+		return errors.New("hot: cold tier already enabled")
+	}
+	// Enforce the budget now rather than 1024 writes from now, so a tree
+	// loaded above budget and then served read-only still runs cold. On
+	// the recovery path this is a no-op: the tier is armed before any
+	// entries load, so the resident estimate is zero.
+	if ct.budget > 0 {
+		ct.maintain()
+	}
+	return nil
+}
+
+// Demote snapshots shard s to its cold section file and drops its trie
+// from memory; subsequent reads are served through the page cache and
+// the next write promotes it back. Demoting a cold shard is a no-op. In
+// durable mode the demotion is a per-shard mini-checkpoint (see the file
+// comment); errors leave the shard hot and untouched, except a log
+// rotation failure, which poisons the logs exactly like Checkpoint's.
+func (t *ShardedTree) Demote(s int) error {
+	ct := t.cold.Load()
+	if ct == nil {
+		return errNoColdTier
+	}
+	if s < 0 || s >= len(t.shards) {
+		return fmt.Errorf("hot: shard %d out of range [0,%d)", s, len(t.shards))
+	}
+	if d := t.dur; d != nil {
+		d.ckpt.Lock()
+		defer d.ckpt.Unlock()
+		if d.closed.Load() {
+			return ErrClosed
+		}
+	}
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	return ct.demoteLocked(s)
+}
+
+// Promote rebuilds shard s's in-memory trie from its cold section and
+// retires the section from serving (the file stays on disk as the
+// durable recovery base until the next Checkpoint). Promoting a hot
+// shard is a no-op. Writes to a cold shard call this implicitly.
+func (t *ShardedTree) Promote(s int) error {
+	ct := t.cold.Load()
+	if ct == nil {
+		return errNoColdTier
+	}
+	if s < 0 || s >= len(t.shards) {
+		return fmt.Errorf("hot: shard %d out of range [0,%d)", s, len(t.shards))
+	}
+	return ct.promote(s)
+}
+
+// IsCold reports whether shard s is currently served from its cold
+// section.
+func (t *ShardedTree) IsCold(s int) bool {
+	return t.shards[s].cold.Load() != nil
+}
+
+// ColdStats returns the cold tier's current state and counters; the zero
+// value when no cold tier is enabled.
+func (t *ShardedTree) ColdStats() ColdTierStats {
+	ct := t.cold.Load()
+	if ct == nil {
+		return ColdTierStats{}
+	}
+	cs := ct.cache.Stats()
+	st := ColdTierStats{
+		Enabled:        true,
+		MemoryBudget:   ct.budget,
+		CacheHits:      cs.Hits,
+		CacheMisses:    cs.Misses,
+		CacheEvictions: cs.Evictions,
+		CacheBytes:     cs.Bytes,
+		CachePages:     cs.Pages,
+		Demotions:      ct.demotions.Load(),
+		Promotions:     ct.promotions.Load(),
+	}
+	for s := range t.shards {
+		tr, c := t.view(s)
+		if tr != nil {
+			st.ResidentShards++
+		} else {
+			st.ColdShards++
+			st.ColdBytes += c.pr.SizeBytes()
+		}
+	}
+	return st
+}
+
+// ---- transitions ----
+
+// demoteLocked performs the hot→cold transition of shard s. Callers hold
+// ct.mu, and d.ckpt in durable mode.
+func (ct *coldTier) demoteLocked(s int) error {
+	t := ct.t
+	sl := &t.shards[s]
+	tr := sl.tree.Load()
+	if tr == nil {
+		return nil // already cold
+	}
+	w := &ct.ws[s]
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	// Under the exclusive guard no writer is mid-apply and none can
+	// deposit; drain what the ring already holds so the section below is
+	// the shard's complete state.
+	t.drainForDemote(s, tr)
+	path := ct.coldPath(s)
+	if err := persist.SaveIndexedFile(path, ct.kind, func(sw *persist.Writer) error {
+		return writeWalk(sw, tr.SnapshotWalk)
+	}); err != nil {
+		return fmt.Errorf("hot: demoting shard %d: %w", s, err)
+	}
+	pr, err := persist.OpenPageReaderFile(path, ct.kind)
+	if err != nil {
+		return fmt.Errorf("hot: demoting shard %d: reopening %s: %w", s, coldFileName(s), err)
+	}
+	gen := w.gen.Add(1)
+	sl.cold.Store(&coldShard{ct: ct, pr: pr, shard: s, gen: gen})
+	sl.tree.Store(nil)
+	ops := tr.OpStats()
+	freed, _ := tr.ReclaimStats()
+	ct.statsMu.Lock()
+	ct.retired = ct.retired.Add(ops)
+	ct.retiredFreed += freed
+	ct.statsMu.Unlock()
+	w.goBytes.Store(0)
+	w.lenAt.Store(0)
+	ct.demotions.Add(1)
+	if d := t.dur; d != nil {
+		// The section covers every logged operation of the shard: rotate
+		// the log to the cut so recovery replays nothing for it. A
+		// rotation failure poisons all logs, exactly like Checkpoint's —
+		// the store can no longer bound its replay.
+		if err := d.wals[s].Rotate(d.wals[s].LastLSN()); err != nil {
+			perr := fmt.Errorf("hot: rotating shard %d log after demotion: %w", s, err)
+			for _, wl := range d.wals {
+				wl.Poison(perr)
+			}
+			return perr
+		}
+	}
+	return nil
+}
+
+// promote performs the cold→hot transition of shard s (no-op when hot).
+func (ct *coldTier) promote(s int) error {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	return ct.promoteLocked(s)
+}
+
+func (ct *coldTier) promoteLocked(s int) error {
+	sl := &ct.t.shards[s]
+	cs := sl.cold.Load()
+	if cs == nil {
+		return nil // already hot
+	}
+	w := &ct.ws[s]
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	tr, err := ct.buildTree(cs)
+	if err != nil {
+		return fmt.Errorf("hot: promoting shard %d: %w", s, err)
+	}
+	sl.tree.Store(tr)
+	sl.cold.Store(nil)
+	// Bump the generation and drop the image's cached pages: a future
+	// demotion writes a fresh section whose block layout need not match.
+	w.gen.Add(1)
+	ct.cache.InvalidateShard(s)
+	m := tr.Memory()
+	w.goBytes.Store(int64(m.GoBytes))
+	n := int64(tr.Len())
+	if n < 1 {
+		n = 1
+	}
+	w.lenAt.Store(n)
+	w.access.Store(ct.clock.Load())
+	ct.promotions.Add(1)
+	return nil
+}
+
+// buildTree rebuilds a trie from a cold section, reading its blocks
+// sequentially (bypassing the page cache: every block is touched exactly
+// once and the shard is about to stop being cold).
+func (ct *coldTier) buildTree(cs *coldShard) (*core.ConcurrentTrie, error) {
+	tr := core.NewConcurrent(core.Loader(ct.t.loader))
+	for i := 0; i < cs.pr.Blocks(); i++ {
+		p, err := cs.pr.ReadBlock(i)
+		if err != nil {
+			return nil, err
+		}
+		b := tr.BeginBatch()
+		for j, k := range p.Keys {
+			b.Insert(k, p.TIDs[j])
+		}
+		b.End()
+	}
+	return tr, nil
+}
+
+// ---- write guard ----
+
+// lockShardWrite pins shard s hot for one write: the shared guard is
+// acquired and the shard promoted if needed, retrying until both hold at
+// once. It returns the resident trie with the guard held; pair with
+// unlockShardWrite. Without a cold tier it degenerates to a plain load.
+func (t *ShardedTree) lockShardWrite(s int) *core.ConcurrentTrie {
+	ct := t.cold.Load()
+	if ct == nil {
+		return t.shards[s].tree.Load()
+	}
+	for {
+		ct.ws[s].wmu.RLock()
+		if tr := t.shards[s].tree.Load(); tr != nil {
+			return tr
+		}
+		ct.ws[s].wmu.RUnlock()
+		if err := ct.promote(s); err != nil {
+			panic(fmt.Sprintf("hot: promoting shard %d for write: %v", s, err))
+		}
+	}
+}
+
+// unlockShardWrite releases the shared guard and runs the recency/budget
+// bookkeeping — after the release, so a demotion it triggers never
+// deadlocks against our own read lock.
+func (t *ShardedTree) unlockShardWrite(s int) {
+	ct := t.cold.Load()
+	if ct == nil {
+		return
+	}
+	ct.ws[s].wmu.RUnlock()
+	ct.noteWrite(s)
+}
+
+// noteWrite stamps shard s with the current recency clock, advances the
+// clock every 1024 writes tree-wide, and opportunistically enforces the
+// memory budget.
+func (ct *coldTier) noteWrite(s int) {
+	c := ct.clock.Load()
+	w := &ct.ws[s]
+	if w.access.Load() != c {
+		w.access.Store(c)
+	}
+	if ct.writes.Add(1)&1023 == 0 {
+		ct.clock.Add(1)
+		if ct.budget > 0 {
+			ct.maintain()
+		}
+	}
+}
+
+// shardBytes estimates the resident footprint of shard s's trie: the
+// cached GoBytes measurement scaled by the Len ratio, remeasured with a
+// full walk only when Len has drifted beyond ±25%.
+func (ct *coldTier) shardBytes(s int, tr *core.ConcurrentTrie) int64 {
+	w := &ct.ws[s]
+	n := int64(tr.Len())
+	at := w.lenAt.Load()
+	gb := w.goBytes.Load()
+	if gb == 0 || at == 0 || n > at+at/4 || n < at-at/4 {
+		gb = int64(tr.Memory().GoBytes)
+		if n < 1 {
+			n = 1
+		}
+		w.goBytes.Store(gb)
+		w.lenAt.Store(n)
+		return gb
+	}
+	return gb * n / at
+}
+
+// maintain demotes least-recently-written hot shards until the estimated
+// resident footprint fits the budget, keeping at least one shard hot. It
+// only ever TryLocks — a maintenance pass that loses a race simply lets
+// the next one retry — so the write path never blocks on it.
+func (ct *coldTier) maintain() {
+	t := ct.t
+	if d := t.dur; d != nil {
+		if !d.ckpt.TryLock() {
+			return
+		}
+		defer d.ckpt.Unlock()
+		if d.closed.Load() {
+			return
+		}
+	}
+	if !ct.mu.TryLock() {
+		return
+	}
+	defer ct.mu.Unlock()
+	for {
+		var resident int64
+		hot, victim := 0, -1
+		var victimAccess uint64
+		for s := range t.shards {
+			tr := t.shards[s].tree.Load()
+			if tr == nil {
+				continue
+			}
+			hot++
+			resident += ct.shardBytes(s, tr)
+			if a := ct.ws[s].access.Load(); victim < 0 || a < victimAccess {
+				victim, victimAccess = s, a
+			}
+		}
+		if resident <= ct.budget || hot <= 1 || victim < 0 {
+			return
+		}
+		if err := ct.demoteLocked(victim); err != nil {
+			return
+		}
+	}
+}
+
+// ---- cold reads ----
+
+// page fetches block b of the cold image through the page cache.
+func (cs *coldShard) page(b int) (*persist.Page, error) {
+	return cs.ct.cache.Get(pager.Key{Shard: cs.shard, Gen: cs.gen, Block: b}, func() (*persist.Page, error) {
+		return cs.pr.ReadBlock(b)
+	})
+}
+
+// mustPage is page for the read paths, which have no error channel: cold
+// I/O failure panics (see the file comment).
+func (cs *coldShard) mustPage(b int) *persist.Page {
+	p, err := cs.page(b)
+	if err != nil {
+		panic(fmt.Sprintf("hot: shard %d cold read failed: %v", cs.shard, err))
+	}
+	return p
+}
+
+// lookup serves a point read: block via the sparse index, entry via
+// binary search in the decoded page.
+func (cs *coldShard) lookup(key []byte) (TID, bool) {
+	b := cs.pr.FindBlock(key)
+	if b < 0 {
+		return 0, false
+	}
+	p := cs.mustPage(b)
+	i, ok := p.Find(key)
+	if !ok {
+		return 0, false
+	}
+	return p.TIDs[i], true
+}
+
+// len returns the entry count recorded in the section trailer.
+func (cs *coldShard) len() int { return int(cs.pr.Count()) }
+
+// verify checks that every cold entry lies in the shard's boundary range.
+// Block CRCs, entry structure and ascending order are verified by the
+// reader on every decode.
+func (cs *coldShard) verify(bounds [][]byte) error {
+	for i := 0; i < cs.pr.Blocks(); i++ {
+		p, err := cs.pr.ReadBlock(i)
+		if err != nil {
+			return fmt.Errorf("hot: shard %d cold section: %w", cs.shard, err)
+		}
+		for _, k := range p.Keys {
+			if !shard.Check(bounds, cs.shard, k) {
+				return fmt.Errorf("hot: shard %d: cold key %q outside shard range", cs.shard, k)
+			}
+		}
+	}
+	return nil
+}
+
+// writeTo streams the cold section's entries into a snapshot section
+// writer, sequentially and bypassing the page cache (a checkpoint
+// touches every block exactly once).
+func (cs *coldShard) writeTo(sw *persist.Writer) error {
+	for i := 0; i < cs.pr.Blocks(); i++ {
+		p, err := cs.pr.ReadBlock(i)
+		if err != nil {
+			return err
+		}
+		for j, k := range p.Keys {
+			if err := sw.WriteEntry(k, p.TIDs[j]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// coldCursor iterates a cold image in ascending key order, pulling
+// blocks through the page cache. It captures the coldShard it was seeked
+// on, so a concurrent promotion does not disturb it: the section file
+// stays open and immutable, the cursor simply observes the shard as of
+// its seek (the same wait-free semantics as a trie cursor observing an
+// old root).
+type coldCursor struct {
+	cs   *coldShard
+	blk  int
+	idx  int
+	page *persist.Page
+}
+
+func (c *coldCursor) seek(cs *coldShard, from []byte) {
+	c.cs = cs
+	c.page = nil
+	if cs.pr.Blocks() == 0 {
+		return
+	}
+	if from == nil {
+		c.blk = 0
+		c.loadBlock()
+		return
+	}
+	c.blk = cs.pr.FindBlock(from)
+	c.loadBlock()
+	if c.page == nil {
+		return
+	}
+	c.idx, _ = c.page.Find(from)
+	if c.idx >= len(c.page.Keys) {
+		// from sorts after the block's last entry: the next block starts
+		// at the first key > from (its FirstKey exceeds from).
+		c.blk++
+		c.loadBlock()
+	}
+}
+
+func (c *coldCursor) loadBlock() {
+	c.idx = 0
+	if c.blk >= c.cs.pr.Blocks() {
+		c.page = nil
+		return
+	}
+	c.page = c.cs.mustPage(c.blk)
+}
+
+func (c *coldCursor) valid() bool { return c.page != nil }
+func (c *coldCursor) key() []byte { return c.page.Keys[c.idx] }
+func (c *coldCursor) tid() uint64 { return c.page.TIDs[c.idx] }
+func (c *coldCursor) next() {
+	c.idx++
+	if c.idx >= len(c.page.Keys) {
+		c.blk++
+		c.loadBlock()
+	}
+}
+
+// ---- ShardedUint64Set surface ----
+
+// EnableColdTier arms the pager-backed cold tier on the sharded set (see
+// ShardedTree.EnableColdTier).
+func (s *ShardedUint64Set) EnableColdTier(cfg ColdTierConfig) error {
+	return s.t.enableCold(cfg, persist.KindUint64Set)
+}
+
+// Demote snapshots shard i to its cold section and drops its trie from
+// memory (see ShardedTree.Demote).
+func (s *ShardedUint64Set) Demote(i int) error { return s.t.Demote(i) }
+
+// Promote rebuilds shard i's trie from its cold section (see
+// ShardedTree.Promote).
+func (s *ShardedUint64Set) Promote(i int) error { return s.t.Promote(i) }
+
+// IsCold reports whether shard i is currently cold.
+func (s *ShardedUint64Set) IsCold(i int) bool { return s.t.IsCold(i) }
+
+// ColdStats returns the cold tier's state and counters (see
+// ShardedTree.ColdStats).
+func (s *ShardedUint64Set) ColdStats() ColdTierStats { return s.t.ColdStats() }

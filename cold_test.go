@@ -1,0 +1,504 @@
+package hot
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"github.com/hotindex/hot/internal/dataset"
+	"github.com/hotindex/hot/internal/tidstore"
+)
+
+// TestColdTierOracle demotes every shard and requires the cold read paths
+// — Lookup, LookupBatch, Scan, Verify — to agree with a fully resident
+// oracle byte for byte, then checks that a write transparently promotes.
+func TestColdTierOracle(t *testing.T) {
+	for _, kind := range []dataset.Kind{dataset.URL, dataset.Integer} {
+		t.Run(fmt.Sprint(kind), func(t *testing.T) {
+			keys := dataset.Generate(kind, 6000, 42)
+			store := &tidstore.Store{}
+			for _, k := range keys {
+				store.Add(k)
+			}
+			st, oracle := buildPair(keys, store, 8)
+			if err := st.EnableColdTier(ColdTierConfig{Dir: t.TempDir()}); err != nil {
+				t.Fatal(err)
+			}
+			for s := 0; s < st.Shards(); s++ {
+				if err := st.Demote(s); err != nil {
+					t.Fatalf("Demote(%d): %v", s, err)
+				}
+				if !st.IsCold(s) {
+					t.Fatalf("shard %d not cold after Demote", s)
+				}
+			}
+			cs := st.ColdStats()
+			if !cs.Enabled || cs.ColdShards != st.Shards() || cs.ResidentShards != 0 || cs.ColdBytes == 0 {
+				t.Fatalf("ColdStats after full demotion = %+v", cs)
+			}
+			if st.Len() != oracle.Len() {
+				t.Fatalf("cold Len %d != %d", st.Len(), oracle.Len())
+			}
+			if err := st.Verify(); err != nil {
+				t.Fatal(err)
+			}
+			for i, k := range keys {
+				tid, ok := st.Lookup(k)
+				if !ok || tid != TID(i) {
+					t.Fatalf("cold lookup %q = (%d, %v), want (%d, true)", k, tid, ok, i)
+				}
+			}
+			if _, ok := st.Lookup([]byte("\xff\xff\xff-definitely-absent")); ok {
+				t.Fatal("absent key found cold")
+			}
+			out := make([]TID, len(keys))
+			found := st.LookupBatch(keys, out)
+			for i := range keys {
+				if !found[i] || out[i] != TID(i) {
+					t.Fatalf("cold LookupBatch[%d] = (%d, %v)", i, out[i], found[i])
+				}
+			}
+			want := scanSeq(oracle, store)
+			got := scanSeq(st, store)
+			if len(got) != len(want) {
+				t.Fatalf("cold scan yields %d keys, want %d", len(got), len(want))
+			}
+			for i := range want {
+				if !bytes.Equal(got[i], want[i]) {
+					t.Fatalf("cold scan diverges at %d: %q vs %q", i, got[i], want[i])
+				}
+			}
+			cs = st.ColdStats()
+			if cs.CacheHits+cs.CacheMisses == 0 {
+				t.Fatal("cold reads ran but the page cache saw no traffic")
+			}
+			// A write to a cold shard promotes it and lands.
+			nk := append(append([]byte(nil), keys[0]...), []byte("-new")...)
+			ntid := store.Add(nk)
+			owner := st.Shard(nk)
+			if !st.Insert(nk, ntid) {
+				t.Fatal("insert into cold shard failed")
+			}
+			if st.IsCold(owner) {
+				t.Fatalf("shard %d still cold after a write", owner)
+			}
+			if tid, ok := st.Lookup(nk); !ok || tid != ntid {
+				t.Fatalf("lookup after promoting write = (%d, %v)", tid, ok)
+			}
+			if got := st.ColdStats(); got.Promotions == 0 {
+				t.Fatal("write to a cold shard did not count a promotion")
+			}
+		})
+	}
+}
+
+// TestColdTierChurnOracle is the eviction e2e: a dataset three times the
+// memory budget, concurrent writers (sync and async), readers and random
+// demote/promote churn, then a full reconciliation against an in-memory
+// oracle — Verify clean and the merged scan byte-identical.
+func TestColdTierChurnOracle(t *testing.T) {
+	const n = 24000
+	keys := dataset.Generate(dataset.URL, n, 7)
+	store := &tidstore.Store{}
+	for _, k := range keys {
+		store.Add(k)
+	}
+	st := NewShardedTree(store.Key, 8, keys)
+	for i, k := range keys {
+		if !st.Insert(k, TID(i)) {
+			t.Fatalf("seed insert %d failed", i)
+		}
+	}
+	resident := st.Memory().GoBytes
+	if err := st.EnableColdTier(ColdTierConfig{
+		Dir:          t.TempDir(),
+		MemoryBudget: int64(resident) / 3,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Key roles: thirds. Stable keys never change — readers assert their
+	// exact TIDs mid-churn. Churn keys are deleted and re-inserted with
+	// their own TID, so any interleaving converges to the same state.
+	// Extra keys are inserted during churn, each by exactly one worker.
+	stable := keys[:n/3]
+	churn := keys[n/3 : 2*n/3]
+	const workers = 4
+	const opsPerWorker = 4000
+	extras := make([][]byte, workers*200)
+	extraTID := make([]TID, len(extras))
+	for i := range extras {
+		extras[i] = []byte(fmt.Sprintf("zzz-extra-%05d", i))
+		extraTID[i] = store.Add(extras[i])
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			mine := extras[w*200 : (w+1)*200]
+			for op := 0; op < opsPerWorker; op++ {
+				switch rng.Intn(4) {
+				case 0:
+					i := n/3 + rng.Intn(len(churn))
+					k := keys[i]
+					st.Delete(k)
+					st.Insert(k, TID(i))
+				case 1:
+					i := rng.Intn(len(stable))
+					st.Upsert(keys[i], TID(i))
+				case 2:
+					i := rng.Intn(len(mine))
+					st.UpsertAsync(mine[i], extraTID[w*200+(i)])
+				default:
+					i := rng.Intn(len(stable))
+					if tid, ok := st.Lookup(keys[i]); !ok || tid != TID(i) {
+						panic(fmt.Sprintf("stable key %q = (%d, %v) mid-churn", keys[i], tid, ok))
+					}
+				}
+			}
+		}(w)
+	}
+	// Readers: point lookups, batched lookups and scans over stable keys
+	// while shards flap hot/cold underneath them.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(200 + r)))
+			batch := make([][]byte, 64)
+			out := make([]TID, 64)
+			for it := 0; it < 300; it++ {
+				for j := range batch {
+					batch[j] = keys[rng.Intn(len(stable))]
+				}
+				found := st.LookupBatch(batch, out)
+				for j, k := range batch {
+					if !found[j] {
+						panic(fmt.Sprintf("stable key %q missing from batch", k))
+					}
+				}
+				st.Scan(keys[rng.Intn(n)], 50, func(TID) bool { return true })
+			}
+		}(r)
+	}
+	// The churn agent: random explicit transitions on top of the budget's
+	// automatic demotions.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(300))
+		for it := 0; it < 400; it++ {
+			s := rng.Intn(st.Shards())
+			var err error
+			if rng.Intn(2) == 0 {
+				err = st.Demote(s)
+			} else {
+				err = st.Promote(s)
+			}
+			if err != nil {
+				panic(fmt.Sprintf("transition on shard %d: %v", s, err))
+			}
+		}
+	}()
+	wg.Wait()
+	if _, rejected := st.Flush(); rejected != 0 {
+		t.Fatalf("%d async ops rejected", rejected)
+	}
+
+	// Reconcile to the deterministic final state and compare to an oracle.
+	for i := n / 3; i < 2*n/3; i++ {
+		st.Upsert(keys[i], TID(i))
+	}
+	for i, e := range extras {
+		st.Upsert(e, extraTID[i])
+	}
+	oracle := New(store.Key)
+	for i, k := range keys {
+		oracle.Insert(k, TID(i))
+	}
+	for i, e := range extras {
+		oracle.Insert(e, extraTID[i])
+	}
+	if err := st.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != oracle.Len() {
+		t.Fatalf("Len %d != oracle %d", st.Len(), oracle.Len())
+	}
+	want := scanSeq(oracle, store)
+	got := scanSeq(st, store)
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("scan diverges at %d: %q vs %q", i, got[i], want[i])
+		}
+	}
+	cs := st.ColdStats()
+	if cs.Demotions == 0 || cs.Promotions == 0 || cs.CacheMisses == 0 {
+		t.Fatalf("churn never exercised the tier: %+v", cs)
+	}
+	t.Logf("cold stats after churn: %+v (hit rate %.3f)", cs, cs.HitRate())
+}
+
+// TestColdTierAutoDemotion checks the budget enforcement: with a budget
+// of a quarter of the resident footprint, background maintenance demotes
+// least-recently-written shards until the estimate fits, and everything
+// stays readable.
+func TestColdTierAutoDemotion(t *testing.T) {
+	keys := dataset.Generate(dataset.Integer, 16000, 9)
+	store := &tidstore.Store{}
+	for _, k := range keys {
+		store.Add(k)
+	}
+	st := NewShardedTree(store.Key, 8, keys)
+	for i, k := range keys {
+		st.Insert(k, TID(i))
+	}
+	resident := st.Memory().GoBytes
+	if err := st.EnableColdTier(ColdTierConfig{Dir: t.TempDir(), MemoryBudget: int64(resident) / 4}); err != nil {
+		t.Fatal(err)
+	}
+	// Skewed writes: hammer one shard so the others go least-recent and
+	// get demoted by the clock ticks (every 1024 writes).
+	hot := keys[0]
+	hotShard := st.Shard(hot)
+	for i := 0; i < 5000; i++ {
+		st.Upsert(hot, TID(0))
+	}
+	cs := st.ColdStats()
+	if cs.Demotions == 0 || cs.ColdShards == 0 {
+		t.Fatalf("budget never enforced: %+v", cs)
+	}
+	if cs.ResidentShards == 0 {
+		t.Fatal("maintenance demoted every shard; at least one must stay hot")
+	}
+	if st.IsCold(hotShard) {
+		t.Fatal("the hottest shard was demoted")
+	}
+	m := st.Memory()
+	if m.ColdShards != cs.ColdShards || m.ColdBytes == 0 {
+		t.Fatalf("MemoryStats disagrees with ColdStats: %+v vs %+v", m, cs)
+	}
+	for i, k := range keys {
+		want := TID(i)
+		if i == 0 {
+			want = TID(0)
+		}
+		if tid, ok := st.Lookup(k); !ok || tid != want {
+			t.Fatalf("lookup %q = (%d, %v), want %d", k, tid, ok, want)
+		}
+	}
+	if err := st.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestColdTierStatsMonotonic: demoting a shard folds its trie's counters
+// into the retired aggregate, so OpStats and ReclaimStats never move
+// backwards, and the page counters surface cold read traffic.
+func TestColdTierStatsMonotonic(t *testing.T) {
+	keys := dataset.Generate(dataset.URL, 4000, 3)
+	store := &tidstore.Store{}
+	for _, k := range keys {
+		store.Add(k)
+	}
+	st := NewShardedTree(store.Key, 4, keys)
+	for i, k := range keys {
+		st.Insert(k, TID(i))
+	}
+	if err := st.EnableColdTier(ColdTierConfig{Dir: t.TempDir()}); err != nil {
+		t.Fatal(err)
+	}
+	before := st.OpStats()
+	freedBefore, _ := st.ReclaimStats()
+	for s := 0; s < st.Shards(); s++ {
+		if err := st.Demote(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := st.OpStats()
+	if total := after.Normal + after.Pushdown + after.PullUp + after.Intermediate + after.NewRoot; total < before.Normal+before.Pushdown+before.PullUp+before.Intermediate+before.NewRoot {
+		t.Fatalf("insertion counters went backwards across demotion: %d -> %d", before, total)
+	}
+	if after.Demotions != uint64(st.Shards()) {
+		t.Fatalf("Demotions = %d, want %d", after.Demotions, st.Shards())
+	}
+	freedAfter, _ := st.ReclaimStats()
+	if freedAfter < freedBefore {
+		t.Fatalf("freed bytes went backwards: %d -> %d", freedBefore, freedAfter)
+	}
+	for _, k := range keys[:100] {
+		st.Lookup(k)
+	}
+	after = st.OpStats()
+	if after.PageHits+after.PageMisses == 0 {
+		t.Fatal("cold lookups left no page counters")
+	}
+}
+
+// TestColdTierDurableRecovery: shards demoted in durable mode stay cold
+// across a reopen (their section is the recovery base), a logged write
+// promotes lazily at replay, Checkpoint removes stale cold files for hot
+// shards, and a reopen without ColdTier folds everything back to memory.
+func TestColdTierDurableRecovery(t *testing.T) {
+	dir := t.TempDir()
+	keys := dataset.Generate(dataset.URL, 3000, 5)
+	store := &tidstore.Store{}
+	for _, k := range keys {
+		store.Add(k)
+	}
+	cfg := &ColdTierConfig{} // manual transitions only
+	tr, info, err := OpenDurableShardedTree(dir, store.Key, 4, keys, DurableOptions{ColdTier: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		if !tr.Insert(k, TID(i)) {
+			t.Fatalf("insert %d failed", i)
+		}
+	}
+	if err := tr.Demote(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Demote(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with the tier armed: the demoted shards come back cold.
+	tr, info, err = OpenDurableShardedTree(dir, store.Key, 4, keys, DurableOptions{ColdTier: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ColdShards != 2 || !tr.IsCold(1) || !tr.IsCold(3) {
+		t.Fatalf("recovered ColdShards=%d IsCold(1)=%v IsCold(3)=%v, want 2 cold", info.ColdShards, tr.IsCold(1), tr.IsCold(3))
+	}
+	for i, k := range keys {
+		if tid, ok := tr.Lookup(k); !ok || tid != TID(i) {
+			t.Fatalf("post-recovery lookup %q = (%d, %v)", k, tid, ok)
+		}
+	}
+	if err := tr.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// A durable write into cold shard 1 promotes it transparently. The key
+	// set must stay prefix-free, so write to an existing shard-1 key.
+	nk, ntid := []byte(nil), TID(0)
+	for i, k := range keys {
+		if tr.Shard(k) == 1 {
+			nk, ntid = k, TID(i)
+			break
+		}
+	}
+	if nk == nil {
+		t.Fatal("no key routes to shard 1")
+	}
+	if _, replaced := tr.Upsert(nk, ntid); !replaced {
+		t.Fatal("durable upsert into cold shard missed its key")
+	}
+	if tr.IsCold(1) {
+		t.Fatal("shard 1 still cold after a durable write")
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: shard 1 has a log tail, so replay materializes it; shard 3
+	// stays cold. Checkpoint then supersedes shard 1's stale cold file.
+	tr, info, err = OpenDurableShardedTree(dir, store.Key, 4, keys, DurableOptions{ColdTier: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.IsCold(1) || !tr.IsCold(3) {
+		t.Fatalf("after replay IsCold(1)=%v IsCold(3)=%v, want (false, true)", tr.IsCold(1), tr.IsCold(3))
+	}
+	if tid, ok := tr.Lookup(nk); !ok || tid != ntid {
+		t.Fatalf("replayed promoted write = (%d, %v)", tid, ok)
+	}
+	if err := tr.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "cold-001.hot")); !os.IsNotExist(err) {
+		t.Fatalf("hot shard 1's stale cold file survived Checkpoint: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "cold-003.hot")); err != nil {
+		t.Fatalf("cold shard 3's section should persist across Checkpoint: %v", err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen WITHOUT ColdTier: the cold section folds back into memory and
+	// the next checkpoint supersedes it.
+	tr, info, err = OpenDurableShardedTree(dir, store.Key, 4, keys, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ColdShards != 0 || tr.IsCold(3) {
+		t.Fatalf("ColdTier-nil reopen kept shards cold: info=%+v", info)
+	}
+	for i, k := range keys {
+		if tid, ok := tr.Lookup(k); !ok || tid != TID(i) {
+			t.Fatalf("folded-back lookup %q = (%d, %v)", k, tid, ok)
+		}
+	}
+	if err := tr.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "cold-003.hot")); !os.IsNotExist(err) {
+		t.Fatalf("folded-back shard's cold file survived Checkpoint: %v", err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestColdTierUint64Set: the set facade demotes and serves cold too.
+func TestColdTierUint64Set(t *testing.T) {
+	vals := make([]uint64, 3000)
+	for i := range vals {
+		vals[i] = uint64(i)*2654435761 + 17
+	}
+	s := NewShardedUint64Set(4, vals)
+	for _, v := range vals {
+		if !s.Insert(v) {
+			t.Fatalf("insert %d failed", v)
+		}
+	}
+	if err := s.EnableColdTier(ColdTierConfig{Dir: t.TempDir()}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := s.Demote(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, v := range vals {
+		if !s.Contains(v) {
+			t.Fatalf("cold set lost %d", v)
+		}
+	}
+	if s.Contains(1) {
+		t.Fatal("cold set invented a member")
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Insert(999_999_999_999) {
+		t.Fatal("insert into cold set failed")
+	}
+	if got := s.ColdStats(); got.Promotions == 0 {
+		t.Fatal("set write did not promote")
+	}
+}

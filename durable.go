@@ -54,6 +54,16 @@ type DurableOptions struct {
 	// consequences as any other damaged entry: a snapshot load stops there
 	// and a log replay cuts the log at the previous record.
 	RecoverEntry func(key []byte, tid TID) error
+
+	// ColdTier, when non-nil, arms the pager-backed cold tier on the
+	// opened index (see ShardedTree.EnableColdTier). The Dir field is
+	// ignored: a durable index keeps its cold section files in its own
+	// directory. Shards that were cold when the previous run stopped are
+	// recovered cold — their sections are opened, not loaded — so a
+	// larger-than-RAM store reopens without materializing its cold data.
+	// When ColdTier is nil, any cold sections found are folded back into
+	// memory and superseded at the next Checkpoint.
+	ColdTier *ColdTierConfig
 }
 
 // RecoveryInfo reports what an OpenDurable* constructor restored: how much
@@ -75,6 +85,10 @@ type RecoveryInfo struct {
 	// WALDamage is the first log damage encountered, nil when every log
 	// was clean.
 	WALDamage *SnapshotError
+	// ColdShards is how many shards were recovered cold — served from
+	// their cold section files without materializing a trie (always 0
+	// unless DurableOptions.ColdTier was set).
+	ColdShards int
 }
 
 // durableSnapName is the snapshot file inside a durable directory.

@@ -85,33 +85,42 @@ func (d *durableState) commit(s int, lsn uint64) {
 	}
 }
 
-// Synchronous durable write paths: log under the commit lock, apply, then
-// group-commit outside it.
+// Synchronous durable write paths: pin the shard hot under its shared
+// write guard (promoting a cold shard first — a no-op without a cold
+// tier), log under the commit lock, apply, then group-commit outside the
+// commit lock but still under the guard, so a demotion's cut never falls
+// between an append and its fsync.
 
 func (d *durableState) insert(t *ShardedTree, s int, key []byte, tid TID) bool {
+	tr := t.lockShardWrite(s)
 	d.mu[s].Lock()
 	lsn := d.append(s, shard.Op{Key: key, TID: tid, Kind: shard.OpInsert})
-	ok := t.shards[s].Insert(key, tid)
+	ok := tr.Insert(key, tid)
 	d.mu[s].Unlock()
 	d.commit(s, lsn)
+	t.unlockShardWrite(s)
 	return ok
 }
 
 func (d *durableState) upsert(t *ShardedTree, s int, key []byte, tid TID) (TID, bool) {
+	tr := t.lockShardWrite(s)
 	d.mu[s].Lock()
 	lsn := d.append(s, shard.Op{Key: key, TID: tid, Kind: shard.OpUpsert})
-	old, replaced := t.shards[s].Upsert(key, tid)
+	old, replaced := tr.Upsert(key, tid)
 	d.mu[s].Unlock()
 	d.commit(s, lsn)
+	t.unlockShardWrite(s)
 	return old, replaced
 }
 
 func (d *durableState) delete(t *ShardedTree, s int, key []byte) bool {
+	tr := t.lockShardWrite(s)
 	d.mu[s].Lock()
 	lsn := d.append(s, shard.Op{Key: key, Kind: shard.OpDelete})
-	ok := t.shards[s].Delete(key)
+	ok := tr.Delete(key)
 	d.mu[s].Unlock()
 	d.commit(s, lsn)
+	t.unlockShardWrite(s)
 	return ok
 }
 
@@ -172,6 +181,23 @@ func (t *ShardedTree) Checkpoint() error {
 		return err
 	}
 	for s := range d.wals {
+		// A hot shard's stale cold file (left by a demotion it has since
+		// been promoted out of, or by a previous ColdTier-enabled process
+		// whose section this open folded back into memory) is superseded
+		// by the snapshot just written and MUST go before this shard's
+		// log rotates: recovery prefers a cold file over the snapshot
+		// section, so rotating first would crash-expose a window where
+		// the stale image plus an empty log replays to old data. A cold
+		// shard keeps its file — that file IS its durable state.
+		if t.shards[s].cold.Load() == nil {
+			if err := os.Remove(filepath.Join(d.dir, coldFileName(s))); err != nil && !os.IsNotExist(err) {
+				perr := fmt.Errorf("hot: removing shard %d's stale cold file after the snapshot was replaced: %w", s, err)
+				for _, w := range d.wals {
+					w.Poison(perr)
+				}
+				return perr
+			}
+		}
 		if err := d.wals[s].Rotate(d.wals[s].LastLSN()); err != nil {
 			perr := fmt.Errorf("hot: rotating shard %d log after the snapshot was replaced: %w", s, err)
 			for _, w := range d.wals {
@@ -223,19 +249,22 @@ func (t *ShardedTree) Close() error {
 // rejected insert or absent delete replays as the no-op it was live. A key
 // outside the shard's range means the record belongs to a different
 // boundary generation (or is corrupt despite its CRC) and rejects the
-// record, cutting the log there.
+// record, cutting the log there. A shard recovered cold is materialized
+// lazily by its first replayed record (mustTree promotes it); shards
+// whose log tail is empty stay cold through recovery.
 func (t *ShardedTree) replayShardOp(s int, op persist.WalOp, key []byte, tid uint64) error {
 	if !shard.Check(t.bounds, s, key) {
 		return &SnapshotError{Kind: persist.ErrCorrupt,
 			Detail: fmt.Sprintf("log record key %q outside shard %d's range", key, s)}
 	}
+	tr := t.mustTree(s)
 	switch op {
 	case persist.WalInsert:
-		t.shards[s].Insert(key, tid)
+		tr.Insert(key, tid)
 	case persist.WalUpsert:
-		t.shards[s].Upsert(key, tid)
+		tr.Upsert(key, tid)
 	case persist.WalDelete:
-		t.shards[s].Delete(key)
+		tr.Delete(key)
 	}
 	return nil
 }
@@ -272,18 +301,52 @@ func openDurableSharded(dir string, loader Loader, kind uint16, check func(key [
 			return re(key, tid)
 		}
 	}
+	// Discover per-shard cold section files (see cold.go). A valid
+	// cold-NNN.hot is always at least as new as the shard's snap.hot
+	// section — demotion rotates the shard's log at the section cut — so
+	// it supersedes the section as the shard's recovery base. A cold file
+	// that no longer opens is a hard error: unlike a torn WAL tail (an
+	// expected crash artifact), a rotten cold section held acknowledged
+	// data and needs operator attention.
+	coldReaders := map[int]*persist.PageReader{}
+	closeColds := func() {
+		for _, pr := range coldReaders {
+			pr.Close()
+		}
+	}
+	if coldFiles, gerr := filepath.Glob(filepath.Join(dir, "cold-*.hot")); gerr != nil {
+		return nil, info, gerr
+	} else {
+		for _, p := range coldFiles {
+			var s int
+			if _, serr := fmt.Sscanf(filepath.Base(p), "cold-%03d.hot", &s); serr != nil {
+				continue
+			}
+			pr, oerr := persist.OpenPageReaderFile(p, kind)
+			if oerr != nil {
+				closeColds()
+				return nil, info, fmt.Errorf("hot: opening shard %d cold section %s: %w", s, filepath.Base(p), oerr)
+			}
+			coldReaders[s] = pr
+		}
+	}
 	snap := filepath.Join(dir, durableSnapName)
 	var t *ShardedTree
 	if _, err := os.Stat(snap); err == nil {
 		f, oerr := os.Open(snap)
 		if oerr != nil {
+			closeColds()
 			return nil, info, oerr
 		}
-		nt, rep, lerr := readSharded(f, kind, loader, check, true)
+		nt, rep, lerr := readSharded(f, kind, loader, check, true, func(i int) bool {
+			_, cold := coldReaders[i]
+			return cold
+		})
 		f.Close()
 		if lerr != nil {
 			// Unusable manifest: without the boundary table the logs
 			// cannot be routed, so recovery needs operator attention.
+			closeColds()
 			return nil, info, lerr
 		}
 		t = nt
@@ -292,6 +355,7 @@ func openDurableSharded(dir string, loader Loader, kind uint16, check func(key [
 			info.SnapshotDamage = rep.Damage
 		}
 	} else if !os.IsNotExist(err) {
+		closeColds()
 		return nil, info, err
 	}
 	fresh := t == nil
@@ -306,12 +370,20 @@ func openDurableSharded(dir string, loader Loader, kind uint16, check func(key [
 		// replay would then cut every log record routed outside its new
 		// shard's range — silently discarding acknowledged writes. Refuse.
 		if logs, err := filepath.Glob(filepath.Join(dir, "wal-*.log")); err != nil {
+			closeColds()
 			return nil, info, err
-		} else if len(logs) > 0 {
+		} else if len(logs) > 0 || len(coldReaders) > 0 {
 			names := make([]string, len(logs))
 			for i, l := range logs {
 				names[i] = filepath.Base(l)
 			}
+			// Cold section files without their snapshot mean the same
+			// thing as orphaned logs: the directory held acknowledged
+			// writes whose boundary table is gone.
+			for s := range coldReaders {
+				names = append(names, coldFileName(s))
+			}
+			closeColds()
 			return nil, info, &OrphanedLogError{Dir: dir, Logs: names}
 		}
 		t = newShardedFromBounds(loader, shard.Boundaries(shards, sample))
@@ -330,6 +402,63 @@ func openDurableSharded(dir string, loader Loader, kind uint16, check func(key [
 			return nil, info, err
 		}
 	}
+	for s := range coldReaders {
+		if s >= len(t.shards) {
+			closeColds()
+			return nil, info, fmt.Errorf("hot: %s names shard %d but the snapshot manifest defines %d shards",
+				coldFileName(s), s, len(t.shards))
+		}
+	}
+	if opts.ColdTier != nil {
+		// Arm the cold tier before replay, so cold-recovered shards can
+		// be lazily materialized by their first log record. The cold
+		// files live in the durable directory by construction.
+		cfg := *opts.ColdTier
+		cfg.Dir = dir
+		if err := t.enableCold(cfg, kind); err != nil {
+			closeColds()
+			return nil, info, err
+		}
+	}
+	if ct := t.cold.Load(); ct != nil {
+		for s, pr := range coldReaders {
+			if check != nil {
+				// The caller's recovery hook (RecoverEntry, set-entry
+				// validation) must still see every cold entry — a later
+				// promotion resolves the shard's TIDs through the
+				// caller's loader state, which is rebuilt right here.
+				n, werr := walkPageReader(pr, check)
+				info.SnapshotEntries += n
+				if werr != nil {
+					closeColds()
+					return nil, info, fmt.Errorf("hot: shard %d cold section: %w", s, werr)
+				}
+			}
+			gen := ct.ws[s].gen.Add(1)
+			t.shards[s].cold.Store(&coldShard{ct: ct, pr: pr, shard: s, gen: gen})
+			t.shards[s].tree.Store(nil)
+		}
+	} else {
+		// This run has no cold tier: fold the sections back into the
+		// in-memory tries. The files stay on disk — the next Checkpoint
+		// removes them once the snapshot supersedes them.
+		for s, pr := range coldReaders {
+			n, werr := walkPageReader(pr, func(key []byte, tid TID) error {
+				if check != nil {
+					if cerr := check(key, tid); cerr != nil {
+						return cerr
+					}
+				}
+				return t.loadShardEntry(s, key, tid)
+			})
+			info.SnapshotEntries += n
+			pr.Close()
+			if werr != nil {
+				closeColds()
+				return nil, info, fmt.Errorf("hot: shard %d cold section: %w", s, werr)
+			}
+		}
+	}
 	for s := range t.shards {
 		s := s
 		w, rep, err := resumeWAL(filepath.Join(dir, durableWalName(s)), func(op persist.WalOp, key []byte, tid uint64) error {
@@ -346,13 +475,40 @@ func openDurableSharded(dir string, loader Loader, kind uint16, check func(key [
 					pw.Close()
 				}
 			}
+			closeColds()
 			return nil, info, fmt.Errorf("hot: recovering shard %d log: %w", s, err)
 		}
 		d.wals[s] = w
 		info.noteWALDamage(rep)
 	}
 	t.dur = d
+	// Shards still cold after replay (their log tails were empty) start
+	// this run cold; replayed shards were materialized by mustTree.
+	for s := range t.shards {
+		if t.shards[s].cold.Load() != nil {
+			info.ColdShards++
+		}
+	}
 	return t, info, nil
+}
+
+// walkPageReader streams every entry of a cold section file through fn,
+// block by block, returning how many entries fn accepted.
+func walkPageReader(pr *persist.PageReader, fn func(key []byte, tid TID) error) (uint64, error) {
+	var n uint64
+	for i := 0; i < pr.Blocks(); i++ {
+		p, err := pr.ReadBlock(i)
+		if err != nil {
+			return n, err
+		}
+		for j, k := range p.Keys {
+			if err := fn(k, p.TIDs[j]); err != nil {
+				return n, err
+			}
+			n++
+		}
+	}
+	return n, nil
 }
 
 // ---- ShardedUint64Set ----

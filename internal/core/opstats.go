@@ -27,6 +27,14 @@ type OpStats struct {
 	Drained    uint64 // async ops applied from rings (avg batch = Drained/Drains)
 	QueueFull  uint64 // deposits rejected by a full ring
 	QueueDepth uint64 // ops queued right now (gauge, not cumulative)
+
+	// Cold-tier counters of the sharded pager path (see ShardedTree's
+	// cold tier); always zero when no memory budget is active.
+	PageHits      uint64 // cold reads served from the page cache
+	PageMisses    uint64 // cold reads that fetched and decoded a block
+	PageEvictions uint64 // pages evicted to keep the cache within budget
+	Demotions     uint64 // shards demoted to their snapshot section
+	Promotions    uint64 // shards promoted back to in-memory trees
 }
 
 // Sub returns s - prev counter-wise: the activity between two snapshots.
@@ -48,6 +56,11 @@ func (s OpStats) Sub(prev OpStats) OpStats {
 		Drained:         s.Drained - prev.Drained,
 		QueueFull:       s.QueueFull - prev.QueueFull,
 		QueueDepth:      s.QueueDepth,
+		PageHits:        s.PageHits - prev.PageHits,
+		PageMisses:      s.PageMisses - prev.PageMisses,
+		PageEvictions:   s.PageEvictions - prev.PageEvictions,
+		Demotions:       s.Demotions - prev.Demotions,
+		Promotions:      s.Promotions - prev.Promotions,
 	}
 }
 
@@ -70,6 +83,11 @@ func (s OpStats) Add(other OpStats) OpStats {
 		Drained:         s.Drained + other.Drained,
 		QueueFull:       s.QueueFull + other.QueueFull,
 		QueueDepth:      s.QueueDepth + other.QueueDepth,
+		PageHits:        s.PageHits + other.PageHits,
+		PageMisses:      s.PageMisses + other.PageMisses,
+		PageEvictions:   s.PageEvictions + other.PageEvictions,
+		Demotions:       s.Demotions + other.Demotions,
+		Promotions:      s.Promotions + other.Promotions,
 	}
 }
 
@@ -86,6 +104,10 @@ func (s OpStats) String() string {
 	if s.Enqueued|s.Steals|s.Drains|s.Drained|s.QueueFull|s.QueueDepth != 0 {
 		out += fmt.Sprintf(" enqueued=%d steals=%d drains=%d drained=%d queuefull=%d queuedepth=%d",
 			s.Enqueued, s.Steals, s.Drains, s.Drained, s.QueueFull, s.QueueDepth)
+	}
+	if s.PageHits|s.PageMisses|s.PageEvictions|s.Demotions|s.Promotions != 0 {
+		out += fmt.Sprintf(" pagehits=%d pagemisses=%d pageevictions=%d demotions=%d promotions=%d",
+			s.PageHits, s.PageMisses, s.PageEvictions, s.Demotions, s.Promotions)
 	}
 	return out
 }

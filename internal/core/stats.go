@@ -14,6 +14,11 @@ type DepthStats struct {
 // MemoryStats reports the index's footprint two ways: PaperBytes follows
 // the C++ node layouts of Figure 6 (what the paper's Figure 9 measures);
 // GoBytes estimates the actual Go heap footprint of this implementation.
+//
+// Nodes/PaperBytes/GoBytes count only resident in-memory trees: a demoted
+// (cold) shard contributes nothing to them. The cold tier is reported
+// separately — ColdShards and CacheBytes — so resident tree bytes and
+// page-cache bytes are never blended into one number.
 type MemoryStats struct {
 	Nodes      int
 	PaperBytes int
@@ -22,6 +27,13 @@ type MemoryStats struct {
 	Layouts [numLayouts]int
 	// FanoutSum/Nodes is the average compound-node fanout.
 	FanoutSum int
+
+	// Cold-tier fields, populated by the shard layer when a memory budget
+	// is active; always zero on unsharded tries.
+	ResidentShards int   // shards currently served from in-memory trees
+	ColdShards     int   // shards currently served from their snapshot section
+	ColdBytes      int64 // on-disk bytes of the cold shards' snapshot files
+	CacheBytes     int64 // decoded pages resident in the page cache right now
 }
 
 // Merge folds other into s: the combined leaf-depth distribution of
@@ -59,10 +71,14 @@ func (s DepthStats) Merge(other DepthStats) DepthStats {
 // disjoint tries (the shard layer sums its per-shard stats).
 func (m MemoryStats) Add(other MemoryStats) MemoryStats {
 	out := MemoryStats{
-		Nodes:      m.Nodes + other.Nodes,
-		PaperBytes: m.PaperBytes + other.PaperBytes,
-		GoBytes:    m.GoBytes + other.GoBytes,
-		FanoutSum:  m.FanoutSum + other.FanoutSum,
+		Nodes:          m.Nodes + other.Nodes,
+		PaperBytes:     m.PaperBytes + other.PaperBytes,
+		GoBytes:        m.GoBytes + other.GoBytes,
+		FanoutSum:      m.FanoutSum + other.FanoutSum,
+		ResidentShards: m.ResidentShards + other.ResidentShards,
+		ColdShards:     m.ColdShards + other.ColdShards,
+		ColdBytes:      m.ColdBytes + other.ColdBytes,
+		CacheBytes:     m.CacheBytes + other.CacheBytes,
 	}
 	for i := range out.Layouts {
 		out.Layouts[i] = m.Layouts[i] + other.Layouts[i]

@@ -25,6 +25,21 @@ type Writer struct {
 	entries bool // at least one entry in buf's block
 	err     error
 	closed  bool
+
+	indexing bool        // collect a per-block index, emitted after the trailer
+	index    []BlockInfo // one entry per flushed block
+	firstKey []byte      // first key of the block being buffered
+}
+
+// EnableBlockIndex makes the writer collect a sparse per-block index
+// (first key + file offset per block) and append it after the trailer as
+// the HIDX extension (see page.go). It must be called before the first
+// WriteEntry. Sequential readers are unaffected; PageReader uses the
+// index to open the file without scanning it.
+func (sw *Writer) EnableBlockIndex() {
+	if sw.count == 0 && !sw.closed {
+		sw.indexing = true
+	}
 }
 
 // NewWriter writes the snapshot header for the given content kind and
@@ -65,6 +80,9 @@ func (sw *Writer) WriteEntry(key []byte, tid uint64) error {
 	if sw.count > 0 && bytes.Compare(sw.prevKey, key) >= 0 {
 		return sw.fail(formatErr(ErrCorrupt, sw.off, "keys not strictly ascending: %q then %q", sw.prevKey, key))
 	}
+	if sw.indexing && !sw.entries {
+		sw.firstKey = append(sw.firstKey[:0], key...)
+	}
 	sw.prevKey = append(sw.prevKey[:0], key...)
 	sw.buf = binary.AppendUvarint(sw.buf, uint64(len(key)))
 	sw.buf = append(sw.buf, key...)
@@ -100,8 +118,33 @@ func (sw *Writer) Close() error {
 	if err := sw.write(t[:]); err != nil {
 		return err
 	}
+	if sw.indexing {
+		if err := sw.writeIndex(); err != nil {
+			return err
+		}
+	}
 	sw.closed = true
 	return nil
+}
+
+// writeIndex emits the collected block index and the HIDX footer after
+// the trailer (see page.go for the layout).
+func (sw *Writer) writeIndex() error {
+	p := sw.scratch[:0]
+	prev := int64(0)
+	for _, b := range sw.index {
+		p = binary.AppendUvarint(p, uint64(b.Off-prev))
+		p = binary.AppendUvarint(p, uint64(b.Len))
+		p = binary.AppendUvarint(p, uint64(len(b.FirstKey)))
+		p = append(p, b.FirstKey...)
+		prev = b.Off
+	}
+	idxLen := len(p)
+	p = binary.LittleEndian.AppendUint32(p, crc32.Checksum(p[:idxLen], castagnoli))
+	p = binary.LittleEndian.AppendUint32(p, uint32(idxLen))
+	p = binary.LittleEndian.AppendUint32(p, indexMagic)
+	sw.scratch = p
+	return sw.write(p)
 }
 
 // flushBlock seals the buffered payload into a checksummed block. When a
@@ -111,6 +154,13 @@ func (sw *Writer) Close() error {
 // bytes than exist, or whose CRC no longer matches.
 func (sw *Writer) flushBlock() error {
 	payload := sw.buf
+	if sw.indexing {
+		sw.index = append(sw.index, BlockInfo{
+			Off:      sw.off,
+			Len:      len(payload),
+			FirstKey: append([]byte(nil), sw.firstKey...),
+		})
+	}
 	sw.scratch = sw.scratch[:0]
 	sw.scratch = binary.LittleEndian.AppendUint32(sw.scratch, uint32(len(payload)))
 	sw.scratch = binary.LittleEndian.AppendUint32(sw.scratch, crc32.Checksum(payload, castagnoli))

@@ -67,6 +67,15 @@ type Options struct {
 	// backoff bounds (mainly for tests; zero keeps the defaults).
 	ReconnectMin time.Duration
 	ReconnectMax time.Duration
+	// MemoryBudget, when positive, enables the pager-backed cold tier:
+	// once the resident tries exceed the budget, the least-recently-
+	// written shards are demoted to per-shard section files and served
+	// through an LRU page cache (see hot.EnableColdTier). Requires Dir
+	// (the cold sections live in the durable directory).
+	MemoryBudget int64
+	// CacheBytes bounds the cold tier's decoded page cache; zero selects
+	// MemoryBudget/8, floored at 8 MiB.
+	CacheBytes int64
 }
 
 const (
@@ -137,13 +146,19 @@ func New(opts Options) (*Server, error) {
 		})
 		s.fol = s.rc.Follower()
 	case opts.Dir != "":
-		tree, _, err := hot.OpenDurableShardedTree(opts.Dir, s.km.Key, opts.Shards, opts.Sample,
-			hot.DurableOptions{GroupCommitDelay: opts.GroupCommitDelay, RecoverEntry: bind})
+		dopts := hot.DurableOptions{GroupCommitDelay: opts.GroupCommitDelay, RecoverEntry: bind}
+		if opts.MemoryBudget > 0 {
+			dopts.ColdTier = &hot.ColdTierConfig{MemoryBudget: opts.MemoryBudget, CacheBytes: opts.CacheBytes}
+		}
+		tree, _, err := hot.OpenDurableShardedTree(opts.Dir, s.km.Key, opts.Shards, opts.Sample, dopts)
 		if err != nil {
 			return nil, err
 		}
 		s.tree = tree
 	default:
+		if opts.MemoryBudget > 0 {
+			return nil, fmt.Errorf("hot-server: MemoryBudget requires Dir (cold sections live in the durable directory)")
+		}
 		s.tree = hot.NewShardedTree(s.km.Key, opts.Shards, opts.Sample)
 	}
 	return s, nil
@@ -638,6 +653,7 @@ func (s *Server) stats() wire.Stats {
 			FullResyncs:    s.rc.FullResyncs(),
 		}
 	}
+	cold := s.tree.ColdStats()
 	return wire.Stats{
 		Len:            s.tree.Len(),
 		Shards:         s.tree.Shards(),
@@ -650,5 +666,13 @@ func (s *Server) stats() wire.Stats {
 		DeadlineCloses: s.deadlineCloses.Load(),
 		Resumes:        s.resumeSessions.Load(),
 		FullResyncs:    s.fullResyncs.Load(),
+		ColdShards:     cold.ColdShards,
+		MemBudget:      cold.MemoryBudget,
+		CacheHits:      cold.CacheHits,
+		CacheMisses:    cold.CacheMisses,
+		CacheEvictions: cold.CacheEvictions,
+		CacheBytes:     cold.CacheBytes,
+		Demotions:      cold.Demotions,
+		Promotions:     cold.Promotions,
 	}
 }

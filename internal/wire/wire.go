@@ -151,6 +151,24 @@ type Stats struct {
 	// FullResyncs counts resume attempts that fell back to a full snapshot
 	// stream because the logs had rotated past the requested frontier.
 	FullResyncs uint64 `json:"full_resyncs"`
+	// ColdShards is the number of shards currently served from their
+	// on-disk cold section (leader with a memory budget; see MemBudget).
+	ColdShards int `json:"cold_shards"`
+	// MemBudget is the configured resident-trie byte budget (0: cold tier
+	// disabled or manual-only).
+	MemBudget int64 `json:"mem_budget"`
+	// CacheHits and CacheMisses count cold reads served from the page
+	// cache versus faulted from disk; CacheEvictions counts pages dropped
+	// to keep the cache within its budget.
+	CacheHits      uint64 `json:"cache_hits"`
+	CacheMisses    uint64 `json:"cache_misses"`
+	CacheEvictions uint64 `json:"cache_evictions"`
+	// CacheBytes is the decoded page bytes resident in the page cache.
+	CacheBytes int64 `json:"cache_bytes"`
+	// Demotions and Promotions count hot→cold and cold→hot shard
+	// transitions since the server started.
+	Demotions  uint64 `json:"demotions"`
+	Promotions uint64 `json:"promotions"`
 }
 
 // MarshalStats encodes s for a RepStats frame.

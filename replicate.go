@@ -559,7 +559,7 @@ func (f *Follower) Len() int {
 	t, ready := f.snapshot()
 	n := 0
 	for i := 0; i < ready; i++ {
-		n += t.shards[i].Len()
+		n += t.mustTree(i).Len()
 	}
 	return n
 }
@@ -575,7 +575,7 @@ func (f *Follower) Lookup(key []byte) (TID, bool, error) {
 	if s >= ready {
 		return 0, false, ErrNotReady
 	}
-	tid, ok := t.shards[s].Lookup(key)
+	tid, ok := t.mustTree(s).Lookup(key)
 	return tid, ok, nil
 }
 
@@ -614,7 +614,7 @@ func (f *Follower) Scan(start []byte, max int, fn func(key []byte, tid TID) bool
 func (f *Follower) Verify() error {
 	t, ready := f.snapshot()
 	for i := 0; i < ready; i++ {
-		if err := t.shards[i].Verify(); err != nil {
+		if err := t.mustTree(i).Verify(); err != nil {
 			return fmt.Errorf("hot: follower shard %d: %w", i, err)
 		}
 	}

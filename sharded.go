@@ -3,6 +3,7 @@ package hot
 import (
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 
 	"github.com/hotindex/hot/internal/core"
 	"github.com/hotindex/hot/internal/shard"
@@ -31,10 +32,54 @@ import (
 // equal to a boundary routes to the shard above it.
 type ShardedTree struct {
 	loader Loader
-	shards []*core.ConcurrentTrie
+	shards []shardSlot
 	bounds [][]byte // len(shards)-1 ascending boundary keys
 	async  *asyncState
-	dur    *durableState // non-nil when opened in durable (WAL) mode
+	dur    *durableState            // non-nil when opened in durable (WAL) mode
+	cold   atomic.Pointer[coldTier] // non-nil once EnableColdTier armed the pager
+}
+
+// shardSlot is one shard's backing: exactly one of (tree, cold) is
+// non-nil in steady state. Transitions install the new backing before
+// clearing the old, so a reader that loads both non-nil prefers the tree
+// — whose content equals the cold image at that instant, because writers
+// are excluded for the whole transition (see cold.go).
+type shardSlot struct {
+	tree atomic.Pointer[core.ConcurrentTrie]
+	cold atomic.Pointer[coldShard]
+}
+
+// view returns shard s's current backing; exactly one return is non-nil.
+func (t *ShardedTree) view(s int) (*core.ConcurrentTrie, *coldShard) {
+	sl := &t.shards[s]
+	for {
+		if tr := sl.tree.Load(); tr != nil {
+			return tr, nil
+		}
+		if cs := sl.cold.Load(); cs != nil {
+			return nil, cs
+		}
+		// A transition is mid-install (new pointer stored, old not yet
+		// cleared is the only published order, so this loop terminates).
+	}
+}
+
+// mustTree returns shard s's in-memory trie, promoting a cold shard
+// first. For paths that require a resident trie (replication, recovery,
+// verification helpers); read paths use view and stay wait-free.
+func (t *ShardedTree) mustTree(s int) *core.ConcurrentTrie {
+	for {
+		if tr := t.shards[s].tree.Load(); tr != nil {
+			return tr
+		}
+		ct := t.cold.Load()
+		if ct == nil {
+			panic("hot: shard has neither a trie nor a cold section")
+		}
+		if err := ct.promote(s); err != nil {
+			panic(fmt.Sprintf("hot: promoting shard %d: %v", s, err))
+		}
+	}
 }
 
 // NewShardedTree returns an empty sharded tree over at most shards range
@@ -59,9 +104,9 @@ func NewShardedTree(loader Loader, shards int, sample [][]byte) *ShardedTree {
 // table, the constructor the snapshot loaders use.
 func newShardedFromBounds(loader Loader, bounds [][]byte) *ShardedTree {
 	t := &ShardedTree{loader: loader, bounds: bounds}
-	t.shards = make([]*core.ConcurrentTrie, len(bounds)+1)
+	t.shards = make([]shardSlot, len(bounds)+1)
 	for i := range t.shards {
-		t.shards[i] = core.NewConcurrent(core.Loader(loader))
+		t.shards[i].tree.Store(core.NewConcurrent(core.Loader(loader)))
 	}
 	t.async = newAsyncState(len(t.shards), defaultQueueCapacity)
 	return t
@@ -74,8 +119,15 @@ func (t *ShardedTree) Shards() int { return len(t.shards) }
 // keys ≤ key. Load drivers use it to give every shard a dedicated writer.
 func (t *ShardedTree) Shard(key []byte) int { return shard.Find(t.bounds, key) }
 
-// ShardLen returns the number of keys stored in shard i.
-func (t *ShardedTree) ShardLen(i int) int { return t.shards[i].Len() }
+// ShardLen returns the number of keys stored in shard i (a cold shard
+// reports its section's entry count).
+func (t *ShardedTree) ShardLen(i int) int {
+	tr, cs := t.view(i)
+	if tr != nil {
+		return tr.Len()
+	}
+	return cs.len()
+}
 
 // Boundaries returns a copy of the boundary key table: boundary i is the
 // inclusive lower bound of shard i+1.
@@ -89,40 +141,55 @@ func (t *ShardedTree) Boundaries() [][]byte {
 
 // Insert stores tid under key in the owning shard, reporting false when
 // the key already exists. In durable mode the write is logged and
-// group-commit fsynced before Insert returns.
+// group-commit fsynced before Insert returns. A cold owning shard is
+// promoted first.
 func (t *ShardedTree) Insert(key []byte, tid TID) bool {
 	s := shard.Find(t.bounds, key)
 	if t.dur != nil {
 		return t.dur.insert(t, s, key, tid)
 	}
-	return t.shards[s].Insert(key, tid)
+	tr := t.lockShardWrite(s)
+	ok := tr.Insert(key, tid)
+	t.unlockShardWrite(s)
+	return ok
 }
 
 // Upsert stores tid under key in the owning shard, returning the replaced
 // TID if one existed. In durable mode the write is logged and group-commit
-// fsynced before Upsert returns.
+// fsynced before Upsert returns. A cold owning shard is promoted first.
 func (t *ShardedTree) Upsert(key []byte, tid TID) (old TID, replaced bool) {
 	s := shard.Find(t.bounds, key)
 	if t.dur != nil {
 		return t.dur.upsert(t, s, key, tid)
 	}
-	return t.shards[s].Upsert(key, tid)
+	tr := t.lockShardWrite(s)
+	old, replaced = tr.Upsert(key, tid)
+	t.unlockShardWrite(s)
+	return old, replaced
 }
 
-// Lookup returns the TID stored under key. It is wait-free.
+// Lookup returns the TID stored under key. It is wait-free: a cold
+// owning shard is served from the page cache without promotion.
 func (t *ShardedTree) Lookup(key []byte) (TID, bool) {
-	return t.shards[shard.Find(t.bounds, key)].Lookup(key)
+	tr, cs := t.view(shard.Find(t.bounds, key))
+	if tr != nil {
+		return tr.Lookup(key)
+	}
+	return cs.lookup(key)
 }
 
 // Delete removes key from the owning shard, reporting whether it was
 // present. In durable mode the write is logged and group-commit fsynced
-// before Delete returns.
+// before Delete returns. A cold owning shard is promoted first.
 func (t *ShardedTree) Delete(key []byte) bool {
 	s := shard.Find(t.bounds, key)
 	if t.dur != nil {
 		return t.dur.delete(t, s, key)
 	}
-	return t.shards[s].Delete(key)
+	tr := t.lockShardWrite(s)
+	ok := tr.Delete(key)
+	t.unlockShardWrite(s)
+	return ok
 }
 
 // LookupBatch looks up all keys as one batch (see Tree.LookupBatch): the
@@ -137,7 +204,15 @@ func (t *ShardedTree) LookupBatch(keys [][]byte, out []TID) []bool {
 		panic("hot: LookupBatch out slice shorter than keys")
 	}
 	if len(t.shards) == 1 {
-		return t.shards[0].LookupBatch(keys, out)
+		if tr, cs := t.view(0); tr != nil {
+			return tr.LookupBatch(keys, out)
+		} else {
+			found := make([]bool, n)
+			for i, k := range keys {
+				out[i], found[i] = cs.lookup(k)
+			}
+			return found
+		}
 	}
 	// Bucket by shard: counting sort of the key indices, preserving the
 	// original order within every bucket.
@@ -168,11 +243,21 @@ func (t *ShardedTree) LookupBatch(keys [][]byte, out []TID) []bool {
 		if lo == hi {
 			continue
 		}
-		bfound := t.shards[s].LookupBatch(bkeys[lo:hi], bout[lo:hi])
+		tr, cs := t.view(s)
+		if tr != nil {
+			bfound := tr.LookupBatch(bkeys[lo:hi], bout[lo:hi])
+			for j := lo; j < hi; j++ {
+				oi := order[j]
+				out[oi] = bout[j]
+				found[oi] = bfound[j-lo]
+			}
+			continue
+		}
+		// Cold bucket: point reads through the page cache — the whole
+		// bucket touches one shard's blocks, so its faults coalesce.
 		for j := lo; j < hi; j++ {
 			oi := order[j]
-			out[oi] = bout[j]
-			found[oi] = bfound[j-lo]
+			out[oi], found[oi] = cs.lookup(bkeys[j])
 		}
 	}
 	return found
@@ -200,41 +285,70 @@ func (t *ShardedTree) Scan(start []byte, max int, fn func(TID) bool) int {
 	return n
 }
 
-// Len returns the total number of stored keys across all shards.
+// Len returns the total number of stored keys across all shards (cold
+// shards contribute their section's entry count).
 func (t *ShardedTree) Len() int {
 	n := 0
-	for _, s := range t.shards {
-		n += s.Len()
+	for s := range t.shards {
+		tr, cs := t.view(s)
+		if tr != nil {
+			n += tr.Len()
+		} else {
+			n += cs.len()
+		}
 	}
 	return n
 }
 
-// Height returns the maximum shard height in compound nodes.
+// Height returns the maximum resident shard height in compound nodes;
+// cold shards have no trie and contribute nothing.
 func (t *ShardedTree) Height() int {
 	h := 0
-	for _, s := range t.shards {
-		if sh := s.Height(); sh > h {
-			h = sh
+	for s := range t.shards {
+		if tr := t.shards[s].tree.Load(); tr != nil {
+			if sh := tr.Height(); sh > h {
+				h = sh
+			}
 		}
 	}
 	return h
 }
 
-// Depths computes the leaf-depth distribution merged across all shards.
+// Depths computes the leaf-depth distribution merged across the resident
+// shards; cold shards have no trie and contribute nothing.
 func (t *ShardedTree) Depths() DepthStats {
 	var d DepthStats
-	for _, s := range t.shards {
-		d = d.Merge(s.Depths())
+	for s := range t.shards {
+		if tr := t.shards[s].tree.Load(); tr != nil {
+			d = d.Merge(tr.Depths())
+		}
 	}
 	return d
 }
 
-// Memory computes the aggregate memory footprint and node-layout census of
-// all shards (the boundary table is negligible and not counted).
+// Memory computes the aggregate memory footprint and node-layout census
+// of all shards (the boundary table is negligible and not counted).
+// Nodes/PaperBytes/GoBytes cover the resident tries only; cold shards
+// report their on-disk section size in ColdBytes and the decoded pages
+// currently cached in CacheBytes, so the resident tree footprint and the
+// page-cache footprint never blend (see MemoryStats).
 func (t *ShardedTree) Memory() MemoryStats {
 	var m MemoryStats
-	for _, s := range t.shards {
-		m = m.Add(s.Memory())
+	ct := t.cold.Load()
+	for s := range t.shards {
+		tr, cs := t.view(s)
+		if tr != nil {
+			m = m.Add(tr.Memory())
+			if ct != nil {
+				m.ResidentShards++
+			}
+		} else {
+			m.ColdShards++
+			m.ColdBytes += cs.pr.SizeBytes()
+		}
+	}
+	if ct != nil {
+		m.CacheBytes = ct.cache.Stats().Bytes
 	}
 	return m
 }
@@ -242,39 +356,73 @@ func (t *ShardedTree) Memory() MemoryStats {
 // OpStats returns the insertion-case and ROWEX robustness counters summed
 // across all shards, plus the async submission-queue counters (deposits,
 // stolen drains, drain batches, full-ring rejections and the current queue
-// depth across all shards).
+// depth across all shards) and, when a cold tier is enabled, the pager
+// counters. Counters of demoted tries are carried forward, so aggregates
+// never decrease across a demotion.
 func (t *ShardedTree) OpStats() OpStats {
 	var o OpStats
-	for _, s := range t.shards {
-		o = o.Add(s.OpStats())
+	ct := t.cold.Load()
+	if ct != nil {
+		ct.statsMu.Lock()
+		o = o.Add(ct.retired)
+		ct.statsMu.Unlock()
+	}
+	for s := range t.shards {
+		if tr := t.shards[s].tree.Load(); tr != nil {
+			o = o.Add(tr.OpStats())
+		}
 	}
 	t.async.queueOpStats(&o)
+	if ct != nil {
+		cs := ct.cache.Stats()
+		o.PageHits = cs.Hits
+		o.PageMisses = cs.Misses
+		o.PageEvictions = cs.Evictions
+		o.Demotions = ct.demotions.Load()
+		o.Promotions = ct.promotions.Load()
+	}
 	return o
 }
 
 // ReclaimStats reports the epoch reclamation counters summed across all
-// shard domains.
+// shard domains, carrying demoted domains' freed totals forward.
 func (t *ShardedTree) ReclaimStats() (freed uint64, pending int64) {
-	for _, s := range t.shards {
-		f, p := s.ReclaimStats()
-		freed += f
-		pending += p
+	if ct := t.cold.Load(); ct != nil {
+		ct.statsMu.Lock()
+		freed += ct.retiredFreed
+		ct.statsMu.Unlock()
+	}
+	for s := range t.shards {
+		if tr := t.shards[s].tree.Load(); tr != nil {
+			f, p := tr.ReclaimStats()
+			freed += f
+			pending += p
+		}
 	}
 	return freed, pending
 }
 
 // Verify checks every shard's structural invariants (see Tree.Verify) and
 // the shard layer's own invariant: every key stored in a shard lies inside
-// the shard's boundary range. Errors are wrapped with the offending shard
-// index; the underlying *CorruptionError remains available via errors.As.
-// Like ConcurrentTree.Verify it must run in a quiescent state.
+// the shard's boundary range. Cold shards are verified from their section
+// files — every block is re-read, CRC-checked and bounds-checked. Errors
+// are wrapped with the offending shard index; the underlying
+// *CorruptionError remains available via errors.As. Like
+// ConcurrentTree.Verify it must run in a quiescent state.
 func (t *ShardedTree) Verify() error {
-	for i, s := range t.shards {
-		if err := s.Verify(); err != nil {
+	for i := range t.shards {
+		tr, cs := t.view(i)
+		if tr == nil {
+			if err := cs.verify(t.bounds); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := tr.Verify(); err != nil {
 			return fmt.Errorf("hot: shard %d: %w", i, err)
 		}
 		var bad error
-		s.SnapshotWalk(func(k []byte, tid TID) bool {
+		tr.SnapshotWalk(func(k []byte, tid TID) bool {
 			if !shard.Check(t.bounds, i, k) {
 				bad = fmt.Errorf("hot: shard %d: key %q outside shard range", i, k)
 				return false
@@ -290,20 +438,47 @@ func (t *ShardedTree) Verify() error {
 
 // ---- cursors ----
 
-// shardSource adapts one shard's iterator into a keyed merge source: it
-// resolves the current TID's key through the loader into a per-source
-// scratch buffer, so the merge can compare the heads of all shards.
+// shardSource adapts one shard's stream into a keyed merge source. A hot
+// shard contributes its trie iterator, resolving the current TID's key
+// through the loader into a per-source scratch buffer; a cold shard
+// contributes a coldCursor whose keys come decoded straight off the page
+// — no loader round-trip. Either way the merge compares the heads of all
+// shards byte-wise.
 type shardSource struct {
 	loader Loader
 	it     core.Iterator
+	cc     coldCursor
+	isCold bool
 	buf    []byte
 	key    []byte
 }
 
-func (s *shardSource) Valid() bool { return s.it.Valid() }
-func (s *shardSource) Key() []byte { return s.key }
-func (s *shardSource) TID() uint64 { return s.it.TID() }
+func (s *shardSource) Valid() bool {
+	if s.isCold {
+		return s.cc.valid()
+	}
+	return s.it.Valid()
+}
+
+func (s *shardSource) Key() []byte {
+	if s.isCold {
+		return s.cc.key()
+	}
+	return s.key
+}
+
+func (s *shardSource) TID() uint64 {
+	if s.isCold {
+		return s.cc.tid()
+	}
+	return s.it.TID()
+}
+
 func (s *shardSource) Next() {
+	if s.isCold {
+		s.cc.next()
+		return
+	}
 	s.it.Next()
 	s.resolve()
 }
@@ -384,8 +559,19 @@ func (t *ShardedTree) seekCursorN(c *ShardedCursor, start []byte, limit int) {
 		if i == first {
 			from = start
 		}
-		s.it = t.shards[i].Iter(from)
-		s.resolve()
+		tr, cs := t.view(i)
+		if tr != nil {
+			s.isCold = false
+			s.it = tr.Iter(from)
+			s.resolve()
+		} else {
+			// The source captures the cold image as of this seek: a
+			// concurrent promotion leaves the open section file intact,
+			// so the cursor keeps streaming it (wait-free semantics,
+			// like a trie cursor observing a retired root).
+			s.isCold = true
+			s.cc.seek(cs, from)
+		}
 		if s.Valid() {
 			c.refs = append(c.refs, s)
 		}

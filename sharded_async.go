@@ -176,9 +176,17 @@ func (t *ShardedTree) Flush() (applied, rejected uint64) {
 				continue
 			}
 			done = false
-			if !w.q.Empty() && w.busy.CompareAndSwap(false, true) {
-				t.drainLocked(s, w)
-				helped = true
+			if !w.q.Empty() {
+				// A non-empty ring implies the shard is hot (deposits
+				// only happen under the shared write guard while hot,
+				// and demotion drains the ring), so the guard below
+				// never triggers a promotion.
+				tr := t.lockShardWrite(s)
+				if w.busy.CompareAndSwap(false, true) {
+					t.drainLocked(s, tr, w)
+					helped = true
+				}
+				t.unlockShardWrite(s)
 			}
 		}
 		if done {
@@ -211,18 +219,25 @@ func (t *ShardedTree) AsyncPending() int { return int(t.async.pending()) }
 // submitAsync routes op to its shard and either applies it directly (fast
 // path: idle shard), deposits it into the shard's ring, or — when the ring
 // is full — steals a drain for another backlogged shard and retries.
+// Every deposit, token acquisition and apply happens under the shard's
+// shared write guard (a no-op without a cold tier): a cold target shard is
+// promoted by the guard, and demotion — which holds the guard exclusively
+// — therefore never races a deposit, so a cold shard's ring is always
+// empty.
 func (t *ShardedTree) submitAsync(op shard.Op) {
 	a := t.async
 	s := shard.Find(t.bounds, op.Key)
 	w := &a.ws[s]
 	w.submitted.Add(1)
 	for attempt := 0; ; attempt++ {
+		tr := t.lockShardWrite(s)
 		// Fast path: the shard is idle and has no backlog — become its
 		// writer and apply directly. The empty check keeps FIFO order with
 		// ops this goroutine already queued.
 		if w.q.Empty() && w.busy.CompareAndSwap(false, true) {
-			t.applyOp(s, op)
-			t.drainLocked(s, w)
+			t.applyOp(s, tr, op)
+			t.drainLocked(s, tr, w)
+			t.unlockShardWrite(s)
 			return
 		}
 		if w.q.TryPush(op) {
@@ -232,17 +247,20 @@ func (t *ShardedTree) submitAsync(op shard.Op) {
 			// between our token check and the deposit. If the token is free
 			// now, take it and drain our own deposit.
 			if w.busy.CompareAndSwap(false, true) {
-				t.drainLocked(s, w)
+				t.drainLocked(s, tr, w)
 			}
+			t.unlockShardWrite(s)
 			return
 		}
 		a.queueFull.Add(1)
 		// Ring full. If the token is free the backlog has no drainer (every
 		// producer lost the same race) — drain it ourselves, then retry.
 		if w.busy.CompareAndSwap(false, true) {
-			t.drainLocked(s, w)
+			t.drainLocked(s, tr, w)
+			t.unlockShardWrite(s)
 			continue
 		}
+		t.unlockShardWrite(s)
 		// The shard is backlogged with an active writer: steal a drain for
 		// some other shard instead of blocking, then retry the deposit.
 		if t.stealOne(s) {
@@ -270,7 +288,7 @@ func (t *ShardedTree) submitAsync(op shard.Op) {
 // checkpoint cut is exact), and the whole slice is group-committed with
 // one fsync before its ops count as applied — Flush's completion barrier
 // is therefore also a durability barrier.
-func (t *ShardedTree) drainLocked(s int, w *asyncShard) {
+func (t *ShardedTree) drainLocked(s int, tr *core.ConcurrentTrie, w *asyncShard) {
 	a := t.async
 	d := t.dur
 	slice := w.sliceLen()
@@ -280,7 +298,7 @@ func (t *ShardedTree) drainLocked(s int, w *asyncShard) {
 		if d != nil {
 			d.mu[s].Lock()
 		}
-		b := t.shards[s].BeginBatch()
+		b := tr.BeginBatch()
 		for n < slice {
 			op, ok := w.q.TryPop()
 			if !ok {
@@ -317,7 +335,9 @@ func (t *ShardedTree) drainLocked(s int, w *asyncShard) {
 }
 
 // stealOne scans the other shards for a backlogged ring with a free writer
-// token, drains the first one found and reports whether it helped.
+// token, drains the first one found and reports whether it helped. The
+// ring pre-check keeps it away from cold shards — their rings are always
+// empty — so the write guard it takes never promotes anything.
 func (t *ShardedTree) stealOne(except int) bool {
 	a := t.async
 	for i := 1; i < len(a.ws); i++ {
@@ -326,28 +346,46 @@ func (t *ShardedTree) stealOne(except int) bool {
 			s -= len(a.ws)
 		}
 		w := &a.ws[s]
+		if w.q.Empty() {
+			continue
+		}
+		tr := t.lockShardWrite(s)
 		if !w.q.Empty() && w.busy.CompareAndSwap(false, true) {
 			a.steals.Add(1)
-			t.drainLocked(s, w)
+			t.drainLocked(s, tr, w)
+			t.unlockShardWrite(s)
 			return true
 		}
+		t.unlockShardWrite(s)
 	}
 	return false
+}
+
+// drainForDemote empties shard s's submission ring during a demotion.
+// The caller holds the shard's write guard exclusively, so no depositor
+// can race and the writer token is necessarily free (every holder takes
+// it under the shared guard): the CAS always wins on the spot.
+func (t *ShardedTree) drainForDemote(s int, tr *core.ConcurrentTrie) {
+	w := &t.async.ws[s]
+	if !w.busy.CompareAndSwap(false, true) {
+		panic("hot: shard writer token held during demotion")
+	}
+	t.drainLocked(s, tr, w)
 }
 
 // applyOp applies one submission to shard s and accounts its completion.
 // In durable mode it logs before applying and commits before counting the
 // op as applied, like a one-op drain slice.
-func (t *ShardedTree) applyOp(s int, op shard.Op) {
+func (t *ShardedTree) applyOp(s int, tr *core.ConcurrentTrie, op shard.Op) {
 	w := &t.async.ws[s]
 	if d := t.dur; d != nil {
 		d.mu[s].Lock()
 		lsn := d.append(s, op)
-		t.applyTree(s, op)
+		t.applyTree(s, tr, op)
 		d.mu[s].Unlock()
 		d.commit(s, lsn)
 	} else {
-		t.applyTree(s, op)
+		t.applyTree(s, tr, op)
 	}
 	w.applied.Add(1)
 }
@@ -355,17 +393,17 @@ func (t *ShardedTree) applyOp(s int, op shard.Op) {
 // applyTree applies one submission to shard s's trie, counting no-op
 // rejections. Completion accounting (applied) is the caller's, so the
 // durable path can defer it past the log commit.
-func (t *ShardedTree) applyTree(s int, op shard.Op) {
+func (t *ShardedTree) applyTree(s int, tr *core.ConcurrentTrie, op shard.Op) {
 	w := &t.async.ws[s]
 	switch op.Kind {
 	case shard.OpInsert:
-		if !t.shards[s].Insert(op.Key, op.TID) {
+		if !tr.Insert(op.Key, op.TID) {
 			w.rejected.Add(1)
 		}
 	case shard.OpUpsert:
-		t.shards[s].Upsert(op.Key, op.TID)
+		tr.Upsert(op.Key, op.TID)
 	case shard.OpDelete:
-		if !t.shards[s].Delete(op.Key) {
+		if !tr.Delete(op.Key) {
 			w.rejected.Add(1)
 		}
 	}

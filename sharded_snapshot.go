@@ -67,7 +67,15 @@ func (t *ShardedTree) writeSectionsHook(w io.Writer, kind uint16, before, after 
 		if err != nil {
 			return err
 		}
-		if err := writeWalk(sw, t.shards[i].SnapshotWalk); err != nil {
+		// A cold shard streams its section from the cold file — the
+		// entries are identical to what its trie held at demotion, and
+		// writers to it are demoted-out, so the section is as consistent
+		// as a hot shard's epoch-pinned walk.
+		if tr, cs := t.view(i); tr != nil {
+			if err := writeWalk(sw, tr.SnapshotWalk); err != nil {
+				return err
+			}
+		} else if err := cs.writeTo(sw); err != nil {
 			return err
 		}
 		if err := sw.Close(); err != nil {
@@ -131,7 +139,7 @@ func (t *ShardedTree) loadShardEntry(i int, key []byte, tid TID) error {
 			Detail: fmt.Sprintf("key %q belongs to shard %d but was stored in shard section %d",
 				key, shard.Find(t.bounds, key), i)}
 	}
-	if !t.shards[i].Insert(key, tid) {
+	if !t.mustTree(i).Insert(key, tid) {
 		return &SnapshotError{Kind: persist.ErrCorrupt,
 			Detail: fmt.Sprintf("key %q not prefix-free under zero-padding", key)}
 	}
@@ -167,8 +175,11 @@ func absolutize(err error, base int64) {
 // from everything before the damage (later shards stay empty), with the
 // report describing the loss; in strict mode any damage is an error. A
 // damaged manifest is always an error — without the boundary table there
-// is no tree to build.
-func readSharded(r io.Reader, kind uint16, loader Loader, check func(key []byte, tid TID) error, salvage bool) (*ShardedTree, RecoveryReport, error) {
+// is no tree to build. A non-nil skip marks shards whose section should
+// be structurally validated but not restored — the durable open passes it
+// for shards superseded by a newer cold section file (see cold.go);
+// skipped entries do not count toward the report.
+func readSharded(r io.Reader, kind uint16, loader Loader, check func(key []byte, tid TID) error, salvage bool, skip func(i int) bool) (*ShardedTree, RecoveryReport, error) {
 	cr := &countingReader{r: r}
 	var rep RecoveryReport
 	var bounds [][]byte
@@ -187,15 +198,21 @@ func readSharded(r io.Reader, kind uint16, loader Loader, check func(key []byte,
 	t := newShardedFromBounds(loader, bounds)
 	for i := range t.shards {
 		base := cr.n
-		n, err := persist.Read(cr, kind, func(key []byte, tid TID) error {
+		sink := func(key []byte, tid TID) error {
 			if check != nil {
 				if cerr := check(key, tid); cerr != nil {
 					return cerr
 				}
 			}
 			return t.loadShardEntry(i, key, tid)
-		})
-		rep.Entries += n
+		}
+		if skip != nil && skip(i) {
+			sink = func([]byte, TID) error { return nil }
+		}
+		n, err := persist.Read(cr, kind, sink)
+		if skip == nil || !skip(i) {
+			rep.Entries += n
+		}
 		if err != nil {
 			absolutize(err, base)
 			errors.As(err, &rep.Damage)
@@ -219,7 +236,7 @@ func LoadShardedTree(r io.Reader, loader Loader) (*ShardedTree, error) {
 	if loader == nil {
 		panic("hot: nil Loader")
 	}
-	t, _, err := readSharded(r, persist.KindTree, loader, nil, false)
+	t, _, err := readSharded(r, persist.KindTree, loader, nil, false, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -252,7 +269,7 @@ func RecoverShardedTreeFile(path string, loader Loader) (*ShardedTree, RecoveryR
 		return nil, RecoveryReport{}, err
 	}
 	defer f.Close()
-	return readSharded(f, persist.KindTree, loader, nil, true)
+	return readSharded(f, persist.KindTree, loader, nil, true, nil)
 }
 
 // ---- ShardedUint64Set ----
@@ -293,7 +310,7 @@ func (s *ShardedUint64Set) SnapshotFile(path string) error {
 // LoadShardedUint64Set rebuilds a ShardedUint64Set from a sharded
 // snapshot, returning a typed *SnapshotError on any corruption.
 func LoadShardedUint64Set(r io.Reader) (*ShardedUint64Set, error) {
-	t, _, err := readSharded(r, persist.KindUint64Set, tidstore.Uint64Key, checkSetEntry, false)
+	t, _, err := readSharded(r, persist.KindUint64Set, tidstore.Uint64Key, checkSetEntry, false, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -319,7 +336,7 @@ func RecoverShardedUint64SetFile(path string) (*ShardedUint64Set, RecoveryReport
 		return nil, RecoveryReport{}, err
 	}
 	defer f.Close()
-	t, rep, err := readSharded(f, persist.KindUint64Set, tidstore.Uint64Key, checkSetEntry, true)
+	t, rep, err := readSharded(f, persist.KindUint64Set, tidstore.Uint64Key, checkSetEntry, true, nil)
 	if err != nil {
 		return nil, rep, err
 	}

@@ -75,6 +75,17 @@ func (t *Tree) SaveFile(path string) error {
 	})
 }
 
+// SaveIndexedFile is SaveFile with the sparse per-block key index
+// appended after the trailer, so the snapshot can later serve point
+// lookups directly from disk (via the cold tier's page cache) without
+// being loaded. The file remains fully readable by LoadTreeFile and
+// older readers, which stop at the trailer.
+func (t *Tree) SaveIndexedFile(path string) error {
+	return persist.SaveIndexedFile(path, persist.KindTree, func(sw *persist.Writer) error {
+		return writeWalk(sw, t.t.Walk)
+	})
+}
+
 // LoadTree rebuilds a Tree from a snapshot, validating checksums, key
 // order and prefix-freeness as it streams entries, and returns a typed
 // *SnapshotError (with the byte offset of the damage) on any corruption.
