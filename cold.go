@@ -169,14 +169,36 @@ func (t *ShardedTree) EnableColdTier(cfg ColdTierConfig) error {
 }
 
 func (t *ShardedTree) enableCold(cfg ColdTierConfig, kind uint16) error {
+	ct, err := t.armCold(cfg, kind)
+	if err != nil {
+		return err
+	}
+	// Enforce the budget now rather than 1024 writes from now, so a tree
+	// loaded above budget and then served read-only still runs cold.
+	if ct.budget > 0 {
+		ct.maintain()
+	}
+	return nil
+}
+
+// armCold installs the cold tier without enableCold's immediate budget
+// pass. The durable open path must use this: it arms the tier
+// mid-recovery, after the snapshot loaded the hot shards but before the
+// recovered cold readers replace their empty placeholder tries, and a
+// maintenance pass at that instant could pick a placeholder as victim —
+// demoting it overwrites the shard's real cold file, its only durable
+// copy (the WAL was rotated at the original demotion cut), with an empty
+// section. Recovery runs the first maintain itself, once the cold
+// readers are installed and the logs replayed.
+func (t *ShardedTree) armCold(cfg ColdTierConfig, kind uint16) (*coldTier, error) {
 	if cfg.Dir == "" {
 		if t.dur == nil {
-			return errors.New("hot: EnableColdTier on a non-durable tree requires ColdTierConfig.Dir")
+			return nil, errors.New("hot: EnableColdTier on a non-durable tree requires ColdTierConfig.Dir")
 		}
 		cfg.Dir = t.dur.dir
 	}
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
-		return err
+		return nil, err
 	}
 	if t.dur != nil {
 		kind = t.dur.kind
@@ -197,16 +219,9 @@ func (t *ShardedTree) enableCold(cfg ColdTierConfig, kind uint16) error {
 		ws:     make([]coldWard, len(t.shards)),
 	}
 	if !t.cold.CompareAndSwap(nil, ct) {
-		return errors.New("hot: cold tier already enabled")
+		return nil, errors.New("hot: cold tier already enabled")
 	}
-	// Enforce the budget now rather than 1024 writes from now, so a tree
-	// loaded above budget and then served read-only still runs cold. On
-	// the recovery path this is a no-op: the tier is armed before any
-	// entries load, so the resident estimate is zero.
-	if ct.budget > 0 {
-		ct.maintain()
-	}
-	return nil
+	return ct, nil
 }
 
 // Demote snapshots shard s to its cold section file and drops its trie
@@ -315,15 +330,20 @@ func (ct *coldTier) demoteLocked(s int) error {
 	if err != nil {
 		return fmt.Errorf("hot: demoting shard %d: reopening %s: %w", s, coldFileName(s), err)
 	}
-	gen := w.gen.Add(1)
-	sl.cold.Store(&coldShard{ct: ct, pr: pr, shard: s, gen: gen})
-	sl.tree.Store(nil)
+	// Fold the trie's final counters into the retired aggregates before
+	// the slot flip: OpStats/ReclaimStats read the aggregates first, then
+	// the live trees, so this order at worst double-counts the shard for
+	// an instant — never the transient dip that would break the
+	// "aggregates never decrease across a demotion" guarantee.
 	ops := tr.OpStats()
 	freed, _ := tr.ReclaimStats()
 	ct.statsMu.Lock()
 	ct.retired = ct.retired.Add(ops)
 	ct.retiredFreed += freed
 	ct.statsMu.Unlock()
+	gen := w.gen.Add(1)
+	sl.cold.Store(&coldShard{ct: ct, pr: pr, shard: s, gen: gen})
+	sl.tree.Store(nil)
 	w.goBytes.Store(0)
 	w.lenAt.Store(0)
 	ct.demotions.Add(1)

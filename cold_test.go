@@ -464,6 +464,93 @@ func TestColdTierDurableRecovery(t *testing.T) {
 	}
 }
 
+// TestColdTierReopenUnderBudget: reopening a store whose previous run
+// left shards cold, with a MemoryBudget below the loaded resident
+// footprint, must never pick a not-yet-installed cold shard as a
+// demotion victim. Before the open-path fix, the enable-time budget pass
+// ran while recovered cold shards were still empty placeholder tries and
+// could demote one — atomically replacing the shard's real cold file,
+// its only durable copy (the WAL was rotated at the original demotion
+// cut), with an empty section. The loss stayed silent until the next
+// open, which this test performs.
+func TestColdTierReopenUnderBudget(t *testing.T) {
+	dir := t.TempDir()
+	keys := dataset.Generate(dataset.URL, 3000, 11)
+	store := &tidstore.Store{}
+	for _, k := range keys {
+		store.Add(k)
+	}
+	cfg := &ColdTierConfig{} // manual transitions in the seeding run
+	tr, _, err := OpenDurableShardedTree(dir, store.Key, 4, keys, DurableOptions{ColdTier: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		if !tr.Insert(k, TID(i)) {
+			t.Fatalf("insert %d failed", i)
+		}
+	}
+	// Checkpoint first: the hot shards' data must be in the snapshot, so
+	// the reopen loads a large resident footprint BEFORE the WALs replay —
+	// the window in which a premature budget pass sees the cold shard as
+	// an empty placeholder trie.
+	if err := tr.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Demote shard 0: with all recency clocks equal, the maintenance scan
+	// picks the lowest index first, so a placeholder-demoting budget pass
+	// at reopen would clobber exactly this shard's section.
+	if err := tr.Demote(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen far above budget: the open-time pass must demote only the
+	// genuinely resident shards, after shard 0's cold reader is installed.
+	small := &ColdTierConfig{MemoryBudget: 1}
+	tr, info, err := OpenDurableShardedTree(dir, store.Key, 4, keys, DurableOptions{ColdTier: small})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ColdShards != 1 || !tr.IsCold(0) {
+		t.Fatalf("recovered ColdShards=%d IsCold(0)=%v, want shard 0 back cold", info.ColdShards, tr.IsCold(0))
+	}
+	if cs := tr.ColdStats(); cs.ColdShards != 3 || cs.ResidentShards != 1 {
+		t.Fatalf("post-open ColdStats = %+v, want the budget pass leaving 1 resident shard", cs)
+	}
+	for i, k := range keys {
+		if tid, ok := tr.Lookup(k); !ok || tid != TID(i) {
+			t.Fatalf("under-budget reopen lookup %q = (%d, %v), want (%d, true)", k, tid, ok, i)
+		}
+	}
+	if err := tr.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The next open is where a clobbered section would surface (shard 0
+	// recovered empty): every key must still be present.
+	tr, _, err = OpenDurableShardedTree(dir, store.Key, 4, keys, DurableOptions{ColdTier: small})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		if tid, ok := tr.Lookup(k); !ok || tid != TID(i) {
+			t.Fatalf("second reopen lookup %q = (%d, %v), want (%d, true)", k, tid, ok, i)
+		}
+	}
+	if err := tr.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestColdTierUint64Set: the set facade demotes and serves cold too.
 func TestColdTierUint64Set(t *testing.T) {
 	vals := make([]uint64, 3000)

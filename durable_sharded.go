@@ -412,10 +412,17 @@ func openDurableSharded(dir string, loader Loader, kind uint16, check func(key [
 	if opts.ColdTier != nil {
 		// Arm the cold tier before replay, so cold-recovered shards can
 		// be lazily materialized by their first log record. The cold
-		// files live in the durable directory by construction.
+		// files live in the durable directory by construction. armCold
+		// (not enableCold) on purpose: the shards that were cold in the
+		// previous run still hold empty placeholder tries at this point,
+		// and enableCold's immediate budget pass could demote one —
+		// overwriting its real cold file, the shard's only durable copy,
+		// with an empty section. The first pass runs at the end of this
+		// open instead, once the cold readers are installed and the logs
+		// replayed.
 		cfg := *opts.ColdTier
 		cfg.Dir = dir
-		if err := t.enableCold(cfg, kind); err != nil {
+		if _, err := t.armCold(cfg, kind); err != nil {
 			closeColds()
 			return nil, info, err
 		}
@@ -488,6 +495,13 @@ func openDurableSharded(dir string, loader Loader, kind uint16, check func(key [
 		if t.shards[s].cold.Load() != nil {
 			info.ColdShards++
 		}
+	}
+	if ct := t.cold.Load(); ct != nil && ct.budget > 0 {
+		// The budget pass deferred from armCold: every shard slot now
+		// holds its real backing, so a tree loaded above budget demotes
+		// genuinely resident shards — never a placeholder standing in
+		// for a not-yet-installed cold section.
+		ct.maintain()
 	}
 	return t, info, nil
 }

@@ -13,6 +13,7 @@
 package pager
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -105,19 +106,28 @@ func (c *Cache) Get(k Key, load func() (*persist.Page, error)) (*persist.Page, e
 	c.mu.Unlock()
 	c.misses.Add(1)
 
+	// Retire the flight and release its waiters even if load panics: an
+	// abandoned flight would block every future Get for this key forever.
+	// The panic still propagates; waiters observe a synthetic error.
+	loaded := false
+	defer func() {
+		if !loaded {
+			fl.page, fl.err = nil, fmt.Errorf("pager: load of shard %d gen %d block %d panicked", k.Shard, k.Gen, k.Block)
+		}
+		c.mu.Lock()
+		delete(c.loading, k)
+		if fl.err == nil {
+			e := &entry{key: k, page: fl.page}
+			c.pages[k] = e
+			c.pushFront(e)
+			c.bytes += int64(fl.page.Bytes)
+			c.evictLocked()
+		}
+		c.mu.Unlock()
+		close(fl.done)
+	}()
 	fl.page, fl.err = load()
-
-	c.mu.Lock()
-	delete(c.loading, k)
-	if fl.err == nil {
-		e := &entry{key: k, page: fl.page}
-		c.pages[k] = e
-		c.pushFront(e)
-		c.bytes += int64(fl.page.Bytes)
-		c.evictLocked()
-	}
-	c.mu.Unlock()
-	close(fl.done)
+	loaded = true
 	return fl.page, fl.err
 }
 

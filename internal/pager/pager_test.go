@@ -3,9 +3,11 @@ package pager
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"github.com/hotindex/hot/internal/persist"
 )
@@ -101,6 +103,53 @@ func TestCacheErrorNotCached(t *testing.T) {
 	}
 	// The key loads cleanly afterwards.
 	mustGet(t, c, Key{}, page(10))
+}
+
+// TestCachePanickingLoadReleasesFlight: a load that panics must not
+// abandon its flight — waiters get a synthetic error instead of blocking
+// on fl.done forever, and the key stays loadable afterwards.
+func TestCachePanickingLoadReleasesFlight(t *testing.T) {
+	c := New(1 << 20)
+	k := Key{Shard: 2, Gen: 3, Block: 4}
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		defer func() { recover() }() // the panic must still propagate to us
+		c.Get(k, func() (*persist.Page, error) {
+			close(entered)
+			<-release
+			panic("load blew up")
+		})
+	}()
+	<-entered
+
+	// A waiter joins the in-progress flight, then the load panics: the
+	// waiter must return an error rather than hang.
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Get(k, func() (*persist.Page, error) { return page(10), nil })
+		done <- err
+	}()
+	// Give the waiter a moment to register on the flight before releasing
+	// the panic; joining after the flight retires just reloads cleanly, so
+	// either interleaving must end with a non-blocked waiter.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	select {
+	case err := <-done:
+		if err != nil && !strings.Contains(err.Error(), "panicked") {
+			t.Fatalf("waiter error = %v, want nil (fresh load) or synthetic panic error", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter still blocked on the panicked flight")
+	}
+
+	// The key left c.loading: a later Get runs a fresh load and succeeds.
+	mustGet(t, c, k, page(10))
+	if st := c.Stats(); st.Pages != 1 {
+		t.Fatalf("stats after recovery = %+v, want the page resident", st)
+	}
 }
 
 func TestCacheInvalidateShard(t *testing.T) {
