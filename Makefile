@@ -1,5 +1,5 @@
 # Development entry points. `make all` is the full local CI pass; the
-# hosted pipeline (.github/workflows/ci.yml) runs the same seven tiers as
+# hosted pipeline (.github/workflows/ci.yml) runs the same eight tiers as
 # separate gating jobs (TestCIWorkflowCoversAllTiers keeps the two in
 # sync).
 
@@ -9,9 +9,9 @@ GO ?= go
 # FUZZTIME=20s to fit its time box.
 FUZZTIME ?= 30s
 
-.PHONY: all ci check race chaos crash wal server-smoke net-chaos cold fuzz bench bench-json clean
+.PHONY: all ci check race chaos crash wal server-smoke net-chaos cold codec fuzz bench bench-json clean
 
-all: check race chaos crash server-smoke net-chaos cold
+all: check race chaos crash server-smoke net-chaos cold codec
 
 # `make ci` is the conventional alias the hosted pipeline and humans share.
 ci: all
@@ -90,6 +90,16 @@ cold:
 	$(GO) test -race -count=1 ./internal/pager/
 	$(GO) test -run 'TestPageReader|TestSaveIndexedFile' -count=1 ./internal/persist/
 
+# Codec tier: the packed-block snapshot codec under -race — encode/decode
+# round trips across key shapes, byte-identity of raw files, truncation
+# and bit-flip sweeps over packed snapshots (salvage never fabricates),
+# the codec-skew matrix (packed file + codec-disabled reader fails typed,
+# old raw files always load), the crash matrix swept over both codecs,
+# and the cold tier serving reads from packed section files against a
+# resident oracle.
+codec:
+	$(GO) test -race -run 'TestCodec' -count=1 -v ./internal/persist/ .
+
 # Short exploratory fuzz burst over each public-API fuzz target.
 # This list must track the Fuzz* functions across all _test.go files — add
 # a line here whenever a target is added (TestMakefileFuzzListCoversAllTargets
@@ -104,6 +114,7 @@ fuzz:
 	$(GO) test -fuzz FuzzSnapshotRoundTrip -fuzztime $(FUZZTIME) .
 	$(GO) test -fuzz FuzzWALReplay -fuzztime $(FUZZTIME) .
 	$(GO) test -fuzz FuzzPageReader -fuzztime $(FUZZTIME) ./internal/persist/
+	$(GO) test -fuzz FuzzBlockCodec -fuzztime $(FUZZTIME) ./internal/persist/
 	$(GO) test -fuzz FuzzServerFrame -fuzztime $(FUZZTIME) ./internal/server/
 	$(GO) test -fuzz FuzzWireResume -fuzztime $(FUZZTIME) ./internal/wire/
 
@@ -125,7 +136,11 @@ bench:
 # BENCH_8.json; the seventh measures the cost of running larger than RAM —
 # the durable workload unbounded vs. memory budgets of roughly 1/2 and 1/4
 # of the resident footprint, with demotion/promotion counts and the page-
-# cache hit rate per record — into BENCH_9.json.
+# cache hit rate per record — into BENCH_9.json; the eighth measures the
+# packed snapshot codec — the durable workload with raw vs packed blocks,
+# with and without a cold-tier budget, recording checkpoint and
+# replication-bootstrap bytes plus read-latency percentiles over packed
+# cold pages — into BENCH_10.json.
 bench-json:
 	$(GO) run ./cmd/hot-ycsb -n 200000 -ops 400000 -workloads C,load -indexes hot -batch 0,16 -json BENCH_2.json
 	$(GO) run ./cmd/hot-ycsb -n 200000 -ops 400000 -workloads load,A -datasets integer,url -indexes hot -shards 1,2,4,8 -json BENCH_4.json
@@ -134,6 +149,7 @@ bench-json:
 	$(GO) run ./cmd/hot-ycsb -n 100000 -ops 200000 -workloads C -datasets integer -indexes hot -shards 4 -net 0,1 -wal 0,1 -json BENCH_7.json
 	$(GO) run ./cmd/hot-ycsb -n 100000 -ops 200000 -workloads C,A -datasets integer -indexes hot -shards 4 -net 1 -conns 4,64,256 -latency -json BENCH_8.json
 	$(GO) run ./cmd/hot-ycsb -n 200000 -ops 400000 -workloads C,A -datasets integer,url -indexes hot -shards 8 -wal 1 -mem-budget 0,-2,-4 -json BENCH_9.json
+	$(GO) run ./cmd/hot-ycsb -n 200000 -ops 400000 -workloads C -datasets integer,url -indexes hot -shards 8 -wal 1 -mem-budget 0,-2 -codec raw,packed -latency -json BENCH_10.json
 
 clean:
 	$(GO) clean -testcache

@@ -7,9 +7,19 @@
 //	hot-snap                                 # all four data sets, 1M keys
 //	hot-snap -n 200000 -datasets url,integer
 //	hot-snap -json SNAP.json                 # machine-readable records
+//	hot-snap -codec packed                   # delta-compressed blocks
+//	hot-snap -codec packed -baseline results/codec_baseline.json
+//
+// The integer data set is saved under the embedded-TID convention (every
+// TID is the big-endian decode of its 8-byte key, resolved through
+// tidstore.Uint64Key), the shape the packed codec elides TID streams for
+// entirely — the paper's key-embedding optimization. With -baseline, each
+// data set's bytes/key is compared against the checked-in baseline and
+// the run fails if any regresses by more than 5%.
 package main
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -25,27 +35,42 @@ import (
 
 // record is one data set's result in the -json output.
 type record struct {
-	Dataset     string    `json:"dataset"`
-	N           int       `json:"n"`
-	Bytes       int64     `json:"bytes"`
-	BytesPerKey float64   `json:"bytes_per_key"`
-	SaveMs      float64   `json:"save_ms"`
-	LoadMs      float64   `json:"load_ms"`
-	RebuildMs   float64   `json:"rebuild_ms"`
-	Speedup     float64   `json:"speedup"`
-	Sections    []section `json:"sections"`
+	Dataset     string  `json:"dataset"`
+	Codec       string  `json:"codec"`
+	N           int     `json:"n"`
+	Bytes       int64   `json:"bytes"`
+	BytesPerKey float64 `json:"bytes_per_key"`
+	// UnpackedBytes is what the same snapshot occupies with every block
+	// raw; Bytes/UnpackedBytes is the achieved compression ratio.
+	UnpackedBytes int64     `json:"unpacked_bytes"`
+	PackedBlocks  int       `json:"packed_blocks"`
+	SaveMs        float64   `json:"save_ms"`
+	LoadMs        float64   `json:"load_ms"`
+	RebuildMs     float64   `json:"rebuild_ms"`
+	Speedup       float64   `json:"speedup"`
+	Sections      []section `json:"sections"`
+}
+
+// baseline is the checked-in bytes/key reference the nightly CI job
+// compares against (results/codec_baseline.json).
+type baseline struct {
+	Codec       string             `json:"codec"`
+	N           int                `json:"n"`
+	BytesPerKey map[string]float64 `json:"bytes_per_key"`
 }
 
 // section is the on-disk layout of one snapshot section, from
 // persist.ScanSections — how the bytes divide into CRC-framed blocks
 // and (for indexed files) the trailing HIDX block index.
 type section struct {
-	Kind        string  `json:"kind"`
-	Bytes       int64   `json:"bytes"`
-	Blocks      int     `json:"blocks"`
-	Entries     uint64  `json:"entries"`
-	BytesPerKey float64 `json:"bytes_per_key"`
-	IndexBytes  int64   `json:"index_bytes,omitempty"`
+	Kind          string  `json:"kind"`
+	Bytes         int64   `json:"bytes"`
+	Blocks        int     `json:"blocks"`
+	PackedBlocks  int     `json:"packed_blocks"`
+	UnpackedBytes int64   `json:"unpacked_bytes"`
+	Entries       uint64  `json:"entries"`
+	BytesPerKey   float64 `json:"bytes_per_key"`
+	IndexBytes    int64   `json:"index_bytes,omitempty"`
 }
 
 // kindName maps a section header's content kind to a stable label.
@@ -67,14 +92,36 @@ func kindName(k uint16) string {
 
 func main() {
 	var (
-		n        = flag.Int("n", 1_000_000, "keys per data set")
-		datasets = flag.String("datasets", "url,email,yago,integer", "comma list of data sets")
-		dir      = flag.String("dir", "", "directory for snapshot files (default: a temp dir, removed on exit)")
-		indexed  = flag.Bool("indexed", false, "save with the sparse block index (the cold tier's on-disk lookup format)")
-		jsonPath = flag.String("json", "", "additionally write results as a JSON array to this file")
-		seed     = flag.Int64("seed", 2018, "data seed")
+		n         = flag.Int("n", 1_000_000, "keys per data set")
+		datasets  = flag.String("datasets", "url,email,yago,integer", "comma list of data sets")
+		dir       = flag.String("dir", "", "directory for snapshot files (default: a temp dir, removed on exit)")
+		indexed   = flag.Bool("indexed", false, "save with the sparse block index (the cold tier's on-disk lookup format)")
+		jsonPath  = flag.String("json", "", "additionally write results as a JSON array to this file")
+		seed      = flag.Int64("seed", 2018, "data seed")
+		codecName = flag.String("codec", "raw", "snapshot block codec: raw or packed")
+		basePath  = flag.String("baseline", "", "compare bytes/key against this baseline JSON; exit 1 on a >5% regression")
 	)
 	flag.Parse()
+
+	// Validate the codec before any work: a typo must be a hard error, not
+	// a silent fall-through to raw (same contract as -datasets).
+	codec, err := hot.ParseSnapshotCodec(*codecName)
+	die(err)
+	var base *baseline
+	if *basePath != "" {
+		blob, err := os.ReadFile(*basePath)
+		die(err)
+		base = &baseline{}
+		die(json.Unmarshal(blob, base))
+		if base.Codec != codec.String() {
+			die(fmt.Errorf("baseline %s was recorded for codec %q, this run uses %q",
+				*basePath, base.Codec, codec))
+		}
+		if base.N != *n {
+			die(fmt.Errorf("baseline %s was recorded at -n %d, this run uses -n %d",
+				*basePath, base.N, *n))
+		}
+	}
 
 	out := *dir
 	if out == "" {
@@ -84,25 +131,38 @@ func main() {
 		out = tmp
 	}
 
-	fmt.Printf("%d keys per data set, snapshots in %s\n", *n, out)
+	fmt.Printf("%d keys per data set, codec %s, snapshots in %s\n", *n, codec, out)
 	fmt.Printf("%-9s %10s %12s %9s %9s %11s %8s\n",
 		"dataset", "n", "bytes", "save_ms", "load_ms", "rebuild_ms", "speedup")
 
 	var records []record
+	regressed := false
 	for _, name := range splitComma(*datasets) {
 		kind, err := dataset.ParseKind(name)
 		die(err)
 		keys := dataset.Generate(kind, *n, *seed)
-		store := &tidstore.Store{}
+		// Integer keys use the embedded-TID convention: the TID is the key,
+		// so the snapshot needs no TID storage at all (and the packed codec
+		// elides the TID stream). Everything else resolves through a store.
+		loader := hot.Loader(tidstore.Uint64Key)
 		tids := make([]uint64, len(keys))
-		for i, k := range keys {
-			tids[i] = store.Add(k)
+		if kind == dataset.Integer {
+			for i, k := range keys {
+				tids[i] = binary.BigEndian.Uint64(k)
+			}
+		} else {
+			store := &tidstore.Store{}
+			for i, k := range keys {
+				tids[i] = store.Add(k)
+			}
+			loader = store.Key
 		}
 
 		// Build the original index (also the rebuild-path baseline shape).
 		build := func() (*hot.Tree, time.Duration) {
 			start := time.Now()
-			tr := hot.New(store.Key)
+			tr := hot.New(loader)
+			tr.SetSnapshotCodec(codec)
 			for i, k := range keys {
 				tr.Insert(k, tids[i])
 			}
@@ -122,7 +182,7 @@ func main() {
 		die(err)
 
 		start = time.Now()
-		loaded, err := hot.LoadTreeFile(path, store.Key)
+		loaded, err := hot.LoadTreeFile(path, loader)
 		die(err)
 		loadDur := time.Since(start)
 
@@ -135,37 +195,65 @@ func main() {
 		infos, err := persist.ScanSections(path)
 		die(err)
 		var secs []section
+		var packedBlocks int
+		var unpackedBytes int64
 		for _, si := range infos {
 			s := section{
-				Kind:       kindName(si.Kind),
-				Bytes:      si.Bytes,
-				Blocks:     si.Blocks,
-				Entries:    si.Entries,
-				IndexBytes: si.IndexBytes,
+				Kind:          kindName(si.Kind),
+				Bytes:         si.Bytes,
+				Blocks:        si.Blocks,
+				PackedBlocks:  si.PackedBlocks,
+				UnpackedBytes: si.UnpackedBytes,
+				Entries:       si.Entries,
+				IndexBytes:    si.IndexBytes,
 			}
 			if si.Entries > 0 {
 				s.BytesPerKey = float64(si.Bytes) / float64(si.Entries)
 			}
+			packedBlocks += si.PackedBlocks
+			unpackedBytes += si.UnpackedBytes + si.IndexBytes
 			secs = append(secs, s)
 		}
 
 		rec := record{
-			Dataset:     name,
-			N:           len(keys),
-			Bytes:       fi.Size(),
-			BytesPerKey: float64(fi.Size()) / float64(len(keys)),
-			SaveMs:      ms(saveDur),
-			LoadMs:      ms(loadDur),
-			RebuildMs:   ms(rebuildDur),
-			Speedup:     rebuildDur.Seconds() / loadDur.Seconds(),
-			Sections:    secs,
+			Dataset:       name,
+			Codec:         codec.String(),
+			N:             len(keys),
+			Bytes:         fi.Size(),
+			BytesPerKey:   float64(fi.Size()) / float64(len(keys)),
+			UnpackedBytes: unpackedBytes,
+			PackedBlocks:  packedBlocks,
+			SaveMs:        ms(saveDur),
+			LoadMs:        ms(loadDur),
+			RebuildMs:     ms(rebuildDur),
+			Speedup:       rebuildDur.Seconds() / loadDur.Seconds(),
+			Sections:      secs,
 		}
 		records = append(records, rec)
 		fmt.Printf("%-9s %10d %12d %9.1f %9.1f %11.1f %7.2fx\n",
 			rec.Dataset, rec.N, rec.Bytes, rec.SaveMs, rec.LoadMs, rec.RebuildMs, rec.Speedup)
 		for _, s := range secs {
-			fmt.Printf("          section %-9s %8d blocks, %5.1f B/key, index %d B\n",
-				s.Kind, s.Blocks, s.BytesPerKey, s.IndexBytes)
+			fmt.Printf("          section %-9s %8d blocks (%d packed), %5.1f B/key, index %d B\n",
+				s.Kind, s.Blocks, s.PackedBlocks, s.BytesPerKey, s.IndexBytes)
+		}
+		if rec.PackedBlocks > 0 {
+			fmt.Printf("          packed to %.1f%% of the raw layout (%d of %d B)\n",
+				100*float64(rec.Bytes)/float64(rec.UnpackedBytes), rec.Bytes, rec.UnpackedBytes)
+		}
+
+		if base != nil {
+			want, ok := base.BytesPerKey[name]
+			if !ok {
+				die(fmt.Errorf("baseline %s has no entry for data set %q", *basePath, name))
+			}
+			if rec.BytesPerKey > want*1.05 {
+				fmt.Fprintf(os.Stderr, "hot-snap: %s bytes/key regressed: %.2f vs baseline %.2f (+%.1f%%)\n",
+					name, rec.BytesPerKey, want, 100*(rec.BytesPerKey/want-1))
+				regressed = true
+			} else {
+				fmt.Printf("          baseline %.2f B/key, measured %.2f (%+.1f%%)\n",
+					want, rec.BytesPerKey, 100*(rec.BytesPerKey/want-1))
+			}
 		}
 	}
 
@@ -174,6 +262,9 @@ func main() {
 		die(err)
 		die(os.WriteFile(*jsonPath, append(blob, '\n'), 0o644))
 		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+	if regressed {
+		os.Exit(1)
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -40,8 +41,15 @@ type record struct {
 	Wal      int     `json:"wal"`
 	Net      int     `json:"net"`
 	Conns    int     `json:"conns"`
+	Codec    string  `json:"codec,omitempty"`
 	Mops     float64 `json:"mops"`
 	Misses   int     `json:"misses"`
+	// SnapshotBytes is the size of a checkpoint taken after the run
+	// (durable configs); BootstrapBytes is what a replication bootstrap
+	// streams for the same tree (sharded in-process configs). Both shrink
+	// under -codec packed.
+	SnapshotBytes  int64 `json:"snapshot_bytes,omitempty"`
+	BootstrapBytes int64 `json:"bootstrap_bytes,omitempty"`
 	// Cold-tier fields, present only for -mem-budget configs.
 	MemBudget  int64   `json:"mem_budget,omitempty"`
 	ColdShards int     `json:"cold_shards,omitempty"`
@@ -73,6 +81,7 @@ func main() {
 		netMode   = flag.String("net", "0", "comma list of 0/1: drive the index over TCP through hot-server instead of in-process (1 requires a sharded hot config; single client connection)")
 		conns     = flag.String("conns", "0", "comma list of connection-pool sizes for -net 1 configs: N>0 drives the workload through a pool of N connections with one worker per connection (0 = one dedicated connection, single-threaded)")
 		addr      = flag.String("addr", "", "external hot-server address for -net 1 configs (empty: spawn a loopback server per configuration)")
+		codecList = flag.String("codec", "raw", "comma list of snapshot block codecs (raw|packed) for sharded configs: selects checkpoint/bootstrap encoding and records their sizes (packed requires a sharded in-process config)")
 		jsonPath  = flag.String("json", "", "additionally write results as a JSON array to this file")
 		seed      = flag.Int64("seed", 2018, "data/workload seed")
 	)
@@ -134,6 +143,14 @@ func main() {
 		v, err := strconv.ParseInt(m, 10, 64)
 		die(err)
 		budgets = append(budgets, v)
+	}
+	// Codec names are validated up front, like -dists: a typo is a hard
+	// error before any load phase runs, never a silent fall-through to raw.
+	var codecs []hot.SnapshotCodec
+	for _, c := range split(*codecList) {
+		v, err := hot.ParseSnapshotCodec(c)
+		die(err)
+		codecs = append(codecs, v)
 	}
 
 	wNames := split(*workloads)
@@ -215,171 +232,204 @@ func main() {
 												if nm && am && cn > 0 {
 													continue // a pool borrows per op: no pipeline for the async contract
 												}
-												var inst bench.Instance
-												var durable *hot.ShardedTree
-												var walDir string
-												var srv *server.Server
-												var remote *ycsb.RemoteIndex
-												var pooled *ycsb.PooledRemoteIndex
-												if wm {
-													var err error
-													walDir, err = os.MkdirTemp("", "hot-ycsb-wal-*")
-													die(err)
-												}
-												if nm {
-													// Networked configuration: the index lives behind
-													// hot-server and the runner drives it through the
-													// wire. With -conns 0 a single RemoteIndex owns one
-													// connection, so the row runs single-threaded; with
-													// -conns N a shared pool serves N concurrent workers.
-													target := *addr
-													if target == "" {
-														var err error
-														srv, err = server.New(server.Options{Shards: sc, Sample: data.Keys[:*n], Dir: walDir})
-														die(err)
-														target, err = srv.Listen("127.0.0.1:0")
-														die(err)
+												for _, codec := range codecs {
+													if codec != hot.SnapshotCodecRaw && (sc == 0 || nm) {
+														continue // codecs shape snapshots of the in-process sharded tree
 													}
-													if cn > 0 {
-														pooled = ycsb.DialPool(target, cn)
-														inst = bench.NewInstance(fmt.Sprintf("hot-s%d", sc), pooled, func() int { return 0 })
-													} else {
-														var err error
-														remote, err = ycsb.Dial(target)
-														die(err)
-														inst = bench.NewInstance(fmt.Sprintf("hot-s%d", sc), remote, func() int { return 0 })
-													}
-												} else if sc > 0 {
-													var t *hot.ShardedTree
+													var inst bench.Instance
+													var durable, sharded *hot.ShardedTree
+													var walDir string
+													var srv *server.Server
+													var remote *ycsb.RemoteIndex
+													var pooled *ycsb.PooledRemoteIndex
 													if wm {
 														var err error
-														t, _, err = hot.OpenDurableShardedTree(walDir, data.Store.Key, sc, data.Keys[:*n], hot.DurableOptions{})
+														walDir, err = os.MkdirTemp("", "hot-ycsb-wal-*")
 														die(err)
-														durable = t
-													} else {
-														t = hot.NewShardedTree(data.Store.Key, sc, data.Keys[:*n])
 													}
-													inst = bench.NewInstance(fmt.Sprintf("hot-s%d", sc), t,
-														func() int { return t.Memory().PaperBytes })
-												} else {
-													var err error
-													inst, err = bench.New(iname, data.Store)
-													die(err)
-												}
-												r := data.Runner(inst, *n, *seed)
-												r.CaptureLatency = *latency
-												r.BatchLookups = b
-												r.Async = am
-												loadThreads := 1
-												if sc > 0 && !nm {
-													loadThreads = *threads
-													if loadThreads <= 0 {
-														loadThreads = sc
-													}
-												} else if pooled != nil {
-													// One worker per pooled connection.
-													loadThreads = cn
-												}
-												var res ycsb.Result
-												var coldBudget int64
-												if w.Name == "load" {
-													res = r.LoadParallel(loadThreads)
-												} else {
-													r.LoadParallel(loadThreads)
-													if mb != 0 && durable != nil {
-														// Arm the cold tier against the loaded
-														// footprint: -k budgets resolve to 1/k of
-														// the measured resident bytes, and
-														// EnableColdTier demotes down to budget
-														// before the transaction phase starts.
-														coldBudget = mb
-														if coldBudget < 0 {
-															coldBudget = int64(durable.Memory().GoBytes) / -mb
+													if nm {
+														// Networked configuration: the index lives behind
+														// hot-server and the runner drives it through the
+														// wire. With -conns 0 a single RemoteIndex owns one
+														// connection, so the row runs single-threaded; with
+														// -conns N a shared pool serves N concurrent workers.
+														target := *addr
+														if target == "" {
+															var err error
+															srv, err = server.New(server.Options{Shards: sc, Sample: data.Keys[:*n], Dir: walDir})
+															die(err)
+															target, err = srv.Listen("127.0.0.1:0")
+															die(err)
 														}
-														die(durable.EnableColdTier(hot.ColdTierConfig{MemoryBudget: coldBudget}))
+														if cn > 0 {
+															pooled = ycsb.DialPool(target, cn)
+															inst = bench.NewInstance(fmt.Sprintf("hot-s%d", sc), pooled, func() int { return 0 })
+														} else {
+															var err error
+															remote, err = ycsb.Dial(target)
+															die(err)
+															inst = bench.NewInstance(fmt.Sprintf("hot-s%d", sc), remote, func() int { return 0 })
+														}
+													} else if sc > 0 {
+														var t *hot.ShardedTree
+														if wm {
+															var err error
+															t, _, err = hot.OpenDurableShardedTree(walDir, data.Store.Key, sc, data.Keys[:*n], hot.DurableOptions{Codec: codec})
+															die(err)
+															durable = t
+														} else {
+															t = hot.NewShardedTree(data.Store.Key, sc, data.Keys[:*n])
+															t.SetSnapshotCodec(codec)
+														}
+														sharded = t
+														inst = bench.NewInstance(fmt.Sprintf("hot-s%d", sc), t,
+															func() int { return t.Memory().PaperBytes })
+													} else {
+														var err error
+														inst, err = bench.New(iname, data.Store)
+														die(err)
 													}
-													// loadThreads > 1 only for sharded
-													// configs — the only index safe for
-													// concurrent transaction clients.
-													res = r.RunParallel(w, dist, *ops, loadThreads)
-												}
-												name := inst.Name
-												if am {
-													name += "+q"
-												}
-												if wm {
-													name += "+wal"
-												}
-												if mb != 0 {
-													name += "+cold"
-												}
-												if nm {
-													name += "+net"
+													r := data.Runner(inst, *n, *seed)
+													r.CaptureLatency = *latency
+													r.BatchLookups = b
+													r.Async = am
+													loadThreads := 1
+													if sc > 0 && !nm {
+														loadThreads = *threads
+														if loadThreads <= 0 {
+															loadThreads = sc
+														}
+													} else if pooled != nil {
+														// One worker per pooled connection.
+														loadThreads = cn
+													}
+													var res ycsb.Result
+													var coldBudget int64
+													if w.Name == "load" {
+														res = r.LoadParallel(loadThreads)
+													} else {
+														r.LoadParallel(loadThreads)
+														if mb != 0 && durable != nil {
+															// Arm the cold tier against the loaded
+															// footprint: -k budgets resolve to 1/k of
+															// the measured resident bytes, and
+															// EnableColdTier demotes down to budget
+															// before the transaction phase starts.
+															coldBudget = mb
+															if coldBudget < 0 {
+																coldBudget = int64(durable.Memory().GoBytes) / -mb
+															}
+															die(durable.EnableColdTier(hot.ColdTierConfig{MemoryBudget: coldBudget}))
+														}
+														// loadThreads > 1 only for sharded
+														// configs — the only index safe for
+														// concurrent transaction clients.
+														res = r.RunParallel(w, dist, *ops, loadThreads)
+													}
+													name := inst.Name
+													if am {
+														name += "+q"
+													}
+													if wm {
+														name += "+wal"
+													}
+													if mb != 0 {
+														name += "+cold"
+													}
+													if nm {
+														name += "+net"
+														if pooled != nil {
+															name += fmt.Sprintf("+c%d", cn)
+														}
+													}
+													if codec != hot.SnapshotCodecRaw {
+														name += "+" + codec.String()
+													}
+													// Snapshot-size measurements for sharded in-process
+													// configs: what a replication bootstrap streams, and
+													// (durable) what a checkpoint leaves on disk.
+													var snapBytes, bootBytes int64
+													if sharded != nil {
+														var cw countWriter
+														die(sharded.SnapshotTo(&cw))
+														bootBytes = cw.n
+														if durable != nil {
+															die(durable.Checkpoint())
+															fi, err := os.Stat(filepath.Join(walDir, "snap.hot"))
+															die(err)
+															snapBytes = fi.Size()
+														}
+													}
+													fmt.Printf("%-9s %-26s %-8s %-10s %6d %10.3f %9d",
+														ds, w.Name+" ("+w.Description+")", dist, name, b, res.Mops(), res.NotFound)
+													if res.Latency != nil {
+														fmt.Printf("   %s", res.Latency)
+													}
+													fmt.Println()
+													if *opstats {
+														if st, ok := inst.Idx.(interface{ OpStats() hot.OpStats }); ok {
+															fmt.Printf("%-9s   opstats: %s\n", "", st.OpStats())
+														}
+													}
+													asyncRec, walRec, netRec := 0, 0, 0
+													if am {
+														asyncRec = 1
+													}
+													if wm {
+														walRec = 1
+													}
+													if nm {
+														netRec = 1
+													}
+													connsRec := 0
 													if pooled != nil {
-														name += fmt.Sprintf("+c%d", cn)
+														connsRec = cn
 													}
-												}
-												fmt.Printf("%-9s %-26s %-8s %-10s %6d %10.3f %9d",
-													ds, w.Name+" ("+w.Description+")", dist, name, b, res.Mops(), res.NotFound)
-												if res.Latency != nil {
-													fmt.Printf("   %s", res.Latency)
-												}
-												fmt.Println()
-												if *opstats {
-													if st, ok := inst.Idx.(interface{ OpStats() hot.OpStats }); ok {
-														fmt.Printf("%-9s   opstats: %s\n", "", st.OpStats())
+													rec := record{
+														Dataset: ds, Workload: w.Name, Dist: dist.String(), Index: name,
+														Batch: b, Shards: sc, Threads: loadThreads, Async: asyncRec, Wal: walRec, Net: netRec,
+														Conns: connsRec, Mops: res.Mops(), Misses: res.NotFound,
+														SnapshotBytes: snapBytes, BootstrapBytes: bootBytes,
 													}
-												}
-												asyncRec, walRec, netRec := 0, 0, 0
-												if am {
-													asyncRec = 1
-												}
-												if wm {
-													walRec = 1
-												}
-												if nm {
-													netRec = 1
-												}
-												connsRec := 0
-												if pooled != nil {
-													connsRec = cn
-												}
-												rec := record{
-													Dataset: ds, Workload: w.Name, Dist: dist.String(), Index: name,
-													Batch: b, Shards: sc, Threads: loadThreads, Async: asyncRec, Wal: walRec, Net: netRec,
-													Conns: connsRec, Mops: res.Mops(), Misses: res.NotFound,
-												}
-												if res.Latency != nil {
-													us := func(q float64) float64 {
-														return float64(res.Latency.Quantile(q)) / 1e3
+													if sharded != nil {
+														rec.Codec = codec.String()
+														if len(codecs) > 1 || codec != hot.SnapshotCodecRaw {
+															fmt.Printf("%-9s   snapshot: bootstrap=%d B checkpoint=%d B (codec %s)\n",
+																"", bootBytes, snapBytes, codec)
+														}
 													}
-													rec.P50us, rec.P99us, rec.P999us = us(0.50), us(0.99), us(0.999)
-												}
-												if mb != 0 && durable != nil {
-													cs := durable.ColdStats()
-													rec.MemBudget = coldBudget
-													rec.ColdShards = cs.ColdShards
-													rec.Demotions = cs.Demotions
-													rec.Promotions = cs.Promotions
-													rec.HitRate = cs.HitRate()
-													fmt.Printf("%-9s   cold: shards=%d/%d demotions=%d promotions=%d hit_rate=%.3f\n",
-														"", cs.ColdShards, sc, cs.Demotions, cs.Promotions, cs.HitRate())
-												}
-												records = append(records, rec)
-												if pooled != nil {
-													die(pooled.Close())
-												}
-												if remote != nil {
-													die(remote.Close())
-												}
-												if srv != nil {
-													die(srv.Close())
-												}
-												if durable != nil {
-													die(durable.Close())
-												}
-												if walDir != "" {
-													die(os.RemoveAll(walDir))
+													if res.Latency != nil {
+														us := func(q float64) float64 {
+															return float64(res.Latency.Quantile(q)) / 1e3
+														}
+														rec.P50us, rec.P99us, rec.P999us = us(0.50), us(0.99), us(0.999)
+													}
+													if mb != 0 && durable != nil {
+														cs := durable.ColdStats()
+														rec.MemBudget = coldBudget
+														rec.ColdShards = cs.ColdShards
+														rec.Demotions = cs.Demotions
+														rec.Promotions = cs.Promotions
+														rec.HitRate = cs.HitRate()
+														fmt.Printf("%-9s   cold: shards=%d/%d demotions=%d promotions=%d hit_rate=%.3f\n",
+															"", cs.ColdShards, sc, cs.Demotions, cs.Promotions, cs.HitRate())
+													}
+													records = append(records, rec)
+													if pooled != nil {
+														die(pooled.Close())
+													}
+													if remote != nil {
+														die(remote.Close())
+													}
+													if srv != nil {
+														die(srv.Close())
+													}
+													if durable != nil {
+														die(durable.Close())
+													}
+													if walDir != "" {
+														die(os.RemoveAll(walDir))
+													}
 												}
 											}
 										}
@@ -398,6 +448,15 @@ func main() {
 		die(os.WriteFile(*jsonPath, append(blob, '\n'), 0o644))
 		fmt.Printf("wrote %d records to %s\n", len(records), *jsonPath)
 	}
+}
+
+// countWriter counts bytes without keeping them — sizing a replication
+// bootstrap stream without materializing it.
+type countWriter struct{ n int64 }
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
 }
 
 func split(s string) []string {

@@ -322,6 +322,7 @@ func (ct *coldTier) demoteLocked(s int) error {
 	t.drainForDemote(s, tr)
 	path := ct.coldPath(s)
 	if err := persist.SaveIndexedFile(path, ct.kind, func(sw *persist.Writer) error {
+		sw.SetCodec(t.SnapshotCodec())
 		return writeWalk(sw, tr.SnapshotWalk)
 	}); err != nil {
 		return fmt.Errorf("hot: demoting shard %d: %w", s, err)
@@ -412,8 +413,8 @@ func (ct *coldTier) buildTree(cs *coldShard) (*core.ConcurrentTrie, error) {
 			return nil, err
 		}
 		b := tr.BeginBatch()
-		for j, k := range p.Keys {
-			b.Insert(k, p.TIDs[j])
+		for j := 0; j < p.Len(); j++ {
+			b.Insert(p.Key(j), p.TID(j))
 		}
 		b.End()
 	}
@@ -566,7 +567,7 @@ func (cs *coldShard) lookup(key []byte) (TID, bool) {
 	if !ok {
 		return 0, false
 	}
-	return p.TIDs[i], true
+	return p.TID(i), true
 }
 
 // len returns the entry count recorded in the section trailer.
@@ -581,8 +582,8 @@ func (cs *coldShard) verify(bounds [][]byte) error {
 		if err != nil {
 			return fmt.Errorf("hot: shard %d cold section: %w", cs.shard, err)
 		}
-		for _, k := range p.Keys {
-			if !shard.Check(bounds, cs.shard, k) {
+		for j := 0; j < p.Len(); j++ {
+			if k := p.Key(j); !shard.Check(bounds, cs.shard, k) {
 				return fmt.Errorf("hot: shard %d: cold key %q outside shard range", cs.shard, k)
 			}
 		}
@@ -599,8 +600,8 @@ func (cs *coldShard) writeTo(sw *persist.Writer) error {
 		if err != nil {
 			return err
 		}
-		for j, k := range p.Keys {
-			if err := sw.WriteEntry(k, p.TIDs[j]); err != nil {
+		for j := 0; j < p.Len(); j++ {
+			if err := sw.WriteEntry(p.Key(j), p.TID(j)); err != nil {
 				return err
 			}
 		}
@@ -638,7 +639,7 @@ func (c *coldCursor) seek(cs *coldShard, from []byte) {
 		return
 	}
 	c.idx, _ = c.page.Find(from)
-	if c.idx >= len(c.page.Keys) {
+	if c.idx >= c.page.Len() {
 		// from sorts after the block's last entry: the next block starts
 		// at the first key > from (its FirstKey exceeds from).
 		c.blk++
@@ -656,11 +657,11 @@ func (c *coldCursor) loadBlock() {
 }
 
 func (c *coldCursor) valid() bool { return c.page != nil }
-func (c *coldCursor) key() []byte { return c.page.Keys[c.idx] }
-func (c *coldCursor) tid() uint64 { return c.page.TIDs[c.idx] }
+func (c *coldCursor) key() []byte { return c.page.Key(c.idx) }
+func (c *coldCursor) tid() uint64 { return c.page.TID(c.idx) }
 func (c *coldCursor) next() {
 	c.idx++
-	if c.idx >= len(c.page.Keys) {
+	if c.idx >= c.page.Len() {
 		c.blk++
 		c.loadBlock()
 	}

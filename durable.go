@@ -64,6 +64,13 @@ type DurableOptions struct {
 	// When ColdTier is nil, any cold sections found are folded back into
 	// memory and superseded at the next Checkpoint.
 	ColdTier *ColdTierConfig
+
+	// Codec selects the block codec for every snapshot the durable index
+	// writes — checkpoints and cold section files. The zero value is
+	// SnapshotCodecRaw. Reopening an existing store with a different codec
+	// is always safe: readers accept both codecs, and the next checkpoint
+	// rewrites the files in the configured one.
+	Codec SnapshotCodec
 }
 
 // RecoveryInfo reports what an OpenDurable* constructor restored: how much
@@ -251,6 +258,7 @@ func OpenDurableMap(dir string, opts DurableOptions) (*DurableMap, RecoveryInfo,
 		return nil, info, &OrphanedLogError{Dir: dir, Logs: []string{"wal.log"}}
 	}
 	info.noteWALDamage(rep)
+	m.SetSnapshotCodec(opts.Codec)
 	return &DurableMap{m: m, wal: w, dir: dir}, info, nil
 }
 

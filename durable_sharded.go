@@ -388,6 +388,7 @@ func openDurableSharded(dir string, loader Loader, kind uint16, check func(key [
 		}
 		t = newShardedFromBounds(loader, shard.Boundaries(shards, sample))
 	}
+	t.SetSnapshotCodec(opts.Codec)
 	d := &durableState{dir: dir, kind: kind,
 		mu:   make([]paddedMutex, len(t.shards)),
 		wals: make([]*persist.WAL, len(t.shards))}
@@ -515,8 +516,8 @@ func walkPageReader(pr *persist.PageReader, fn func(key []byte, tid TID) error) 
 		if err != nil {
 			return n, err
 		}
-		for j, k := range p.Keys {
-			if err := fn(k, p.TIDs[j]); err != nil {
+		for j := 0; j < p.Len(); j++ {
+			if err := fn(p.Key(j), p.TID(j)); err != nil {
 				return n, err
 			}
 			n++

@@ -90,6 +90,7 @@ const (
 // embedded surface layer (see Index).
 type Tree struct {
 	base
+	codecOpt
 	t *core.Trie
 }
 
@@ -119,6 +120,7 @@ func NewWithFanout(loader Loader, k int) *Tree {
 // index.
 type ConcurrentTree struct {
 	base
+	codecOpt
 	t *core.ConcurrentTrie
 }
 

@@ -13,7 +13,9 @@ import (
 )
 
 func page(bytes int) *persist.Page {
-	return &persist.Page{Keys: [][]byte{[]byte("k")}, TIDs: []uint64{1}, Bytes: bytes}
+	p := &persist.Page{Bytes: bytes}
+	p.AppendEntry([]byte("k"), 1)
+	return p
 }
 
 func mustGet(t *testing.T, c *Cache, k Key, p *persist.Page) {

@@ -28,6 +28,7 @@ import (
 const (
 	crashEnvPoint = "HOT_SNAP_CRASH_POINT"
 	crashEnvDir   = "HOT_SNAP_CRASH_DIR"
+	crashEnvCodec = "HOT_SNAP_CRASH_CODEC"
 	crashSeed     = 42
 	crashPrevKeys = 2000
 	crashNextKeys = 5000
@@ -75,7 +76,7 @@ func sortedOracle(keys [][]byte, n int) [][]byte {
 // previous snapshot. The armed point always lies on the save path, so the
 // process dies inside SaveFile; reaching the end means the point never
 // fired, reported to the parent as a distinct exit code.
-func crashChild(pointName, dir string) {
+func crashChild(pointName, dir, codecName string) {
 	var point chaos.Point
 	found := false
 	for _, p := range chaos.Points() {
@@ -88,12 +89,18 @@ func crashChild(pointName, dir string) {
 		fmt.Fprintf(os.Stderr, "unknown injection point %q\n", pointName)
 		os.Exit(4)
 	}
+	codec, err := hot.ParseSnapshotCodec(codecName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(4)
+	}
 	store, keys := crashKeys()
 	tr := buildTree(store, keys, crashNextKeys)
+	tr.SetSnapshotCodec(codec)
 	reg := chaos.New(crashSeed)
 	reg.On(point, 1, chaos.Exit(crashExitCode))
 	reg.Arm()
-	err := tr.SaveFile(filepath.Join(dir, "snap.hot"))
+	err = tr.SaveFile(filepath.Join(dir, "snap.hot"))
 	chaos.Disarm()
 	fmt.Fprintf(os.Stderr, "point %s never fired (save err: %v)\n", pointName, err)
 	os.Exit(5)
@@ -101,7 +108,7 @@ func crashChild(pointName, dir string) {
 
 func TestCrashMatrix(t *testing.T) {
 	if p := os.Getenv(crashEnvPoint); p != "" {
-		crashChild(p, os.Getenv(crashEnvDir))
+		crashChild(p, os.Getenv(crashEnvDir), os.Getenv(crashEnvCodec))
 	}
 	store, keys := crashKeys()
 	points := []chaos.Point{
@@ -112,84 +119,94 @@ func TestCrashMatrix(t *testing.T) {
 		chaos.SnapRename,
 		chaos.SnapDirSync,
 	}
+	// Sweep both block codecs: the previous snapshot stays raw, so the
+	// packed sweep also covers a packed writer replacing a raw image.
+	codecs := []hot.SnapshotCodec{hot.SnapshotCodecRaw, hot.SnapshotCodecPacked}
 	for _, point := range points {
-		point := point
-		t.Run(point.String(), func(t *testing.T) {
-			dir := t.TempDir()
-			path := filepath.Join(dir, "snap.hot")
-			// The previous snapshot the crashed writer was replacing.
-			if err := buildTree(store, keys, crashPrevKeys).SaveFile(path); err != nil {
-				t.Fatal(err)
-			}
-
-			cmd := exec.Command(os.Args[0], "-test.run=^TestCrashMatrix$")
-			cmd.Env = append(os.Environ(),
-				crashEnvPoint+"="+point.String(), crashEnvDir+"="+dir)
-			out, err := cmd.CombinedOutput()
-			ee, ok := err.(*exec.ExitError)
-			if !ok || ee.ExitCode() != crashExitCode {
-				t.Fatalf("writer did not crash at the point (err=%v):\n%s", err, out)
-			}
-
-			// Recovery: strict load first; if that fails, salvage. One of
-			// the two must restore a verifiable tree.
-			tr, err := hot.LoadTreeFile(path, store.Key)
-			if err != nil {
-				var rep hot.RecoveryReport
-				tr, rep, err = hot.RecoverTreeFile(path, store.Key)
-				if err != nil {
-					t.Fatalf("snapshot unrecoverable after crash: %v", err)
-				}
-				t.Logf("strict load failed, salvaged %d entries (damage: %v)", rep.Entries, rep.Damage)
-			}
-			if err := tr.Verify(); err != nil {
-				t.Fatalf("recovered tree fails Verify: %v", err)
-			}
-
-			// The atomic protocol admits exactly two states for the main
-			// path: the previous image or the complete new one.
-			var wantN int
-			switch tr.Len() {
-			case crashPrevKeys:
-				wantN = crashPrevKeys
-			case crashNextKeys:
-				wantN = crashNextKeys
-			default:
-				t.Fatalf("recovered %d entries, want %d or %d", tr.Len(), crashPrevKeys, crashNextKeys)
-			}
-			oracle := sortedOracle(keys, wantN)
-			i := 0
-			tr.Scan(nil, wantN, func(tid hot.TID) bool {
-				if i >= len(oracle) || !bytes.Equal(store.Key(tid, nil), oracle[i]) {
-					t.Fatalf("entry %d diverges from the sorted oracle", i)
-				}
-				i++
-				return true
+		for _, codec := range codecs {
+			point, codec := point, codec
+			t.Run(point.String()+"/"+codec.String(), func(t *testing.T) {
+				runCrashPoint(t, store, keys, point, codec)
 			})
-			if i != wantN {
-				t.Fatalf("scan enumerated %d of %d oracle keys", i, wantN)
-			}
+		}
+	}
+}
 
-			// A crash before the rename may leave the torn temp file
-			// behind; salvage must hand back a clean prefix of the new
-			// image without ever erroring or fabricating entries.
-			tmp := path + ".tmp"
-			if _, statErr := os.Stat(tmp); statErr == nil {
-				newOracle := sortedOracle(keys, crashNextKeys)
-				j := 0
-				rep, err := persist.RecoverFile(tmp, persist.KindTree, func(k []byte, tid uint64) error {
-					if j >= len(newOracle) || !bytes.Equal(k, newOracle[j]) {
-						t.Fatalf("torn temp entry %d diverges from the new image", j)
-					}
-					j++
-					return nil
-				})
-				if err != nil {
-					t.Fatalf("torn temp file salvage errored: %v", err)
-				}
-				t.Logf("torn temp file: salvaged %d/%d entries, complete=%v",
-					rep.Entries, crashNextKeys, rep.Complete)
+func runCrashPoint(t *testing.T, store *tidstore.Store, keys [][]byte, point chaos.Point, codec hot.SnapshotCodec) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.hot")
+	// The previous snapshot the crashed writer was replacing.
+	if err := buildTree(store, keys, crashPrevKeys).SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(os.Args[0], "-test.run=^TestCrashMatrix$")
+	cmd.Env = append(os.Environ(),
+		crashEnvPoint+"="+point.String(), crashEnvDir+"="+dir,
+		crashEnvCodec+"="+codec.String())
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != crashExitCode {
+		t.Fatalf("writer did not crash at the point (err=%v):\n%s", err, out)
+	}
+
+	// Recovery: strict load first; if that fails, salvage. One of
+	// the two must restore a verifiable tree.
+	tr, err := hot.LoadTreeFile(path, store.Key)
+	if err != nil {
+		var rep hot.RecoveryReport
+		tr, rep, err = hot.RecoverTreeFile(path, store.Key)
+		if err != nil {
+			t.Fatalf("snapshot unrecoverable after crash: %v", err)
+		}
+		t.Logf("strict load failed, salvaged %d entries (damage: %v)", rep.Entries, rep.Damage)
+	}
+	if err := tr.Verify(); err != nil {
+		t.Fatalf("recovered tree fails Verify: %v", err)
+	}
+
+	// The atomic protocol admits exactly two states for the main
+	// path: the previous image or the complete new one.
+	var wantN int
+	switch tr.Len() {
+	case crashPrevKeys:
+		wantN = crashPrevKeys
+	case crashNextKeys:
+		wantN = crashNextKeys
+	default:
+		t.Fatalf("recovered %d entries, want %d or %d", tr.Len(), crashPrevKeys, crashNextKeys)
+	}
+	oracle := sortedOracle(keys, wantN)
+	i := 0
+	tr.Scan(nil, wantN, func(tid hot.TID) bool {
+		if i >= len(oracle) || !bytes.Equal(store.Key(tid, nil), oracle[i]) {
+			t.Fatalf("entry %d diverges from the sorted oracle", i)
+		}
+		i++
+		return true
+	})
+	if i != wantN {
+		t.Fatalf("scan enumerated %d of %d oracle keys", i, wantN)
+	}
+
+	// A crash before the rename may leave the torn temp file
+	// behind; salvage must hand back a clean prefix of the new
+	// image without ever erroring or fabricating entries.
+	tmp := path + ".tmp"
+	if _, statErr := os.Stat(tmp); statErr == nil {
+		newOracle := sortedOracle(keys, crashNextKeys)
+		j := 0
+		rep, err := persist.RecoverFile(tmp, persist.KindTree, func(k []byte, tid uint64) error {
+			if j >= len(newOracle) || !bytes.Equal(k, newOracle[j]) {
+				t.Fatalf("torn temp entry %d diverges from the new image", j)
 			}
+			j++
+			return nil
 		})
+		if err != nil {
+			t.Fatalf("torn temp file salvage errored: %v", err)
+		}
+		t.Logf("torn temp file: salvaged %d/%d entries, complete=%v",
+			rep.Entries, crashNextKeys, rep.Complete)
 	}
 }

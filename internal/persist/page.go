@@ -37,31 +37,56 @@ type BlockInfo struct {
 	FirstKey []byte // key of the block's first entry
 }
 
-// Page is one decoded snapshot block: parallel ascending key and TID
-// slices. Keys share one backing buffer; the page is immutable once
+// Page is one decoded snapshot block in compact column form: all keys
+// back to back in one buffer sliced by an offset table, TIDs in a
+// parallel array. Compared to a per-key slice-header layout this roughly
+// halves the resident footprint of 8-byte-key pages, so a page-cache
+// budget holds proportionally more entries. The page is immutable once
 // returned and safe for concurrent readers.
 type Page struct {
-	Keys [][]byte
-	TIDs []uint64
+	buf  []byte   // concatenated keys
+	offs []uint32 // len n+1; key i is buf[offs[i]:offs[i+1]]
+	tids []uint64
 	// Bytes estimates the decoded heap footprint, the unit the page
 	// cache's budget is accounted in.
 	Bytes int
+}
+
+// Len returns the number of entries in the page.
+func (p *Page) Len() int { return len(p.tids) }
+
+// Key returns entry i's key. The slice aliases the page's buffer and must
+// not be modified.
+func (p *Page) Key(i int) []byte { return p.buf[p.offs[i]:p.offs[i+1]] }
+
+// TID returns entry i's TID.
+func (p *Page) TID(i int) uint64 { return p.tids[i] }
+
+// AppendEntry appends one entry. It is the page construction primitive
+// for decodePage and tests; it does not maintain Bytes.
+func (p *Page) AppendEntry(key []byte, tid uint64) {
+	if p.offs == nil {
+		p.offs = append(p.offs, 0)
+	}
+	p.buf = append(p.buf, key...)
+	p.offs = append(p.offs, uint32(len(p.buf)))
+	p.tids = append(p.tids, tid)
 }
 
 // Find returns the position of key in the page and whether it is present;
 // when absent, the returned index is where key would be inserted (the
 // first entry > key).
 func (p *Page) Find(key []byte) (int, bool) {
-	lo, hi := 0, len(p.Keys)
+	lo, hi := 0, p.Len()
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if bytes.Compare(p.Keys[mid], key) < 0 {
+		if bytes.Compare(p.Key(mid), key) < 0 {
 			lo = mid + 1
 		} else {
 			hi = mid
 		}
 	}
-	return lo, lo < len(p.Keys) && bytes.Equal(p.Keys[lo], key)
+	return lo, lo < p.Len() && bytes.Equal(p.Key(lo), key)
 }
 
 // PageReader serves point reads over a single-section snapshot file
@@ -247,8 +272,8 @@ func (pr *PageReader) scan() error {
 		if _, err := pr.r.ReadAt(hdr[:], off); err != nil {
 			return formatErr(ErrTruncated, off, "block header: %v", err)
 		}
-		length := binary.LittleEndian.Uint32(hdr[:4])
-		if length == 0 {
+		word := binary.LittleEndian.Uint32(hdr[:4])
+		if word == 0 {
 			got, ok := pr.readTrailer(off)
 			if !ok {
 				return formatErr(ErrChecksum, off, "damaged trailer")
@@ -259,6 +284,14 @@ func (pr *PageReader) scan() error {
 			pr.blocks, pr.count = blocks, count
 			return nil
 		}
+		codec := Codec(word >> 24)
+		length := word & blockLenMask
+		if codec > readerCodecLimit {
+			return formatErr(ErrUnsupportedCodec, off, "block codec %q not supported by this reader", codec)
+		}
+		if length == 0 {
+			return formatErr(ErrCorrupt, off, "empty block")
+		}
 		if int64(length) > maxBlockLen {
 			return formatErr(ErrCorrupt, off, "block payload %d exceeds cap %d", length, maxBlockLen)
 		}
@@ -267,16 +300,16 @@ func (pr *PageReader) scan() error {
 		if err != nil {
 			return err
 		}
-		if len(page.Keys) == 0 {
+		if page.Len() == 0 {
 			return formatErr(ErrCorrupt, off, "empty block")
 		}
-		if prevLast != nil && bytes.Compare(prevLast, page.Keys[0]) >= 0 {
-			return formatErr(ErrCorrupt, off, "keys not strictly ascending across blocks: %q then %q", prevLast, page.Keys[0])
+		if prevLast != nil && bytes.Compare(prevLast, page.Key(0)) >= 0 {
+			return formatErr(ErrCorrupt, off, "keys not strictly ascending across blocks: %q then %q", prevLast, page.Key(0))
 		}
-		info.FirstKey = append([]byte(nil), page.Keys[0]...)
-		prevLast = append(prevLast[:0], page.Keys[len(page.Keys)-1]...)
+		info.FirstKey = append([]byte(nil), page.Key(0)...)
+		prevLast = append(prevLast[:0], page.Key(page.Len()-1)...)
 		blocks = append(blocks, info)
-		count += uint64(len(page.Keys))
+		count += uint64(page.Len())
 		off += 8 + int64(length)
 	}
 }
@@ -337,35 +370,52 @@ func (pr *PageReader) ReadBlock(i int) (*Page, error) {
 	if err != nil {
 		return nil, err
 	}
-	if pr.blocks[i].FirstKey != nil && (len(page.Keys) == 0 || !bytes.Equal(page.Keys[0], pr.blocks[i].FirstKey)) {
+	if pr.blocks[i].FirstKey != nil && (page.Len() == 0 || !bytes.Equal(page.Key(0), pr.blocks[i].FirstKey)) {
 		return nil, formatErr(ErrCorrupt, pr.blocks[i].Off, "block first key disagrees with index")
 	}
 	return page, nil
 }
 
 // decodeAt reads and decodes the block described by info, verifying its
-// length field, CRC and entry structure.
+// length field, CRC and entry structure. info.Len is the stored payload
+// length — for a packed block, the compressed size — so a cold read
+// transfers the compressed bytes and expands them only after the CRC over
+// exactly those bytes has vouched for them.
 func (pr *PageReader) decodeAt(info BlockInfo) (*Page, error) {
 	raw := make([]byte, 8+info.Len)
 	if _, err := pr.r.ReadAt(raw, info.Off); err != nil {
 		return nil, formatErr(ErrTruncated, info.Off, "block: %v", err)
 	}
-	if got := binary.LittleEndian.Uint32(raw[:4]); int(got) != info.Len {
+	word := binary.LittleEndian.Uint32(raw[:4])
+	if got := word & blockLenMask; int(got) != info.Len {
 		return nil, formatErr(ErrCorrupt, info.Off, "block length %d disagrees with index %d", got, info.Len)
 	}
+	codec := Codec(word >> 24)
+	if codec > readerCodecLimit {
+		return nil, formatErr(ErrUnsupportedCodec, info.Off, "block codec %q not supported by this reader", codec)
+	}
 	payload := raw[8:]
-	if got, want := crc32.Checksum(payload, castagnoli), binary.LittleEndian.Uint32(raw[4:8]); got != want {
+	if got, want := blockChecksum(codec, payload), binary.LittleEndian.Uint32(raw[4:8]); got != want {
 		return nil, formatErr(ErrChecksum, info.Off, "block CRC %#x, computed %#x", want, got)
+	}
+	if codec == CodecPacked {
+		expanded, damage := decodePacked(payload, info.Off)
+		if damage != nil {
+			return nil, damage
+		}
+		payload = expanded
 	}
 	return decodePage(payload, info.Off)
 }
 
-// decodePage parses one verified block payload into a Page, enforcing the
-// entry structure and strictly ascending key order.
+// decodePage parses one verified raw entry stream into a Page, enforcing
+// the entry structure and strictly ascending key order. Keys are copied
+// into the page's own column buffer, so the payload slice may be reused.
 func decodePage(payload []byte, blockOff int64) (*Page, error) {
-	p := &Page{Bytes: len(payload) + 48}
+	p := &Page{}
 	pos := 0
 	var prev []byte
+	hasPrev := false
 	for pos < len(payload) {
 		entryOff := blockOff + 8 + int64(pos)
 		klen, n := binary.Uvarint(payload[pos:])
@@ -383,14 +433,13 @@ func decodePage(payload []byte, blockOff int64) (*Page, error) {
 			return nil, formatErr(ErrCorrupt, entryOff, "bad TID")
 		}
 		pos += n
-		if prev != nil && bytes.Compare(prev, key) >= 0 {
+		if hasPrev && bytes.Compare(prev, key) >= 0 {
 			return nil, formatErr(ErrCorrupt, entryOff, "keys not strictly ascending: %q then %q", prev, key)
 		}
-		prev = key
-		p.Keys = append(p.Keys, key)
-		p.TIDs = append(p.TIDs, tid)
+		p.AppendEntry(key, tid)
+		prev, hasPrev = p.Key(p.Len()-1), true
 	}
-	p.Bytes += 32 * len(p.Keys)
+	p.Bytes = len(p.buf) + 4*len(p.offs) + 8*len(p.tids) + 64
 	return p, nil
 }
 
@@ -418,6 +467,13 @@ type SectionInfo struct {
 	Bytes   int64  // section size including header and trailer
 	Blocks  int    // data blocks in the section
 	Entries uint64 // entries in the section
+	// PackedBlocks counts the data blocks stored with CodecPacked.
+	PackedBlocks int
+	// UnpackedBytes is what the section would occupy with every block
+	// stored raw: header + trailer + per-block 8-byte prefixes + raw
+	// payload lengths. Bytes/UnpackedBytes is the section's compression
+	// ratio; they are equal for an all-raw section.
+	UnpackedBytes int64
 	// IndexBytes is the size of the trailing HIDX block index, nonzero
 	// only on the last section of an indexed single-section file.
 	IndexBytes int64
@@ -495,14 +551,15 @@ func scanSection(r io.ReaderAt, base int64) (SectionInfo, int64, error) {
 		return sec, 0, formatErr(ErrVersionSkew, base+8, "snapshot version %d, reader supports %d", v, Version)
 	}
 	sec.Kind = binary.LittleEndian.Uint16(h[10:])
+	sec.UnpackedBytes = headerSize + trailerSize
 	off := base + headerSize
 	for {
 		var hdr [8]byte
 		if _, err := r.ReadAt(hdr[:], off); err != nil {
 			return sec, 0, formatErr(ErrTruncated, off, "block header: %v", err)
 		}
-		length := binary.LittleEndian.Uint32(hdr[:4])
-		if length == 0 {
+		word := binary.LittleEndian.Uint32(hdr[:4])
+		if word == 0 {
 			var t [trailerSize]byte
 			if _, err := r.ReadAt(t[:], off); err != nil {
 				return sec, 0, formatErr(ErrTruncated, off, "trailer: %v", err)
@@ -516,6 +573,14 @@ func scanSection(r io.ReaderAt, base int64) (SectionInfo, int64, error) {
 			sec.Bytes = off + trailerSize - base
 			return sec, sec.Bytes, nil
 		}
+		codec := Codec(word >> 24)
+		length := word & blockLenMask
+		if codec > readerCodecLimit {
+			return sec, 0, formatErr(ErrUnsupportedCodec, off, "block codec %q not supported by this reader", codec)
+		}
+		if length == 0 {
+			return sec, 0, formatErr(ErrCorrupt, off, "empty block")
+		}
 		if int64(length) > maxBlockLen {
 			return sec, 0, formatErr(ErrCorrupt, off, "block payload %d exceeds cap %d", length, maxBlockLen)
 		}
@@ -523,15 +588,25 @@ func scanSection(r io.ReaderAt, base int64) (SectionInfo, int64, error) {
 		if _, err := r.ReadAt(raw, off); err != nil {
 			return sec, 0, formatErr(ErrTruncated, off, "block: %v", err)
 		}
-		if crc32.Checksum(raw[8:], castagnoli) != binary.LittleEndian.Uint32(raw[4:8]) {
+		if blockChecksum(codec, raw[8:]) != binary.LittleEndian.Uint32(raw[4:8]) {
 			return sec, 0, formatErr(ErrChecksum, off, "block CRC mismatch")
 		}
-		page, err := decodePage(raw[8:], off)
+		payload := raw[8:]
+		if codec == CodecPacked {
+			expanded, damage := decodePacked(payload, off)
+			if damage != nil {
+				return sec, 0, damage
+			}
+			payload = expanded
+			sec.PackedBlocks++
+		}
+		page, err := decodePage(payload, off)
 		if err != nil {
 			return sec, 0, err
 		}
 		sec.Blocks++
-		sec.Entries += uint64(len(page.Keys))
+		sec.Entries += uint64(page.Len())
+		sec.UnpackedBytes += 8 + int64(len(payload))
 		off += 8 + int64(length)
 	}
 }

@@ -46,7 +46,7 @@ func checkPointReads(t *testing.T, pr *PageReader, es []entry) {
 			t.Fatalf("ReadBlock(%d): %v", b, err)
 		}
 		i, ok := page.Find(e.key)
-		if !ok || page.TIDs[i] != e.tid {
+		if !ok || page.TID(i) != e.tid {
 			t.Fatalf("Find(%q) = (%d, %v), want tid %d", e.key, i, ok, e.tid)
 		}
 	}
@@ -234,19 +234,20 @@ func FuzzPageReader(f *testing.F) {
 				clean = false
 				break
 			}
-			if len(page.Keys) == 0 || len(page.Keys) != len(page.TIDs) {
-				t.Fatalf("block %d decoded to %d keys / %d tids", b, len(page.Keys), len(page.TIDs))
+			if page.Len() == 0 {
+				t.Fatalf("block %d decoded to %d entries", b, page.Len())
 			}
-			if prevLast != nil && bytes.Compare(prevLast, page.Keys[0]) >= 0 {
+			if prevLast != nil && bytes.Compare(prevLast, page.Key(0)) >= 0 {
 				ordered = false
 			}
-			for i, k := range page.Keys {
+			for i := 0; i < page.Len(); i++ {
+				k := page.Key(i)
 				if j, ok := page.Find(k); !ok || j != i {
 					t.Fatalf("block %d: Find(%q) = (%d, %v), want (%d, true)", b, k, j, ok, i)
 				}
 			}
-			prevLast = page.Keys[len(page.Keys)-1]
-			total += uint64(len(page.Keys))
+			prevLast = page.Key(page.Len() - 1)
+			total += uint64(page.Len())
 		}
 		if clean && !pr.Indexed() && total != pr.Count() {
 			t.Fatalf("scan-opened file decodes %d entries, trailer says %d", total, pr.Count())

@@ -8,13 +8,20 @@
 // A snapshot is a 16-byte header, a sequence of data blocks, and a trailer:
 //
 //	header:  magic "HOTSNAP\x01" | version u16 | kind u16 | crc32 u32
-//	block:   payloadLen u32 | crc32(payload) u32 | payload
+//	block:   codec u8 << 24 | payloadLen u24 | crc32(payload) u32 | payload
 //	trailer: 0 u32 | count u64 | crc32(count) u32
 //
-// All integers are little-endian. A block payload is a sequence of entries,
-// each `uvarint keyLen | key bytes | uvarint tid`, in strictly ascending
-// key order — within a block, and across consecutive blocks. The trailer is
-// distinguished from a block by its zero length field and records the
+// All integers are little-endian. The top byte of a block's length word
+// names its payload codec: 0 (raw) is the plain entry stream — a sequence
+// of `uvarint keyLen | key bytes | uvarint tid` entries in strictly
+// ascending key order, within a block and across consecutive blocks — and
+// 1 (packed) is the delta-compressed form of exactly that stream (see
+// codec.go). Payload lengths are capped far below 2^24, so raw blocks are
+// byte-identical to the format before codecs existed. A raw block's CRC
+// covers its payload exactly as it always has; a packed block's CRC covers
+// the codec byte followed by the stored (compressed) payload, so a flipped
+// codec byte is a checksum mismatch rather than a silent reinterpretation. The trailer is
+// distinguished from a block by its zero length word and records the
 // authoritative entry count (the header cannot: concurrent snapshots stream
 // entries while writers commit, so the count is only known at the end).
 //
@@ -127,15 +134,21 @@ const (
 	// entries out of key order, a trailing partial entry, or a trailer
 	// count that contradicts the entries present.
 	ErrCorrupt
+	// ErrUnsupportedCodec: a block names a payload codec this reader does
+	// not decode — a file from a newer build, not damage. Detected from
+	// the codec byte alone, before the payload is read, so it is never
+	// misreported as a checksum mismatch.
+	ErrUnsupportedCodec
 )
 
 var errKindNames = [...]string{
-	ErrBadMagic:    "bad magic",
-	ErrVersionSkew: "version skew",
-	ErrWrongKind:   "wrong content kind",
-	ErrTruncated:   "truncated",
-	ErrChecksum:    "checksum mismatch",
-	ErrCorrupt:     "corrupt structure",
+	ErrBadMagic:         "bad magic",
+	ErrVersionSkew:      "version skew",
+	ErrWrongKind:        "wrong content kind",
+	ErrTruncated:        "truncated",
+	ErrChecksum:         "checksum mismatch",
+	ErrCorrupt:          "corrupt structure",
+	ErrUnsupportedCodec: "unsupported block codec",
 }
 
 // String names the error kind for reports.

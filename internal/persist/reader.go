@@ -129,9 +129,9 @@ func (rd *reader) unit(fn EntryFunc) (done bool, damage *FormatError, err error)
 	if damage := rd.readFull(hdr[:], "block header"); damage != nil {
 		return false, damage, nil
 	}
-	length := binary.LittleEndian.Uint32(hdr[:4])
+	word := binary.LittleEndian.Uint32(hdr[:4])
 	blockCRC := binary.LittleEndian.Uint32(hdr[4:])
-	if length == 0 {
+	if word == 0 {
 		// Trailer: [0 u32 | count u64 | crc32(count) u32]. hdr already
 		// holds the zero length and the count's first half.
 		var rest [8]byte
@@ -151,6 +151,14 @@ func (rd *reader) unit(fn EntryFunc) (done bool, damage *FormatError, err error)
 		}
 		return true, nil, nil
 	}
+	codec := Codec(word >> 24)
+	length := word & blockLenMask
+	if codec > readerCodecLimit {
+		return false, formatErr(ErrUnsupportedCodec, unitOff, "block codec %q not supported by this reader", codec), nil
+	}
+	if length == 0 {
+		return false, formatErr(ErrCorrupt, unitOff, "empty block"), nil
+	}
 	if length > maxBlockLen {
 		return false, formatErr(ErrCorrupt, unitOff, "block payload %d exceeds cap %d", length, maxBlockLen), nil
 	}
@@ -158,8 +166,18 @@ func (rd *reader) unit(fn EntryFunc) (done bool, damage *FormatError, err error)
 	if damage := rd.readFull(payload, "block payload"); damage != nil {
 		return false, damage, nil
 	}
-	if got := crc32.Checksum(payload, castagnoli); got != blockCRC {
+	if got := blockChecksum(codec, payload); got != blockCRC {
 		return false, formatErr(ErrChecksum, unitOff, "block CRC %#x, computed %#x", blockCRC, got), nil
+	}
+	if codec == CodecPacked {
+		// The stored (compressed) bytes checksummed clean; expand them to
+		// the raw entry stream the loop below has always parsed. Entry
+		// offsets inside a packed block refer to the reconstructed stream.
+		raw, damage := decodePacked(payload, unitOff)
+		if damage != nil {
+			return false, damage, nil
+		}
+		payload = raw
 	}
 	// The block checksums clean: parse and deliver its entries.
 	pos := 0

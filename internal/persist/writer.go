@@ -19,6 +19,7 @@ type Writer struct {
 	w       io.Writer
 	buf     []byte // current block payload
 	scratch []byte // assembled block (len+crc+payload)
+	enc     []byte // codec scratch (packed payload candidate)
 	prevKey []byte
 	off     int64 // bytes issued to w
 	count   uint64
@@ -26,10 +27,23 @@ type Writer struct {
 	err     error
 	closed  bool
 
+	codec  Codec // requested block codec (CodecRaw: store payloads as-is)
+	packed int   // blocks actually stored packed
+
 	indexing bool        // collect a per-block index, emitted after the trailer
 	index    []BlockInfo // one entry per flushed block
 	firstKey []byte      // first key of the block being buffered
 }
+
+// SetCodec selects the block codec for subsequently flushed blocks.
+// CodecPacked delta-compresses each block, falling back to raw storage
+// per block when packing would not shrink it; codecs this build does not
+// know are written raw. Call it before the first WriteEntry for a
+// uniformly encoded file.
+func (sw *Writer) SetCodec(c Codec) { sw.codec = c }
+
+// PackedBlocks returns how many flushed blocks were stored compressed.
+func (sw *Writer) PackedBlocks() int { return sw.packed }
 
 // EnableBlockIndex makes the writer collect a sparse per-block index
 // (first key + file offset per block) and append it after the trailer as
@@ -154,6 +168,15 @@ func (sw *Writer) writeIndex() error {
 // bytes than exist, or whose CRC no longer matches.
 func (sw *Writer) flushBlock() error {
 	payload := sw.buf
+	codec := CodecRaw
+	if sw.codec == CodecPacked {
+		if enc, ok := encodePacked(sw.enc[:0], payload); ok {
+			sw.enc = enc
+			payload = enc
+			codec = CodecPacked
+			sw.packed++
+		}
+	}
 	if sw.indexing {
 		sw.index = append(sw.index, BlockInfo{
 			Off:      sw.off,
@@ -162,8 +185,8 @@ func (sw *Writer) flushBlock() error {
 		})
 	}
 	sw.scratch = sw.scratch[:0]
-	sw.scratch = binary.LittleEndian.AppendUint32(sw.scratch, uint32(len(payload)))
-	sw.scratch = binary.LittleEndian.AppendUint32(sw.scratch, crc32.Checksum(payload, castagnoli))
+	sw.scratch = binary.LittleEndian.AppendUint32(sw.scratch, uint32(codec)<<24|uint32(len(payload)))
+	sw.scratch = binary.LittleEndian.AppendUint32(sw.scratch, blockChecksum(codec, payload))
 	sw.scratch = append(sw.scratch, payload...)
 	sw.buf = sw.buf[:0]
 	sw.entries = false

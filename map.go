@@ -19,10 +19,11 @@ import (
 // Map keys are limited to MaxMapKeyLen bytes.
 type Map struct {
 	statsBase // shared Len/Height/Memory/Verify surface (key arena not included in Memory)
-	t         *core.Trie
-	keys      arena
-	vals      []uint64
-	buf       []byte
+	codecOpt
+	t    *core.Trie
+	keys arena
+	vals []uint64
+	buf  []byte
 
 	// LookupBatch scratch: escaped keys back to back in bflat, delimited
 	// by boffs, resliced into bkeys; btids receives the trie's TIDs.

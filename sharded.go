@@ -31,6 +31,7 @@ import (
 // Boundaries are fixed at construction from a sampled key table; a key
 // equal to a boundary routes to the shard above it.
 type ShardedTree struct {
+	codecOpt
 	loader Loader
 	shards []shardSlot
 	bounds [][]byte // len(shards)-1 ascending boundary keys

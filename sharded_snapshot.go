@@ -40,10 +40,12 @@ func (t *ShardedTree) writeSectionsHook(w io.Writer, kind uint16, before, after 
 			return err
 		}
 	}
+	codec := t.SnapshotCodec()
 	mw, err := persist.NewWriter(w, persist.KindShardManifest)
 	if err != nil {
 		return err
 	}
+	mw.SetCodec(codec)
 	for i, b := range t.bounds {
 		if err := mw.WriteEntry(b, uint64(i)); err != nil {
 			return err
@@ -67,6 +69,7 @@ func (t *ShardedTree) writeSectionsHook(w io.Writer, kind uint16, before, after 
 		if err != nil {
 			return err
 		}
+		sw.SetCodec(codec)
 		// A cold shard streams its section from the cold file — the
 		// entries are identical to what its trie held at demotion, and
 		// writers to it are demoted-out, so the section is as consistent
@@ -292,6 +295,13 @@ func checkSetEntry(key []byte, tid TID) error {
 	}
 	return nil
 }
+
+// SetSnapshotCodec selects the block codec for the set's subsequent
+// snapshot and checkpoint writes (see codecOpt.SetSnapshotCodec).
+func (s *ShardedUint64Set) SetSnapshotCodec(c SnapshotCodec) { s.t.SetSnapshotCodec(c) }
+
+// SnapshotCodec returns the codec subsequent snapshot writes will use.
+func (s *ShardedUint64Set) SnapshotCodec() SnapshotCodec { return s.t.SnapshotCodec() }
 
 // Snapshot writes a point-in-time snapshot of the live sharded set to w
 // without blocking concurrent writers (see ShardedTree.Snapshot).

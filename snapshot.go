@@ -3,6 +3,7 @@ package hot
 import (
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"github.com/hotindex/hot/internal/core"
 	"github.com/hotindex/hot/internal/persist"
@@ -43,7 +44,44 @@ const (
 	// SnapErrCorrupt: structurally invalid contents despite clean
 	// checksums (out-of-order keys, bad lengths, count mismatch).
 	SnapErrCorrupt = persist.ErrCorrupt
+	// SnapErrUnsupportedCodec: a block is stored with a payload codec this
+	// build does not decode — a snapshot from a newer build, not damage.
+	// Reported from the codec byte alone, never as a checksum mismatch.
+	SnapErrUnsupportedCodec = persist.ErrUnsupportedCodec
 )
+
+// SnapshotCodec selects how snapshot blocks are encoded on disk.
+type SnapshotCodec = persist.Codec
+
+const (
+	// SnapshotCodecRaw stores block payloads verbatim — the default, and
+	// byte-identical to snapshots written before codecs existed.
+	SnapshotCodecRaw = persist.CodecRaw
+	// SnapshotCodecPacked delta-compresses each block's sorted key stream
+	// and bit-packs its TIDs, falling back to raw storage for any block the
+	// packing would not shrink. Files remain loadable by any reader that
+	// knows the codec; readers that do not reject them with a typed
+	// SnapErrUnsupportedCodec error.
+	SnapshotCodecPacked = persist.CodecPacked
+)
+
+// ParseSnapshotCodec parses a codec name ("raw" or "packed"), rejecting
+// anything else with an error naming the valid options.
+func ParseSnapshotCodec(s string) (SnapshotCodec, error) { return persist.ParseCodec(s) }
+
+// codecOpt carries an index's snapshot codec selection. Every index type
+// embeds it; the sharded set delegates to its underlying tree. Atomic so a
+// configuration call cannot race a concurrent snapshot.
+type codecOpt struct{ codec atomic.Uint32 }
+
+// SetSnapshotCodec selects the block codec used by this index's subsequent
+// Save/Snapshot/checkpoint writes. The default is SnapshotCodecRaw; the
+// choice affects only files written from now on — every reader accepts
+// both codecs regardless of this setting.
+func (c *codecOpt) SetSnapshotCodec(codec SnapshotCodec) { c.codec.Store(uint32(codec)) }
+
+// SnapshotCodec returns the codec subsequent snapshot writes will use.
+func (c *codecOpt) SnapshotCodec() SnapshotCodec { return SnapshotCodec(c.codec.Load()) }
 
 // RecoveryReport describes what a Recover* loader salvaged: how many
 // entries were delivered from the valid prefix, whether the snapshot was in
@@ -60,6 +98,7 @@ func (t *Tree) Save(w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	sw.SetCodec(t.SnapshotCodec())
 	if err := writeWalk(sw, t.t.Walk); err != nil {
 		return err
 	}
@@ -71,6 +110,7 @@ func (t *Tree) Save(w io.Writer) error {
 // fsynced. On any error path is left untouched.
 func (t *Tree) SaveFile(path string) error {
 	return persist.SaveFile(path, persist.KindTree, func(sw *persist.Writer) error {
+		sw.SetCodec(t.SnapshotCodec())
 		return writeWalk(sw, t.t.Walk)
 	})
 }
@@ -82,6 +122,7 @@ func (t *Tree) SaveFile(path string) error {
 // older readers, which stop at the trailer.
 func (t *Tree) SaveIndexedFile(path string) error {
 	return persist.SaveIndexedFile(path, persist.KindTree, func(sw *persist.Writer) error {
+		sw.SetCodec(t.SnapshotCodec())
 		return writeWalk(sw, t.t.Walk)
 	})
 }
@@ -157,6 +198,7 @@ func (t *ConcurrentTree) Snapshot(w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	sw.SetCodec(t.SnapshotCodec())
 	if err := writeWalk(sw, t.t.SnapshotWalk); err != nil {
 		return err
 	}
@@ -168,6 +210,7 @@ func (t *ConcurrentTree) Snapshot(w io.Writer) error {
 // durability protocol).
 func (t *ConcurrentTree) SnapshotFile(path string) error {
 	return persist.SaveFile(path, persist.KindTree, func(sw *persist.Writer) error {
+		sw.SetCodec(t.SnapshotCodec())
 		return writeWalk(sw, t.t.SnapshotWalk)
 	})
 }
@@ -198,6 +241,7 @@ func (m *Map) Save(w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	sw.SetCodec(m.SnapshotCodec())
 	if err := m.writeEntries(sw); err != nil {
 		return err
 	}
@@ -207,7 +251,10 @@ func (m *Map) Save(w io.Writer) error {
 // SaveFile atomically writes a snapshot of the map to path (see
 // Tree.SaveFile for the durability protocol).
 func (m *Map) SaveFile(path string) error {
-	return persist.SaveFile(path, persist.KindMap, m.writeEntries)
+	return persist.SaveFile(path, persist.KindMap, func(sw *persist.Writer) error {
+		sw.SetCodec(m.SnapshotCodec())
+		return m.writeEntries(sw)
+	})
 }
 
 func (m *Map) writeEntries(sw *persist.Writer) error {
@@ -270,6 +317,7 @@ func (s *Uint64Set) Save(w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	sw.SetCodec(s.SnapshotCodec())
 	if err := writeWalk(sw, s.t.Walk); err != nil {
 		return err
 	}
@@ -280,6 +328,7 @@ func (s *Uint64Set) Save(w io.Writer) error {
 // Tree.SaveFile for the durability protocol).
 func (s *Uint64Set) SaveFile(path string) error {
 	return persist.SaveFile(path, persist.KindUint64Set, func(sw *persist.Writer) error {
+		sw.SetCodec(s.SnapshotCodec())
 		return writeWalk(sw, s.t.Walk)
 	})
 }
@@ -346,6 +395,7 @@ func (s *ConcurrentUint64Set) Snapshot(w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	sw.SetCodec(s.SnapshotCodec())
 	if err := writeWalk(sw, s.t.SnapshotWalk); err != nil {
 		return err
 	}
@@ -356,6 +406,7 @@ func (s *ConcurrentUint64Set) Snapshot(w io.Writer) error {
 // to path (see ConcurrentTree.SnapshotFile).
 func (s *ConcurrentUint64Set) SnapshotFile(path string) error {
 	return persist.SaveFile(path, persist.KindUint64Set, func(sw *persist.Writer) error {
+		sw.SetCodec(s.SnapshotCodec())
 		return writeWalk(sw, s.t.SnapshotWalk)
 	})
 }

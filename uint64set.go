@@ -14,8 +14,9 @@ import (
 // ConcurrentUint64Set.
 type Uint64Set struct {
 	statsBase // shared Len/Height/Memory/Verify surface
-	t         *core.Trie
-	buf       [8]byte
+	codecOpt
+	t   *core.Trie
+	buf [8]byte
 
 	// LookupBatch scratch: big-endian encodings back to back in bflat,
 	// resliced into bkeys; btids receives the trie's TIDs.
@@ -94,7 +95,8 @@ func (s *Uint64Set) Min() (uint64, bool) {
 // methods are safe for concurrent use.
 type ConcurrentUint64Set struct {
 	statsBase // shared Len/Height/Memory/Verify surface
-	t         *core.ConcurrentTrie
+	codecOpt
+	t *core.ConcurrentTrie
 }
 
 // NewConcurrentUint64Set returns an empty concurrent integer set.
