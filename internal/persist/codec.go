@@ -346,7 +346,10 @@ func decodePacked(packed []byte, blockOff int64) ([]byte, *FormatError) {
 				pos += m
 			}
 			slen, m := binary.Uvarint(packed[pos:])
-			if m <= 0 || lcp+slen > MaxKeyLen {
+			// Bound slen on its own before summing: lcp is already capped
+			// at the previous key's length (≤ MaxKeyLen), so once slen is
+			// capped too the sum cannot wrap uint64.
+			if m <= 0 || slen > MaxKeyLen || lcp+slen > MaxKeyLen {
 				return bad("bad key length")
 			}
 			pos += m

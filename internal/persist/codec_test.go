@@ -386,6 +386,11 @@ func FuzzBlockCodec(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0x00})
 	f.Add([]byte{0x03, 0x01})
+	// Regression: front-coded payload (flags 0x00, n=2, key "a", lcp=1,
+	// slen=2^64-1) whose lcp+slen sum wrapped below MaxKeyLen; int(slen)
+	// then went negative and the suffix slice paniced.
+	f.Add([]byte{0x00, 0x02, 0x01, 'a', 0x01,
+		0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Direction 1: data as a hostile packed payload. Must not panic; a
 		// successful decode must at least be a structurally parseable entry
